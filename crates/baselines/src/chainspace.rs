@@ -1,0 +1,203 @@
+//! The ChainSpace comparison model (Sec. VI-B2, Fig. 4(a)/(b)).
+//!
+//! ChainSpace "separates miners and transactions into shards randomly,
+//! incurring new cross-shard consensus protocols and heavy cross-shard
+//! communications". Fig. 4(b) measures only how the *communication count*
+//! grows with the number of k-input transactions, so the model here
+//! implements exactly the stated complexity:
+//!
+//! * transactions are placed into shards uniformly at random ("in
+//!   ChainSpace, a 3-input transaction will be randomly separated into a
+//!   shard");
+//! * validating a k-input transaction needs the account state of up to `k`
+//!   shards; when more than one shard is involved, the S-BAC style
+//!   commit runs **two rounds** of cross-shard leader communication
+//!   (intra-shard consensus → cross-shard accept), each round carrying
+//!   O(N²) bits among the N participating nodes (Sec. VII).
+
+use cshard_ledger::Transaction;
+use cshard_network::{CommKind, CommStats};
+use cshard_primitives::ShardId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Rounds of cross-shard leader communication per cross-shard transaction
+/// ("to validate one cross-shard transaction, there will be at least 2
+/// rounds of cross-shard communication", Sec. VII).
+pub const CROSS_SHARD_ROUNDS_PER_TX: u64 = 2;
+
+/// A ChainSpace-style random placement of a workload over `shards` shards.
+#[derive(Clone, Debug)]
+pub struct ChainspacePlacement {
+    /// Number of shards.
+    pub shards: usize,
+    /// Home (output) shard of each transaction, by transaction index.
+    pub home_shard: Vec<ShardId>,
+    /// Input shards touched by each transaction (deduplicated, includes the
+    /// home shard).
+    pub touched: Vec<Vec<ShardId>>,
+}
+
+impl ChainspacePlacement {
+    /// Places `txs` uniformly at random over `shards` shards. Each input
+    /// account of a k-input transaction is (as in ChainSpace's random state
+    /// partition) independently located in a random shard.
+    pub fn place(txs: &[Transaction], shards: usize, seed: u64) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut home_shard = Vec::with_capacity(txs.len());
+        let mut touched = Vec::with_capacity(txs.len());
+        for tx in txs {
+            let home = ShardId::new(rng.gen_range(0..shards as u32));
+            let mut set = vec![home];
+            // Each further input lives in an independently random shard.
+            for _ in 1..tx.kind.input_count() {
+                let s = ShardId::new(rng.gen_range(0..shards as u32));
+                if !set.contains(&s) {
+                    set.push(s);
+                }
+            }
+            home_shard.push(home);
+            touched.push(set);
+        }
+        ChainspacePlacement {
+            shards,
+            home_shard,
+            touched,
+        }
+    }
+
+    /// Whether transaction `i` is cross-shard (touches > 1 shard).
+    pub fn is_cross_shard(&self, i: usize) -> bool {
+        self.touched[i].len() > 1
+    }
+
+    /// Number of cross-shard transactions.
+    pub fn cross_shard_count(&self) -> usize {
+        (0..self.touched.len())
+            .filter(|&i| self.is_cross_shard(i))
+            .count()
+    }
+
+    /// Books the validation communication into `stats`: two rounds per
+    /// cross-shard transaction, attributed to its home shard (the shard
+    /// that drives the commit). Single-shard transactions cost nothing.
+    pub fn record_validation_communication(&self, stats: &CommStats) {
+        for i in 0..self.touched.len() {
+            if self.is_cross_shard(i) {
+                stats.record_many(
+                    self.home_shard[i],
+                    CommKind::CrossShardValidation,
+                    CROSS_SHARD_ROUNDS_PER_TX,
+                );
+            }
+        }
+    }
+
+    /// Estimated message-bit volume of the validation traffic: per
+    /// cross-shard transaction, `rounds × N²` units where `N` is the number
+    /// of nodes involved (`nodes_per_shard × touched shards`) — the O(N²)
+    /// growth Sec. VII quotes.
+    pub fn message_volume(&self, nodes_per_shard: usize) -> u64 {
+        (0..self.touched.len())
+            .filter(|&i| self.is_cross_shard(i))
+            .map(|i| {
+                let n = (self.touched[i].len() * nodes_per_shard) as u64;
+                CROSS_SHARD_ROUNDS_PER_TX * n * n
+            })
+            .sum()
+    }
+
+    /// Transaction indices grouped by home shard — the per-shard queues a
+    /// throughput run feeds into the runtime.
+    pub fn shard_tx_indices(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.shards];
+        for (i, s) in self.home_shard.iter().enumerate() {
+            groups[s.0 as usize].push(i);
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cshard_workload::{FeeDistribution, Workload};
+
+    fn three_input_txs(n: usize) -> Vec<Transaction> {
+        Workload::three_input(n, 3, FeeDistribution::Constant(5), 1).transactions
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let txs = three_input_txs(50);
+        let a = ChainspacePlacement::place(&txs, 9, 7);
+        let b = ChainspacePlacement::place(&txs, 9, 7);
+        assert_eq!(a.home_shard, b.home_shard);
+        assert_eq!(a.home_shard.len(), 50);
+        let groups = a.shard_tx_indices();
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn three_input_txs_touch_up_to_three_shards() {
+        let txs = three_input_txs(200);
+        let p = ChainspacePlacement::place(&txs, 9, 3);
+        for t in &p.touched {
+            assert!((1..=3).contains(&t.len()));
+        }
+        // With 9 shards, the vast majority of 3-input txs are cross-shard.
+        assert!(p.cross_shard_count() > 180, "{}", p.cross_shard_count());
+    }
+
+    #[test]
+    fn single_shard_means_no_cross_shard_traffic() {
+        let txs = three_input_txs(40);
+        let p = ChainspacePlacement::place(&txs, 1, 3);
+        assert_eq!(p.cross_shard_count(), 0);
+        let stats = CommStats::new();
+        p.record_validation_communication(&stats);
+        assert_eq!(stats.total(), 0);
+        assert_eq!(p.message_volume(4), 0);
+    }
+
+    #[test]
+    fn communication_grows_linearly_with_tx_count() {
+        // The Fig. 4(b) shape: per-shard communication ≈ 2·X/9 for X
+        // cross-shard transactions.
+        let stats = CommStats::new();
+        let txs = three_input_txs(900);
+        let p = ChainspacePlacement::place(&txs, 9, 5);
+        p.record_validation_communication(&stats);
+        assert_eq!(
+            stats.total(),
+            CROSS_SHARD_ROUNDS_PER_TX * p.cross_shard_count() as u64
+        );
+        let per_shard = stats.per_shard_average(9);
+        let expected = 2.0 * p.cross_shard_count() as f64 / 9.0;
+        assert!((per_shard - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_volume_is_quadratic_in_participants() {
+        let txs = three_input_txs(10);
+        let p = ChainspacePlacement::place(&txs, 9, 2);
+        let v1 = p.message_volume(1);
+        let v4 = p.message_volume(4);
+        // 4× the nodes → 16× the volume.
+        assert_eq!(v4, v1 * 16);
+    }
+
+    #[test]
+    fn single_input_txs_are_never_cross_shard() {
+        let w = Workload::uniform_contracts(60, 3, FeeDistribution::Constant(2), 4);
+        let p = ChainspacePlacement::place(&w.transactions, 9, 9);
+        assert_eq!(p.cross_shard_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ChainspacePlacement::place(&[], 0, 0);
+    }
+}

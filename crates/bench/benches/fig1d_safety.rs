@@ -1,0 +1,29 @@
+//! Criterion bench behind Fig. 1(d): the binomial shard-safety curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cshard_security::{shard_safety, shard_safety_curve, CorruptionThreshold};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1d_safety");
+    // Single points at increasing shard sizes (cdf cost grows with n).
+    for n in [30u64, 100, 1000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("single", n), &n, |b, &n| {
+            b.iter(|| black_box(shard_safety(n, 0.33, CorruptionThreshold::Majority)));
+        });
+    }
+    // The whole Fig. 1(d) curve.
+    group.bench_function("curve_5_to_100", |b| {
+        b.iter(|| {
+            black_box(shard_safety_curve(
+                (5..=100).step_by(5).map(|n| n as u64),
+                0.25,
+                CorruptionThreshold::Majority,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

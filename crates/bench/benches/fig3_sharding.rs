@@ -1,0 +1,75 @@
+//! Criterion benches behind Fig. 3(a)–(g): the end-to-end system run
+//! (formation + simulation) and the merging pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cshard_core::system::SystemConfig;
+use cshard_core::{RuntimeConfig, ShardingSystem};
+use cshard_games::{iterative_merge, MergingConfig};
+use cshard_workload::{FeeDistribution, Workload};
+use std::hint::black_box;
+
+const FEES: FeeDistribution = FeeDistribution::Uniform { lo: 1, hi: 100 };
+
+fn bench_system_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3a_system_run");
+    group.sample_size(30);
+    for shards in [3usize, 9] {
+        let w = Workload::uniform_contracts(200, shards - 1, FEES, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &w, |b, w| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let sys = ShardingSystem::testbed(RuntimeConfig {
+                    seed,
+                    ..RuntimeConfig::default()
+                });
+                black_box(sys.run(w).run.completion)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_merging_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3c_merging");
+    group.sample_size(20);
+    // The raw game (Algorithm 1+3) at the testbed scale…
+    group.bench_function("iterative_merge_7_players", |b| {
+        let sizes = [3u64, 7, 2, 8, 5, 4, 6];
+        let probs = vec![0.5; 7];
+        let cfg = MergingConfig {
+            lower_bound: 10,
+            ..MergingConfig::default()
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(iterative_merge(&sizes, &probs, &cfg, seed).new_shard_count())
+        });
+    });
+    // …and the full merged system run.
+    group.bench_function("system_run_with_merging", |b| {
+        let w = Workload::with_small_shards(200, 9, 5, &[2, 4, 6, 3, 5], FEES, 1);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let sys = ShardingSystem::new(SystemConfig {
+                runtime: RuntimeConfig {
+                    seed,
+                    ..RuntimeConfig::default()
+                },
+                merging: Some(MergingConfig {
+                    lower_bound: 10,
+                    ..MergingConfig::default()
+                }),
+                epoch: seed,
+                ..SystemConfig::default()
+            });
+            black_box(sys.run(&w).run.completion)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_system_run, bench_merging_pipeline);
+criterion_main!(benches);

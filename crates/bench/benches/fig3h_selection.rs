@@ -1,0 +1,42 @@
+//! Criterion bench behind Fig. 3(h): best-reply convergence of the
+//! selection game at the testbed scale (200 txs, up to 9 miners).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cshard_games::selection::{best_reply_equilibrium, greedy_assignment, SelectionConfig};
+use std::hint::black_box;
+
+fn fees(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| 1 + (i * 17) % 97).collect()
+}
+
+fn initial(miners: usize, capacity: usize, t: usize) -> Vec<Vec<usize>> {
+    (0..miners)
+        .map(|m| (0..capacity).map(|k| (m * capacity + k) % t).collect())
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3h_selection");
+    let f = fees(200);
+    let cfg = SelectionConfig {
+        capacity: 10,
+        max_rounds: 10_000,
+    };
+    for miners in [3usize, 9] {
+        group.bench_with_input(
+            BenchmarkId::new("best_reply", miners),
+            &miners,
+            |b, &m| {
+                let init = initial(m, 10, 200);
+                b.iter(|| black_box(best_reply_equilibrium(&f, &init, &cfg).rounds));
+            },
+        );
+    }
+    group.bench_function("greedy_reference", |b| {
+        b.iter(|| black_box(greedy_assignment(&f, 9, 10).distinct_set_count()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

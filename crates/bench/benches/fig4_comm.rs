@@ -1,0 +1,52 @@
+//! Criterion bench behind Fig. 4(b)/(c): ChainSpace placement plus
+//! communication accounting, and the unification broadcast cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cshard_baselines::ChainspacePlacement;
+use cshard_games::{GameInputs, MergingConfig, UnifiedParameters};
+use cshard_network::CommStats;
+use cshard_crypto::sha256;
+use cshard_primitives::{MinerId, ShardId};
+use cshard_workload::{FeeDistribution, Workload};
+use std::hint::black_box;
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b_chainspace_comm");
+    for count in [1_000usize, 10_000] {
+        let w = Workload::three_input(count, 3, FeeDistribution::Constant(5), 1);
+        group.throughput(Throughput::Elements(count as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(count), &w, |b, w| {
+            b.iter(|| {
+                let stats = CommStats::new();
+                let p = ChainspacePlacement::place(&w.transactions, 9, 7);
+                p.record_validation_communication(&stats);
+                black_box(stats.total())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_unification(c: &mut Criterion) {
+    c.bench_function("fig4c_unification_replay", |b| {
+        let params = UnifiedParameters::from_randomness(
+            sha256(b"bench-epoch"),
+            (0..9).map(MinerId::new).collect(),
+            GameInputs::Merge {
+                shard_sizes: (0..6u32).map(|i| (ShardId::new(i), 3 + i as u64)).collect(),
+                config: MergingConfig {
+                    lower_bound: 10,
+                    ..MergingConfig::default()
+                },
+            },
+        );
+        b.iter(|| {
+            let stats = CommStats::new();
+            params.record_communication(&stats);
+            black_box((params.merge_outcome().new_shard_count(), stats.total()))
+        });
+    });
+}
+
+criterion_group!(benches, bench_placement, bench_unification);
+criterion_main!(benches);

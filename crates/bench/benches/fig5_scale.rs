@@ -1,0 +1,52 @@
+//! Criterion bench behind Fig. 5: both games at large-simulation scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cshard_games::selection::{best_reply_equilibrium, SelectionConfig};
+use cshard_games::{iterative_merge, MergingConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_merge_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_merge_scale");
+    group.sample_size(10);
+    for players in [100usize, 400] {
+        let mut rng = ChaCha8Rng::seed_from_u64(players as u64);
+        let sizes: Vec<u64> = (0..players).map(|_| rng.gen_range(1..=9)).collect();
+        let probs = vec![0.5; players];
+        let cfg = MergingConfig {
+            lower_bound: 22,
+            ..MergingConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(players), &sizes, |b, sizes| {
+            b.iter(|| black_box(iterative_merge(sizes, &probs, &cfg, 7).new_shard_count()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_select_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_select_scale");
+    group.sample_size(10);
+    for miners in [100usize, 400] {
+        let t = miners * 10;
+        let mut rng = ChaCha8Rng::seed_from_u64(miners as u64);
+        let fees: Vec<u64> = (0..t).map(|_| rng.gen_range(1..=5000)).collect();
+        let initial: Vec<Vec<usize>> = (0..miners)
+            .map(|m| (0..10).map(|k| (m * 10 + k) % t).collect())
+            .collect();
+        let cfg = SelectionConfig {
+            capacity: 10,
+            max_rounds: 10_000,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(miners), &fees, |b, fees| {
+            b.iter(|| {
+                black_box(best_reply_equilibrium(fees, &initial, &cfg).distinct_set_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge_scale, bench_select_scale);
+criterion_main!(benches);

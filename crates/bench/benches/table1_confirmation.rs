@@ -1,0 +1,32 @@
+//! Criterion bench behind Table I: cost of one serialized-chain simulation
+//! at each miner count (the confirmation-time experiment's inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cshard_core::runtime::simulate_ethereum;
+use cshard_core::RuntimeConfig;
+use cshard_workload::{FeeDistribution, Workload};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_confirmation");
+    group.sample_size(30);
+    let w = Workload::uniform_contracts(20, 0, FeeDistribution::Uniform { lo: 1, hi: 100 }, 1);
+    let fees = w.fees();
+    for miners in [2usize, 4, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(miners), &miners, |b, &m| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let cfg = RuntimeConfig {
+                    seed,
+                    ..RuntimeConfig::default()
+                };
+                black_box(simulate_ethereum(fees.clone(), m, &cfg).completion)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

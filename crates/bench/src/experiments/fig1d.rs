@@ -1,0 +1,62 @@
+//! Fig. 1(d): shard safety vs. shard size for 25 % / 33 % adversaries.
+
+use crate::report::{ExperimentResult, Series};
+use cshard_security::{shard_safety_curve, CorruptionThreshold};
+
+/// Runs the Fig. 1(d) reproduction.
+pub fn run() -> ExperimentResult {
+    let sizes = (5..=100).step_by(5).map(|n| n as u64);
+    let curve = |f: f64| -> Vec<(f64, f64)> {
+        shard_safety_curve(sizes.clone(), f, CorruptionThreshold::Majority)
+            .into_iter()
+            .map(|(n, s)| (n as f64, s))
+            .collect()
+    };
+    let c25 = curve(0.25);
+    let c33 = curve(0.33);
+    let s30 = c33.iter().find(|&&(n, _)| n == 30.0).map(|&(_, s)| s);
+    let mut notes = vec![
+        "safety = P(Bin(n, f) ≤ ⌊n/2⌋): corruption needs a strict in-shard majority under PoW"
+            .to_string(),
+    ];
+    if let Some(s) = s30 {
+        notes.push(format!(
+            "33% adversary, 30-miner shard: corruption probability {:.4} — 'almost 0', \
+             matching the paper's caption",
+            1.0 - s
+        ));
+    }
+    ExperimentResult {
+        id: "fig1d".into(),
+        title: "Shard safety vs. miners per shard".into(),
+        x_label: "miners in shard".into(),
+        y_label: "safety".into(),
+        series: vec![
+            Series::new("25% adversary", c25),
+            Series::new("33% adversary", c33),
+        ],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_have_the_paper_shape() {
+        let r = run();
+        let c25 = &r.series[0].points;
+        let c33 = &r.series[1].points;
+        // 25% dominates 33% everywhere.
+        for (a, b) in c25.iter().zip(c33) {
+            assert!(a.1 >= b.1, "at n={}: {} < {}", a.0, a.1, b.1);
+        }
+        // Both approach 1 with shard size.
+        assert!(c25.last().unwrap().1 > 0.9999);
+        assert!(c33.last().unwrap().1 > 0.99);
+        // The caption's point: 30 miners vs 33% → corruption ≈ 0.
+        let s30 = c33.iter().find(|p| p.0 == 30.0).unwrap().1;
+        assert!(s30 > 0.97);
+    }
+}

@@ -1,0 +1,87 @@
+//! Fig. 3(h): the intra-shard transaction selection algorithm.
+//!
+//! Sec. VI-D: 200 transactions in a single shard, 1–9 miners, one block per
+//! minute. The improvement compares the congestion-game equilibrium
+//! selection against the same shard with identical-greedy miners (which is
+//! Ethereum's behaviour at any miner count, per Table I).
+
+use crate::experiments::default_fees;
+use crate::report::{ExperimentResult, Series};
+use cshard_core::metrics::throughput_improvement;
+use cshard_core::{simulate, RuntimeConfig, SelectionStrategy, ShardSpec};
+use cshard_primitives::ShardId;
+use cshard_workload::Workload;
+
+fn spec(fees: Vec<u64>, miners: usize, strategy: SelectionStrategy) -> ShardSpec {
+    ShardSpec {
+        shard: ShardId::new(0),
+        fees,
+        miners,
+        strategy,
+    }
+}
+
+/// Runs the Fig. 3(h) reproduction.
+pub fn run(quick: bool) -> ExperimentResult {
+    let repeats = if quick { 4 } else { 20 };
+    let mut points = Vec::new();
+    for miners in 1..=9usize {
+        let mut imp = 0.0;
+        for seed in 0..repeats {
+            let w = Workload::uniform_contracts(200, 0, default_fees(), seed);
+            let cfg = RuntimeConfig {
+                seed,
+                ..RuntimeConfig::default()
+            };
+            let greedy = simulate(
+                &[spec(w.fees(), miners, SelectionStrategy::IdenticalGreedy)],
+                &cfg,
+            );
+            let equilibrium = simulate(
+                &[spec(
+                    w.fees(),
+                    miners,
+                    SelectionStrategy::Equilibrium { max_rounds: 2000 },
+                )],
+                &cfg,
+            );
+            imp += throughput_improvement(&greedy, &equilibrium);
+        }
+        points.push((miners as f64, imp / repeats as f64));
+    }
+    let avg: f64 = points.iter().map(|&(_, y)| y).sum::<f64>() / points.len() as f64;
+    let at9 = points.last().map(|&(_, y)| y).unwrap_or(0.0);
+    ExperimentResult {
+        id: "fig3h".into(),
+        title: "Throughput improvement of intra-shard transaction selection".into(),
+        x_label: "miners".into(),
+        y_label: "throughput improvement".into(),
+        series: vec![Series::new("equilibrium vs greedy", points)],
+        notes: vec![
+            format!("200 txs, single shard, 1 blk/min, {repeats} seeds/point"),
+            format!(
+                "average improvement {avg:.2}x, {at9:.2}x at 9 miners (paper: 3x average)"
+            ),
+            "the gain comes from disjoint equilibrium sets confirming in parallel; epoch \
+             re-assignment barriers keep it below the miner count"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_gains_grow_with_miners() {
+        let r = run(true);
+        let pts = &r.series[0].points;
+        assert_eq!(pts.len(), 9);
+        // One miner: both strategies are a solo queue — improvement ≈ 1.
+        assert!((pts[0].1 - 1.0).abs() < 0.25, "1-miner: {:.2}", pts[0].1);
+        // Nine miners: a clear win.
+        assert!(pts[8].1 > 1.6, "9-miner improvement {:.2}", pts[8].1);
+        assert!(pts[8].1 > pts[1].1, "not growing with miners");
+    }
+}

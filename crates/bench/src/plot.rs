@@ -1,0 +1,330 @@
+//! SVG rendering of experiment results — turns the `results/*.json` files
+//! into figures comparable side-by-side with the paper's.
+//!
+//! Dependency-free: a small hand-rolled SVG writer with linear axes, tick
+//! labels, per-series polylines + markers and a legend. Log-scale y is
+//! available for the corruption-probability plots.
+
+use crate::report::ExperimentResult;
+#[cfg(test)]
+use crate::report::Series;
+use std::fmt::Write as _;
+
+/// Canvas geometry.
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 48.0;
+const MARGIN_B: f64 = 56.0;
+
+/// Series palette (colourblind-safe-ish).
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+/// Plot options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlotOptions {
+    /// Log₁₀ y-axis (corruption probabilities).
+    pub log_y: bool,
+}
+
+fn nice_ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if hi <= lo {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / target as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = mag
+        * if norm <= 1.0 {
+            1.0
+        } else if norm <= 2.0 {
+            2.0
+        } else if norm <= 5.0 {
+            5.0
+        } else {
+            10.0
+        };
+    let start = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= hi + step * 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64, log: bool) -> String {
+    if log {
+        return format!("1e{}", v.round() as i64);
+    }
+    if v == 0.0 {
+        return "0".into();
+    }
+    if v.abs() >= 1000.0 {
+        format!("{:.0}", v)
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders one experiment as a standalone SVG document.
+pub fn render_svg(result: &ExperimentResult, options: PlotOptions) -> String {
+    let transform = |y: f64| -> Option<f64> {
+        if options.log_y {
+            if y > 0.0 {
+                Some(y.log10())
+            } else {
+                None
+            }
+        } else {
+            Some(y)
+        }
+    };
+
+    // Data bounds over all series.
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for s in &result.series {
+        for &(x, y) in &s.points {
+            xs.push(x);
+            if let Some(t) = transform(y) {
+                ys.push(t);
+            }
+        }
+    }
+    let (x_lo, x_hi) = bounds(&xs);
+    let (mut y_lo, mut y_hi) = bounds(&ys);
+    if !options.log_y {
+        y_lo = y_lo.min(0.0);
+    }
+    if (y_hi - y_lo).abs() < 1e-12 {
+        y_hi = y_lo + 1.0;
+    }
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let px = |x: f64| MARGIN_L + (x - x_lo) / (x_hi - x_lo).max(1e-12) * plot_w;
+    let py = |y: f64| MARGIN_T + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h;
+
+    let mut out = String::with_capacity(8 * 1024);
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    // Title.
+    let _ = writeln!(
+        out,
+        r#"<text x="{:.0}" y="24" font-size="15" text-anchor="middle" font-weight="bold">{}</text>"#,
+        WIDTH / 2.0,
+        escape(&result.title)
+    );
+
+    // Axes.
+    let x0 = MARGIN_L;
+    let y0 = MARGIN_T + plot_h;
+    let _ = writeln!(
+        out,
+        r#"<line x1="{x0}" y1="{y0}" x2="{:.1}" y2="{y0}" stroke="black"/>"#,
+        MARGIN_L + plot_w
+    );
+    let _ = writeln!(
+        out,
+        r#"<line x1="{x0}" y1="{MARGIN_T}" x2="{x0}" y2="{y0}" stroke="black"/>"#
+    );
+
+    // Ticks + gridlines.
+    for t in nice_ticks(x_lo, x_hi, 6) {
+        let x = px(t);
+        let _ = writeln!(
+            out,
+            r#"<line x1="{x:.1}" y1="{y0}" x2="{x:.1}" y2="{:.1}" stroke="black"/>"#,
+            y0 + 5.0
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{x:.1}" y="{:.1}" font-size="11" text-anchor="middle">{}</text>"#,
+            y0 + 20.0,
+            fmt_tick(t, false)
+        );
+    }
+    for t in nice_ticks(y_lo, y_hi, 6) {
+        let y = py(t);
+        let _ = writeln!(
+            out,
+            r#"<line x1="{:.1}" y1="{y:.1}" x2="{x0}" y2="{y:.1}" stroke="black"/>"#,
+            x0 - 5.0
+        );
+        let _ = writeln!(
+            out,
+            r##"<line x1="{x0}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#e0e0e0"/>"##,
+            MARGIN_L + plot_w
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+            x0 - 9.0,
+            y + 4.0,
+            fmt_tick(t, options.log_y)
+        );
+    }
+
+    // Axis labels.
+    let _ = writeln!(
+        out,
+        r#"<text x="{:.0}" y="{:.0}" font-size="12" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        HEIGHT - 14.0,
+        escape(&result.x_label)
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="16" y="{:.0}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {:.0})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        escape(&if options.log_y {
+            format!("{} (log)", result.y_label)
+        } else {
+            result.y_label.clone()
+        })
+    );
+
+    // Series.
+    for (i, s) in result.series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let pts: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .filter_map(|&(x, y)| transform(y).map(|t| (px(x), py(t))))
+            .collect();
+        if pts.len() > 1 {
+            let path: Vec<String> = pts.iter().map(|&(x, y)| format!("{x:.1},{y:.1}")).collect();
+            let _ = writeln!(
+                out,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                path.join(" ")
+            );
+        }
+        for &(x, y) in &pts {
+            let _ = writeln!(out, r#"<circle cx="{x:.1}" cy="{y:.1}" r="3" fill="{color}"/>"#);
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 6.0 + i as f64 * 16.0;
+        let lx = MARGIN_L + plot_w - 180.0;
+        let _ = writeln!(
+            out,
+            r#"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 18.0
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11">{}</text>"#,
+            lx + 24.0,
+            ly + 4.0,
+            escape(&s.name)
+        );
+    }
+
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+fn bounds(vals: &[f64]) -> (f64, f64) {
+    let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if lo.is_finite() && hi.is_finite() {
+        (lo, hi)
+    } else {
+        (0.0, 1.0)
+    }
+}
+
+/// Picks sensible options per experiment id.
+pub fn options_for(id: &str) -> PlotOptions {
+    PlotOptions {
+        log_y: id == "sec4d",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentResult {
+        ExperimentResult {
+            id: "figX".into(),
+            title: "improvement <vs> baseline".into(),
+            x_label: "shards".into(),
+            y_label: "improvement".into(),
+            series: vec![
+                Series::new("ours", (1..=9).map(|i| (i as f64, i as f64 * 0.8)).collect()),
+                Series::new("paper", vec![(1.0, 1.0), (9.0, 7.2)]),
+            ],
+            notes: vec![],
+        }
+    }
+
+    #[test]
+    fn renders_valid_looking_svg() {
+        let svg = render_svg(&sample(), PlotOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.matches("<circle").count() >= 11);
+        assert!(svg.contains("ours"));
+        // XML-escaped title.
+        assert!(svg.contains("&lt;vs&gt;"));
+        assert!(!svg.contains("<vs>"));
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive_points_instead_of_panicking() {
+        let mut r = sample();
+        r.series[0].points.push((10.0, 0.0));
+        let svg = render_svg(&r, PlotOptions { log_y: true });
+        assert!(svg.contains("(log)"));
+    }
+
+    #[test]
+    fn single_point_and_flat_series_render() {
+        let r = ExperimentResult {
+            id: "flat".into(),
+            title: "flat".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series::new("const", vec![(0.0, 2.0), (1.0, 2.0)])],
+            notes: vec![],
+        };
+        let svg = render_svg(&r, PlotOptions::default());
+        assert!(svg.contains("polyline"));
+        let r2 = ExperimentResult {
+            series: vec![Series::new("one", vec![(5.0, 5.0)])],
+            ..r
+        };
+        let svg = render_svg(&r2, PlotOptions::default());
+        assert!(svg.contains("circle"));
+    }
+
+    #[test]
+    fn tick_generation_is_sane() {
+        let t = nice_ticks(0.0, 9.0, 6);
+        assert!(t.len() >= 4 && t.len() <= 12, "{t:?}");
+        assert!(t.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(nice_ticks(3.0, 3.0, 5), vec![3.0]);
+    }
+
+    #[test]
+    fn per_id_options() {
+        assert!(options_for("sec4d").log_y);
+        assert!(!options_for("fig3a").log_y);
+    }
+}

@@ -1,0 +1,182 @@
+//! Experiment results: structured data plus table/JSON rendering.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One named line of a figure (or one column of a table).
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Mean of the y values (used for headline averages).
+    pub fn mean_y(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, y)| y).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// A regenerated table or figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExperimentResult {
+    /// Experiment id (`table1`, `fig3a`, …).
+    pub id: String,
+    /// Human title, matching the paper artefact.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Headline findings and calibration notes (paper-vs-measured).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Renders the result as an aligned text table, one row per x value
+    /// and one column per series.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+
+        // Collect the union of x values, in order of first appearance.
+        let mut xs: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, _) in &s.points {
+                if !xs.contains(&x) {
+                    xs.push(x);
+                }
+            }
+        }
+        xs.sort_by(f64::total_cmp);
+
+        // Header.
+        let mut header: Vec<String> = vec![self.x_label.clone()];
+        header.extend(self.series.iter().map(|s| s.name.clone()));
+        let mut rows: Vec<Vec<String>> = vec![header];
+        for &x in &xs {
+            let mut row = vec![trim_float(x)];
+            for s in &self.series {
+                let cell = s
+                    .points
+                    .iter()
+                    .find(|&&(px, _)| px == x)
+                    .map(|&(_, y)| trim_float(y))
+                    .unwrap_or_else(|| "-".to_string());
+                row.push(cell);
+            }
+            rows.push(row);
+        }
+
+        // Column widths.
+        let cols = rows[0].len();
+        let widths: Vec<usize> = (0..cols)
+            .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        for (i, row) in rows.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(cell, &w)| format!("{cell:>w$}"))
+                .collect();
+            let _ = writeln!(out, "  {}", line.join("  "));
+            if i == 0 {
+                let underline: Vec<String> =
+                    widths.iter().map(|&w| "-".repeat(w)).collect();
+                let _ = writeln!(out, "  {}", underline.join("  "));
+            }
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  * {note}");
+        }
+        out
+    }
+
+    /// Renders as JSON (pretty).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("results are serializable")
+    }
+}
+
+/// Formats a float compactly: integers without decimals, otherwise 4
+/// significant decimals (plenty for the reproduced metrics); very small
+/// probabilities switch to scientific notation.
+fn trim_float(v: f64) -> String {
+    if v != 0.0 && v.abs() < 1e-3 {
+        return format!("{v:.2e}");
+    }
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentResult {
+        ExperimentResult {
+            id: "figX".into(),
+            title: "sample".into(),
+            x_label: "shards".into(),
+            y_label: "improvement".into(),
+            series: vec![
+                Series::new("ours", vec![(1.0, 1.0), (2.0, 2.25)]),
+                Series::new("paper", vec![(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]),
+            ],
+            notes: vec!["a note".into()],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_series_and_xs() {
+        let t = sample().to_table();
+        assert!(t.contains("ours"));
+        assert!(t.contains("paper"));
+        assert!(t.contains("2.2500"));
+        assert!(t.contains("a note"));
+        // x=3 exists only in the paper series; ours shows "-".
+        let row3 = t.lines().find(|l| l.trim_start().starts_with('3')).unwrap();
+        assert!(row3.contains('-'));
+    }
+
+    #[test]
+    fn json_round_trips_structure() {
+        let j = sample().to_json();
+        let parsed: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(parsed["id"], "figX");
+        assert_eq!(parsed["series"][0]["points"][1][1], 2.25);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(trim_float(3.0), "3");
+        assert_eq!(trim_float(1.23456), "1.2346");
+        assert_eq!(trim_float(8e-6), "8.00e-6");
+        assert_eq!(trim_float(0.0), "0");
+    }
+
+    #[test]
+    fn mean_y() {
+        let s = Series::new("s", vec![(0.0, 1.0), (1.0, 3.0)]);
+        assert_eq!(s.mean_y(), 2.0);
+        assert_eq!(Series::new("e", vec![]).mean_y(), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! The statistical mining model: PoW as a Poisson process.
+//!
+//! Hash trials are independent Bernoulli events, so block discovery by a
+//! miner with hash rate `h` at difficulty `D` is (to excellent
+//! approximation) a Poisson process with rate `h / D` — memoryless, which
+//! is why [`MiningProcess::next_interval`] can be resampled at any time
+//! without bias. The evaluation harness drives thousands of simulated
+//! blocks through this model instead of grinding SHA-256.
+
+use crate::difficulty::Difficulty;
+use cshard_primitives::SimTime;
+use rand::Rng;
+
+/// A miner's (or a pooled shard's) block-production process.
+#[derive(Clone, Copy, Debug)]
+pub struct MiningProcess {
+    /// Block discovery rate in blocks per second.
+    rate: f64,
+}
+
+impl MiningProcess {
+    /// From an explicit block rate (blocks/second).
+    pub fn from_rate(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        MiningProcess { rate }
+    }
+
+    /// From a mean block interval.
+    pub fn from_interval(mean: SimTime) -> Self {
+        let secs = mean.as_secs_f64();
+        assert!(secs > 0.0, "interval must be positive");
+        MiningProcess { rate: 1.0 / secs }
+    }
+
+    /// From difficulty and hash rate, the physical parametrisation.
+    pub fn from_difficulty(difficulty: Difficulty, hashrate: f64) -> Self {
+        MiningProcess {
+            rate: difficulty.block_rate(hashrate),
+        }
+    }
+
+    /// The paper's testbed process: one block per minute per miner.
+    pub fn paper_block_per_minute() -> Self {
+        MiningProcess::from_interval(SimTime::from_secs(60))
+    }
+
+    /// Block rate (blocks/second).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Mean inter-block interval.
+    pub fn mean_interval(&self) -> SimTime {
+        SimTime::from_secs_f64(1.0 / self.rate)
+    }
+
+    /// The combined process of `n` identical miners racing: rates add.
+    ///
+    /// This is the "more miners find blocks faster" half of Table I; the
+    /// other half (the plateau) comes from duplicate selection and stale
+    /// blocks, modelled in the simulator.
+    pub fn pooled(&self, n: usize) -> MiningProcess {
+        assert!(n > 0, "a pool needs at least one miner");
+        MiningProcess {
+            rate: self.rate * n as f64,
+        }
+    }
+
+    /// Samples the next inter-block interval.
+    pub fn next_interval<R: Rng + ?Sized>(&self, rng: &mut R) -> SimTime {
+        let u: f64 = rng.gen::<f64>();
+        let secs = -(1.0 - u).ln() / self.rate;
+        SimTime::from_secs_f64(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn parametrisations_agree() {
+        let a = MiningProcess::from_rate(1.0 / 60.0);
+        let b = MiningProcess::from_interval(SimTime::from_secs(60));
+        let c = MiningProcess::from_difficulty(
+            Difficulty::PAPER_BLOCK_PER_MINUTE,
+            Difficulty::paper_hashrate(),
+        );
+        assert!((a.rate() - b.rate()).abs() < 1e-12);
+        assert!((a.rate() - c.rate()).abs() < 1e-12);
+        assert_eq!(
+            MiningProcess::paper_block_per_minute().mean_interval(),
+            SimTime::from_secs(60)
+        );
+    }
+
+    #[test]
+    fn sampled_mean_matches_configured_interval() {
+        let p = MiningProcess::from_interval(SimTime::from_secs(60));
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| p.next_interval(&mut r).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 60.0).abs() < 1.5, "sample mean {mean}");
+    }
+
+    #[test]
+    fn pooling_scales_rate_linearly() {
+        let p = MiningProcess::from_rate(0.5);
+        assert!((p.pooled(4).rate() - 2.0).abs() < 1e-12);
+        assert_eq!(p.pooled(1).rate(), p.rate());
+    }
+
+    #[test]
+    fn pooled_process_is_faster_in_samples() {
+        let p = MiningProcess::from_interval(SimTime::from_secs(60));
+        let mut r = rng();
+        let solo: f64 = (0..5000)
+            .map(|_| p.next_interval(&mut r).as_secs_f64())
+            .sum();
+        let pooled: f64 = (0..5000)
+            .map(|_| p.pooled(6).next_interval(&mut r).as_secs_f64())
+            .sum();
+        let ratio = solo / pooled;
+        assert!((5.0..7.0).contains(&ratio), "speedup ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        MiningProcess::from_rate(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one miner")]
+    fn empty_pool_rejected() {
+        MiningProcess::from_rate(1.0).pooled(0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Difficulty retargeting (Homestead-style).
+//!
+//! The paper's private go-Ethereum chain starts at difficulty `0x40000`;
+//! geth then adjusts difficulty per block toward a target interval. This
+//! module implements the Homestead rule the 1.8.x era used:
+//!
+//! ```text
+//! D(n) = D(parent) + D(parent)/2048 · max(1 − Δt/10, −99)
+//! ```
+//!
+//! (Δt = timestamp gap in seconds; the difficulty-bomb term is irrelevant
+//! at private-chain heights and omitted.) Retargeting explains why "more
+//! miners" does not linearly speed up a real chain — the network converges
+//! to a stable interval regardless of total hash power — which is the
+//! hardware-side companion of the Table I plateau.
+
+use crate::difficulty::Difficulty;
+use cshard_primitives::SimTime;
+
+/// Minimum difficulty, as in Ethereum (131072 = 0x20000).
+pub const MIN_DIFFICULTY: Difficulty = Difficulty(0x20000);
+
+/// The Homestead per-block difficulty update.
+pub fn next_difficulty(parent: Difficulty, parent_time: SimTime, child_time: SimTime) -> Difficulty {
+    let dt = child_time.saturating_since(parent_time).as_secs_f64();
+    let adj = (1.0 - (dt / 10.0).floor()).max(-99.0);
+    let delta = (parent.0 as f64 / 2048.0 * adj) as i64;
+    let next = parent.0 as i64 + delta;
+    Difficulty((next.max(MIN_DIFFICULTY.0 as i64)) as u64)
+}
+
+/// Simulates retargeting under a fixed total hash rate: each block's
+/// interval is the *expected* interval at the current difficulty (the
+/// deterministic fluid limit), for `blocks` blocks. Returns the final
+/// difficulty and the final expected interval in seconds.
+pub fn converge(start: Difficulty, hashrate: f64, blocks: usize) -> (Difficulty, f64) {
+    assert!(hashrate > 0.0);
+    let mut d = start;
+    let mut now = SimTime::ZERO;
+    for _ in 0..blocks {
+        let interval = d.expected_interval(hashrate);
+        let t_next = now + interval;
+        d = next_difficulty(d, now, t_next);
+        now = t_next;
+    }
+    (d, d.expected_interval(hashrate).as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_blocks_raise_difficulty() {
+        let d0 = Difficulty(0x40000);
+        let d1 = next_difficulty(d0, SimTime::ZERO, SimTime::from_secs(1));
+        assert!(d1 > d0, "{d1:?} !> {d0:?}");
+    }
+
+    #[test]
+    fn slow_blocks_lower_difficulty_but_clamp() {
+        let d0 = Difficulty(0x40000);
+        let d1 = next_difficulty(d0, SimTime::ZERO, SimTime::from_secs(60));
+        assert!(d1 < d0);
+        // Extremely slow: the -99 clamp and the floor apply.
+        let d2 = next_difficulty(MIN_DIFFICULTY, SimTime::ZERO, SimTime::from_secs(10_000));
+        assert_eq!(d2, MIN_DIFFICULTY);
+    }
+
+    #[test]
+    fn ten_second_blocks_are_the_fixed_point() {
+        let d0 = Difficulty(0x40000);
+        // Δt in [10, 20) gives adjustment 0.
+        let d1 = next_difficulty(d0, SimTime::ZERO, SimTime::from_secs(12));
+        assert_eq!(d1, d0);
+    }
+
+    #[test]
+    fn convergence_reaches_the_target_band_for_any_hashrate() {
+        // Whether one miner or nine, the chain converges to a 10–20 s
+        // interval — the "more miners don't speed the chain up" effect.
+        // Scale the hash rate so the minimum difficulty stays below the
+        // 10 s target (the clamp would otherwise floor slow chains).
+        let base_rate = Difficulty::paper_hashrate() * 4.0;
+        for miners in [1usize, 4, 9] {
+            let (_, interval) = converge(Difficulty(0x40000), base_rate * miners as f64, 5_000);
+            assert!(
+                (9.0..21.0).contains(&interval),
+                "{miners} miners: converged interval {interval:.1}s"
+            );
+        }
+    }
+
+    #[test]
+    fn convergence_is_monotone_toward_target_from_both_sides() {
+        let rate = Difficulty::paper_hashrate();
+        // Start too easy (fast blocks): difficulty climbs.
+        let (d_up, _) = converge(MIN_DIFFICULTY, rate * 10.0, 2_000);
+        assert!(d_up > MIN_DIFFICULTY);
+        // Start too hard (slow blocks): difficulty falls.
+        let (d_down, _) = converge(Difficulty(0x4000000), rate, 2_000);
+        assert!(d_down < Difficulty(0x4000000));
+    }
+}

@@ -1,0 +1,220 @@
+//! Multi-epoch operation: periodic re-randomization of miner assignment.
+//!
+//! Sharded systems must reconfigure shards and reshuffle validators
+//! periodically, or an adaptive adversary slowly concentrates on one shard
+//! (the Sybil-attack argument the paper cites in Sec. VII). This module
+//! runs the Sec. III-B assignment across epochs: each epoch elects a
+//! leader by VRF lottery, derives fresh randomness, recomputes transaction
+//! fractions from the epoch's workload, and reassigns every miner. The
+//! call graph persists across epochs — sender history accumulates, so a
+//! user who diversifies eventually migrates to the MaxShard.
+
+use crate::assignment::MinerAssignment;
+use crate::formation::ShardPlan;
+use cshard_crypto::{elect_leader, Vrf, VrfPublicKey};
+use cshard_ledger::{CallGraph, Transaction};
+use cshard_primitives::{MinerId, ShardId};
+use std::collections::BTreeMap;
+
+/// A registered miner: id plus VRF key pair.
+#[derive(Clone, Debug)]
+pub struct EnrolledMiner {
+    /// The miner's id.
+    pub id: MinerId,
+    /// Its VRF key pair (the secret stays with the miner; the simulation
+    /// holds both, playing all roles).
+    pub vrf: Vrf,
+}
+
+/// The outcome of one epoch's reconfiguration.
+#[derive(Clone, Debug)]
+pub struct EpochOutcome {
+    /// Epoch number.
+    pub epoch: u64,
+    /// The VRF-elected leader.
+    pub leader: MinerId,
+    /// The shard plan of the epoch's transaction batch.
+    pub plan: ShardPlan,
+    /// The public assignment rule (randomness + fractions).
+    pub assignment: MinerAssignment,
+    /// Every miner's shard this epoch.
+    pub shard_of: BTreeMap<MinerId, ShardId>,
+}
+
+/// Drives epochs over a fixed miner enrolment.
+#[derive(Debug)]
+pub struct EpochManager {
+    miners: Vec<EnrolledMiner>,
+    history: CallGraph,
+    epoch: u64,
+}
+
+impl EpochManager {
+    /// Creates a manager over an enrolment. Miner keys are derived
+    /// deterministically when built via [`EpochManager::with_miner_count`].
+    pub fn new(miners: Vec<EnrolledMiner>) -> Self {
+        assert!(!miners.is_empty(), "need at least one miner");
+        EpochManager {
+            miners,
+            history: CallGraph::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Convenience: `n` miners with seed-derived keys.
+    pub fn with_miner_count(n: u32) -> Self {
+        Self::new(
+            (0..n)
+                .map(|i| EnrolledMiner {
+                    id: MinerId::new(i),
+                    vrf: Vrf::from_seed((i as u64).to_be_bytes()),
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of epochs run so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The accumulated cross-epoch call graph.
+    pub fn history(&self) -> &CallGraph {
+        &self.history
+    }
+
+    /// Runs one epoch over a transaction batch: elect leader → derive
+    /// randomness → form shards (using all accumulated history) → assign
+    /// miners. The batch is then absorbed into the history.
+    pub fn run_epoch(&mut self, batch: &[Transaction]) -> EpochOutcome {
+        let epoch = self.epoch;
+        self.epoch += 1;
+
+        // Leader election: lowest VRF output on the epoch tag wins.
+        let vrfs: Vec<Vrf> = self.miners.iter().map(|m| m.vrf.clone()).collect();
+        let winner = elect_leader(&vrfs, epoch).expect("non-empty enrolment");
+        let leader = self.miners[winner].id;
+        let (randomness, _proof) = self.miners[winner].vrf.evaluate(epoch.to_be_bytes());
+
+        // Formation against accumulated history.
+        let plan = ShardPlan::build(batch, &self.history);
+        let assignment = MinerAssignment::new(randomness, &plan.fractions_percent());
+        let shard_of: BTreeMap<MinerId, ShardId> = self
+            .miners
+            .iter()
+            .map(|m| (m.id, assignment.shard_of(m.vrf.public_key())))
+            .collect();
+
+        // Absorb the batch.
+        self.history.observe_all(batch.iter());
+
+        EpochOutcome {
+            epoch,
+            leader,
+            plan,
+            assignment,
+            shard_of,
+        }
+    }
+
+    /// Public key of a miner (for verification paths in tests/examples).
+    pub fn public_key(&self, id: MinerId) -> Option<VrfPublicKey> {
+        self.miners
+            .iter()
+            .find(|m| m.id == id)
+            .map(|m| m.vrf.public_key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cshard_workload::{FeeDistribution, Workload};
+
+    const FEES: FeeDistribution = FeeDistribution::Uniform { lo: 1, hi: 50 };
+
+    fn batch(seed: u64) -> Vec<Transaction> {
+        Workload::uniform_contracts(120, 5, FEES, seed).transactions
+    }
+
+    #[test]
+    fn epochs_advance_and_elect_leaders() {
+        let mut mgr = EpochManager::with_miner_count(20);
+        let mut leaders = std::collections::HashSet::new();
+        for e in 0..10 {
+            let out = mgr.run_epoch(&batch(e));
+            assert_eq!(out.epoch, e);
+            leaders.insert(out.leader);
+        }
+        assert_eq!(mgr.epoch(), 10);
+        // VRF lottery rotates leadership.
+        assert!(leaders.len() >= 3, "leaders too concentrated: {leaders:?}");
+    }
+
+    #[test]
+    fn reassignment_shuffles_between_epochs() {
+        let mut mgr = EpochManager::with_miner_count(200);
+        let a = mgr.run_epoch(&batch(1));
+        let b = mgr.run_epoch(&batch(2));
+        let moved = a
+            .shard_of
+            .iter()
+            .filter(|(id, shard)| b.shard_of[id] != **shard)
+            .count();
+        assert!(moved > 50, "only {moved}/200 miners moved");
+    }
+
+    #[test]
+    fn every_assignment_is_verifiable() {
+        let mut mgr = EpochManager::with_miner_count(30);
+        let out = mgr.run_epoch(&batch(3));
+        for (id, shard) in &out.shard_of {
+            let pk = mgr.public_key(*id).unwrap();
+            assert!(out.assignment.verify_claim(pk, *shard));
+        }
+    }
+
+    #[test]
+    fn history_accumulates_and_reclassifies_senders() {
+        use cshard_primitives::{Address, Amount, ContractId};
+        let mut mgr = EpochManager::with_miner_count(10);
+        // Epoch 0: user calls contract 0 — isolable.
+        let tx0 = Transaction::call(
+            Address::user(1),
+            0,
+            ContractId::new(0),
+            Amount(10),
+            Amount(1),
+        );
+        let out0 = mgr.run_epoch(std::slice::from_ref(&tx0));
+        assert_eq!(out0.plan.maxshard.len(), 0);
+        // Epoch 1: same user calls contract 1 — multi-contract now, so the
+        // new call goes to the MaxShard.
+        let tx1 = Transaction::call(
+            Address::user(1),
+            1,
+            ContractId::new(1),
+            Amount(10),
+            Amount(1),
+        );
+        let out1 = mgr.run_epoch(std::slice::from_ref(&tx1));
+        assert_eq!(out1.plan.maxshard.len(), 1, "history must persist");
+    }
+
+    #[test]
+    fn deterministic_across_replays() {
+        let run = || {
+            let mut mgr = EpochManager::with_miner_count(25);
+            let a = mgr.run_epoch(&batch(7));
+            let b = mgr.run_epoch(&batch(8));
+            (a.leader, a.shard_of, b.leader, b.shard_of)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one miner")]
+    fn empty_enrolment_rejected() {
+        EpochManager::new(vec![]);
+    }
+}

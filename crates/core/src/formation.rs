@@ -1,0 +1,266 @@
+//! Contract-centric shard formation (Sec. III-A).
+//!
+//! "Transactions sent by users who only participate in the same smart
+//! contract naturally form a shard … Transactions sent by [users who
+//! participate in more than one contract or have directly sent transactions
+//! to other users] form a unique shard, called the MaxShard."
+
+use cshard_ledger::{CallGraph, Transaction};
+use cshard_primitives::{ContractId, ShardId};
+use std::collections::BTreeMap;
+
+/// The partition of a transaction batch into shards.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Transaction indices per contract shard, keyed by shard id. Contract
+    /// `c` maps to `ShardId(c)`.
+    pub contract_shards: BTreeMap<ShardId, Vec<usize>>,
+    /// Transaction indices in the MaxShard.
+    pub maxshard: Vec<usize>,
+    /// The shard of each transaction, by transaction index.
+    pub shard_of: Vec<ShardId>,
+}
+
+impl ShardPlan {
+    /// Builds the plan for a batch: observe the whole batch on the call
+    /// graph (history), then classify every transaction.
+    ///
+    /// A transaction lands in contract shard `c` iff it is a contract call
+    /// and its sender's *entire* history touches only `c` — otherwise the
+    /// MaxShard takes it. This is exactly the Fig. 1 classification.
+    pub fn build(transactions: &[Transaction], history: &CallGraph) -> ShardPlan {
+        // The effective call graph includes the batch itself: a sender that
+        // invokes two contracts within the batch is multi-contract.
+        let mut graph = history.clone();
+        graph.observe_all(transactions.iter());
+
+        let mut contract_shards: BTreeMap<ShardId, Vec<usize>> = BTreeMap::new();
+        let mut maxshard = Vec::new();
+        let mut shard_of = Vec::with_capacity(transactions.len());
+        for (i, tx) in transactions.iter().enumerate() {
+            match graph.isolable_contract(tx) {
+                Some(c) => {
+                    let shard = Self::shard_for_contract(c);
+                    contract_shards.entry(shard).or_default().push(i);
+                    shard_of.push(shard);
+                }
+                None => {
+                    maxshard.push(i);
+                    shard_of.push(ShardId::MAX_SHARD);
+                }
+            }
+        }
+        ShardPlan {
+            contract_shards,
+            maxshard,
+            shard_of,
+        }
+    }
+
+    /// The shard a contract's isolable transactions form.
+    pub fn shard_for_contract(c: ContractId) -> ShardId {
+        ShardId::new(c.0)
+    }
+
+    /// Number of shards with at least one transaction (MaxShard included
+    /// when non-empty).
+    pub fn active_shard_count(&self) -> usize {
+        self.contract_shards.len() + usize::from(!self.maxshard.is_empty())
+    }
+
+    /// `(shard, size)` for every active shard, MaxShard last.
+    pub fn shard_sizes(&self) -> Vec<(ShardId, u64)> {
+        let mut v: Vec<(ShardId, u64)> = self
+            .contract_shards
+            .iter()
+            .map(|(&s, txs)| (s, txs.len() as u64))
+            .collect();
+        if !self.maxshard.is_empty() {
+            v.push((ShardId::MAX_SHARD, self.maxshard.len() as u64));
+        }
+        v
+    }
+
+    /// Total transactions in the plan.
+    pub fn total_txs(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The transaction fractions β (Sec. III-B), in percent, per active
+    /// shard — the statistic the verifiable leader broadcasts for miner
+    /// separation. Fractions are rounded to sum to exactly 100 (largest-
+    /// remainder method) so the RandHound group intervals tile `1..=100`.
+    pub fn fractions_percent(&self) -> Vec<(ShardId, u32)> {
+        let sizes = self.shard_sizes();
+        let total: u64 = sizes.iter().map(|&(_, s)| s).sum();
+        assert!(total > 0, "cannot take fractions of an empty plan");
+        // Largest-remainder rounding.
+        let mut entries: Vec<(ShardId, u32, f64)> = sizes
+            .iter()
+            .map(|&(shard, s)| {
+                let exact = s as f64 * 100.0 / total as f64;
+                (shard, exact.floor() as u32, exact - exact.floor())
+            })
+            .collect();
+        let assigned: u32 = entries.iter().map(|e| e.1).sum();
+        let mut rest = 100 - assigned;
+        // Hand out remainders to the largest fractional parts, ties by
+        // shard id for determinism.
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            entries[b]
+                .2
+                .partial_cmp(&entries[a].2)
+                .expect("finite fractions")
+                .then(entries[a].0.cmp(&entries[b].0))
+        });
+        for idx in order {
+            if rest == 0 {
+                break;
+            }
+            entries[idx].1 += 1;
+            rest -= 1;
+        }
+        entries.into_iter().map(|(s, pct, _)| (s, pct)).collect()
+    }
+
+    /// The small shards: active shards strictly below `lower_bound`
+    /// transactions — the players of the merging game (MaxShard never
+    /// merges; it is structurally distinct).
+    pub fn small_shards(&self, lower_bound: u64) -> Vec<(ShardId, u64)> {
+        self.contract_shards
+            .iter()
+            .filter(|(_, txs)| (txs.len() as u64) < lower_bound)
+            .map(|(&s, txs)| (s, txs.len() as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cshard_workload::{FeeDistribution, Workload};
+
+    const FEES: FeeDistribution = FeeDistribution::Uniform { lo: 1, hi: 99 };
+
+    fn plan(w: &Workload) -> ShardPlan {
+        ShardPlan::build(&w.transactions, &CallGraph::new())
+    }
+
+    #[test]
+    fn uniform_workload_forms_expected_shards() {
+        // 200 txs over 8 contracts + MaxShard (the paper's 9-shard setup).
+        let w = Workload::uniform_contracts(200, 8, FEES, 1);
+        let p = plan(&w);
+        assert_eq!(p.active_shard_count(), 9);
+        for txs in p.contract_shards.values() {
+            assert_eq!(txs.len(), 22);
+        }
+        assert_eq!(p.maxshard.len(), 200 - 8 * 22);
+        assert_eq!(p.total_txs(), 200);
+    }
+
+    #[test]
+    fn shard_of_is_consistent_with_groups() {
+        let w = Workload::uniform_contracts(90, 3, FEES, 2);
+        let p = plan(&w);
+        for (shard, txs) in &p.contract_shards {
+            for &i in txs {
+                assert_eq!(p.shard_of[i], *shard);
+            }
+        }
+        for &i in &p.maxshard {
+            assert_eq!(p.shard_of[i], ShardId::MAX_SHARD);
+        }
+    }
+
+    #[test]
+    fn multi_contract_sender_pushes_txs_to_maxshard() {
+        // Same sender invokes two contracts: both txs must be MaxShard
+        // even though each individually looks isolable.
+        use cshard_ledger::Transaction;
+        use cshard_primitives::{Address, Amount};
+        let txs = vec![
+            Transaction::call(Address::user(1), 0, ContractId::new(0), Amount(10), Amount(1)),
+            Transaction::call(Address::user(1), 1, ContractId::new(1), Amount(10), Amount(1)),
+            Transaction::call(Address::user(2), 0, ContractId::new(0), Amount(10), Amount(1)),
+        ];
+        let p = ShardPlan::build(&txs, &CallGraph::new());
+        assert_eq!(p.maxshard, vec![0, 1]);
+        assert_eq!(p.contract_shards[&ShardId::new(0)], vec![2]);
+    }
+
+    #[test]
+    fn history_from_prior_epochs_affects_classification() {
+        use cshard_ledger::Transaction;
+        use cshard_primitives::{Address, Amount};
+        // User 1 transacted directly in the past.
+        let mut history = CallGraph::new();
+        history.observe(&Transaction::direct(
+            Address::user(1),
+            0,
+            Address::user(9),
+            Amount(5),
+            Amount(1),
+        ));
+        let txs = vec![Transaction::call(
+            Address::user(1),
+            1,
+            ContractId::new(0),
+            Amount(10),
+            Amount(1),
+        )];
+        let p = ShardPlan::build(&txs, &history);
+        assert_eq!(p.maxshard, vec![0], "history forces MaxShard");
+    }
+
+    #[test]
+    fn three_input_workload_is_all_maxshard() {
+        let w = Workload::three_input(50, 3, FEES, 3);
+        let p = plan(&w);
+        assert_eq!(p.maxshard.len(), 50);
+        assert!(p.contract_shards.is_empty());
+        assert_eq!(p.active_shard_count(), 1);
+    }
+
+    #[test]
+    fn fractions_sum_to_exactly_100() {
+        for contracts in 1..=9 {
+            let w = Workload::uniform_contracts(200, contracts, FEES, 4);
+            let p = plan(&w);
+            let fr = p.fractions_percent();
+            let total: u32 = fr.iter().map(|&(_, pct)| pct).sum();
+            assert_eq!(total, 100, "contracts={contracts}: {fr:?}");
+        }
+    }
+
+    #[test]
+    fn fractions_track_sizes() {
+        let w = Workload::with_small_shards(200, 9, 2, &[5, 5], FEES, 5);
+        let p = plan(&w);
+        let fr = p.fractions_percent();
+        // Small shards (5/200 = 2.5 %) get 2–3 %.
+        for &(shard, pct) in &fr {
+            if shard == ShardId::new(0) || shard == ShardId::new(1) {
+                assert!((2..=3).contains(&pct), "{shard}: {pct}%");
+            }
+        }
+    }
+
+    #[test]
+    fn small_shards_are_those_below_the_bound() {
+        let w = Workload::with_small_shards(200, 9, 3, &[4, 8, 9], FEES, 6);
+        let p = plan(&w);
+        let small = p.small_shards(22);
+        assert_eq!(small.len(), 3);
+        let sizes: Vec<u64> = small.iter().map(|&(_, s)| s).collect();
+        assert_eq!(sizes, vec![4, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty plan")]
+    fn fractions_of_empty_plan_panic() {
+        let p = ShardPlan::build(&[], &CallGraph::new());
+        p.fractions_percent();
+    }
+}

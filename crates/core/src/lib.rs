@@ -1,0 +1,42 @@
+//! The paper's primary contribution: contract-centric distributed sharding.
+//!
+//! * [`formation`] — Sec. III-A: transactions whose senders participate in
+//!   a single smart contract form that contract's shard; everything else
+//!   goes to the MaxShard. Classification runs on the locally-maintained
+//!   call graph (Sec. III-C).
+//! * [`assignment`] — Sec. III-B: miners are mapped to shards by verifiable
+//!   leader randomness, proportionally to each shard's transaction
+//!   fraction, and any claimed assignment is publicly checkable.
+//! * [`runtime`] — the discrete-event block-production simulator standing
+//!   in for the paper's nine-server testbed: per-shard PoW chains,
+//!   fee-greedy or game-equilibrium transaction selection, propagation-
+//!   window conflicts, and empty-block accounting.
+//! * [`metrics`] — waiting times, throughput improvement (`W_E / W_S`,
+//!   Sec. VI-A), empty blocks and communication counts.
+//! * [`system`] — [`system::ShardingSystem`]: the end-to-end pipeline
+//!   (form shards → assign miners → merge small shards → select
+//!   transactions → run) with every stage optional, so experiments can
+//!   ablate each mechanism.
+//! * [`node`] — a full miner node over the real substrates (ledger +
+//!   actual PoW + block verification), used by examples and integration
+//!   tests to demonstrate the protocol end-to-end rather than in the
+//!   statistical model.
+
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod epoch;
+pub mod formation;
+pub mod longrun;
+pub mod metrics;
+pub mod node;
+pub mod runtime;
+pub mod system;
+
+pub use assignment::MinerAssignment;
+pub use epoch::{EpochManager, EpochOutcome};
+pub use longrun::{LongRun, LongRunConfig};
+pub use formation::ShardPlan;
+pub use metrics::{RunReport, ShardReport};
+pub use runtime::{RuntimeConfig, SelectionStrategy, ShardSpec, simulate};
+pub use system::{ShardingSystem, SystemConfig, SystemReport};

@@ -1,0 +1,291 @@
+//! Long-run operation: the sharding system across many epochs.
+//!
+//! One [`crate::system::ShardingSystem`] run answers "how fast does one
+//! injection confirm?". A deployment lives longer: every epoch brings a new
+//! transaction batch, a new VRF leader, fresh assignment randomness, and a
+//! sender history that keeps accumulating (so the MaxShard's share grows as
+//! users diversify). [`LongRun`] drives that loop and aggregates the
+//! metrics operators watch across epochs — sustained throughput
+//! improvement, waste, communication, and MaxShard drift.
+
+use crate::epoch::EpochManager;
+use crate::metrics::throughput_improvement;
+use crate::runtime::{simulate, simulate_ethereum, RuntimeConfig, SelectionStrategy, ShardSpec};
+use cshard_games::{GameInputs, MergingConfig, UnifiedParameters};
+use cshard_ledger::Transaction;
+use cshard_network::CommStats;
+use cshard_primitives::{MinerId, ShardId};
+
+/// Per-epoch aggregate results.
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    /// Epoch number.
+    pub epoch: u64,
+    /// The elected leader.
+    pub leader: MinerId,
+    /// Active shards this epoch (post-merge).
+    pub shards: usize,
+    /// Fraction of the batch routed to the MaxShard (history drift).
+    pub maxshard_fraction: f64,
+    /// Throughput improvement vs. the one-chain baseline on this batch.
+    pub improvement: f64,
+    /// Empty blocks across the epoch's run.
+    pub empty_blocks: usize,
+    /// Cross-shard communication rounds this epoch (merging only; always
+    /// zero for validation).
+    pub comm_rounds: u64,
+}
+
+/// Configuration of a long run.
+#[derive(Clone, Debug)]
+pub struct LongRunConfig {
+    /// Block-production parameters (the seed is varied per epoch).
+    pub runtime: RuntimeConfig,
+    /// Merging-game settings; `None` disables merging.
+    pub merging: Option<MergingConfig>,
+    /// Number of enrolled miners (assignment is proportional per epoch,
+    /// but the simulated run still uses one miner per shard, as in the
+    /// paper's testbed).
+    pub miners: u32,
+}
+
+impl Default for LongRunConfig {
+    fn default() -> Self {
+        LongRunConfig {
+            runtime: RuntimeConfig::default(),
+            merging: Some(MergingConfig::default()),
+            miners: 32,
+        }
+    }
+}
+
+/// A multi-epoch simulation.
+#[derive(Debug)]
+pub struct LongRun {
+    config: LongRunConfig,
+    epochs: EpochManager,
+    reports: Vec<EpochReport>,
+}
+
+impl LongRun {
+    /// Creates a long run with a fresh miner enrolment.
+    pub fn new(config: LongRunConfig) -> Self {
+        let epochs = EpochManager::with_miner_count(config.miners);
+        LongRun {
+            config,
+            epochs,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Completed epoch reports.
+    pub fn reports(&self) -> &[EpochReport] {
+        &self.reports
+    }
+
+    /// Drives one epoch over `batch` (the epoch's injected transactions
+    /// with their fees) and records its report.
+    pub fn run_epoch(&mut self, batch: &[Transaction]) -> &EpochReport {
+        assert!(!batch.is_empty(), "an epoch needs transactions");
+        let fees: Vec<u64> = batch.iter().map(|t| t.fee.raw()).collect();
+        let outcome = self.epochs.run_epoch(batch);
+        let epoch = outcome.epoch;
+        let comm = CommStats::new();
+
+        // Per-shard queues from the epoch's plan.
+        let mut groups: Vec<(ShardId, Vec<u64>)> = outcome
+            .plan
+            .contract_shards
+            .iter()
+            .map(|(&shard, idxs)| (shard, idxs.iter().map(|&i| fees[i]).collect()))
+            .collect();
+        if !outcome.plan.maxshard.is_empty() {
+            groups.push((
+                ShardId::MAX_SHARD,
+                outcome.plan.maxshard.iter().map(|&i| fees[i]).collect(),
+            ));
+        }
+        let maxshard_fraction = outcome.plan.maxshard.len() as f64 / batch.len() as f64;
+
+        // Merge small shards under this epoch's unified parameters.
+        if let Some(mcfg) = &self.config.merging {
+            let small: Vec<usize> = (0..groups.len())
+                .filter(|&i| {
+                    !groups[i].0.is_max_shard()
+                        && (groups[i].1.len() as u64) < mcfg.lower_bound
+                })
+                .collect();
+            if !small.is_empty() {
+                let shard_sizes: Vec<(ShardId, u64)> = small
+                    .iter()
+                    .map(|&i| (groups[i].0, groups[i].1.len() as u64))
+                    .collect();
+                let params = UnifiedParameters::from_randomness(
+                    outcome.assignment_randomness(),
+                    (0..groups.len() as u32).map(MinerId::new).collect(),
+                    GameInputs::Merge {
+                        shard_sizes,
+                        config: *mcfg,
+                    },
+                );
+                params.record_communication(&comm);
+                let merge = params.merge_outcome();
+                let mut consumed: Vec<usize> = Vec::new();
+                let mut fused: Vec<(ShardId, Vec<u64>)> = Vec::new();
+                for players in &merge.new_shards {
+                    let members: Vec<usize> = players.iter().map(|&p| small[p]).collect();
+                    let id = members.iter().map(|&g| groups[g].0).min().expect("members");
+                    let mut queue = Vec::new();
+                    for &g in &members {
+                        queue.extend_from_slice(&groups[g].1);
+                    }
+                    consumed.extend_from_slice(&members);
+                    fused.push((id, queue));
+                }
+                consumed.sort_unstable();
+                consumed.dedup();
+                for &g in consumed.iter().rev() {
+                    groups.remove(g);
+                }
+                groups.extend(fused);
+                groups.sort_by_key(|&(s, _)| s);
+            }
+        }
+
+        // Run the epoch: one miner per shard, epoch-salted seed.
+        let runtime = RuntimeConfig {
+            seed: self.config.runtime.seed ^ epoch.wrapping_mul(0x9E37_79B9),
+            ..self.config.runtime.clone()
+        };
+        let specs: Vec<ShardSpec> = groups
+            .iter()
+            .map(|(shard, queue)| ShardSpec {
+                shard: *shard,
+                fees: queue.clone(),
+                miners: 1,
+                strategy: SelectionStrategy::IdenticalGreedy,
+            })
+            .collect();
+        let run = simulate(&specs, &runtime);
+        let ethereum = simulate_ethereum(fees, 1, &runtime);
+
+        self.reports.push(EpochReport {
+            epoch,
+            leader: outcome.leader,
+            shards: groups.len(),
+            maxshard_fraction,
+            improvement: throughput_improvement(&ethereum, &run),
+            empty_blocks: run.total_empty_blocks(),
+            comm_rounds: comm.total(),
+        });
+        self.reports.last().expect("just pushed")
+    }
+
+    /// Mean throughput improvement over all completed epochs.
+    pub fn mean_improvement(&self) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
+        self.reports.iter().map(|r| r.improvement).sum::<f64>() / self.reports.len() as f64
+    }
+}
+
+impl crate::epoch::EpochOutcome {
+    /// The randomness the epoch's unified parameters derive from (the
+    /// leader's VRF output is already baked into the assignment; re-use a
+    /// stable sub-digest of it for the game layer).
+    pub fn assignment_randomness(&self) -> cshard_primitives::Hash32 {
+        cshard_crypto::sha256_concat(&[
+            b"epoch-game-randomness".as_slice(),
+            &self.epoch.to_be_bytes(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cshard_workload::{FeeDistribution, Workload};
+
+    const FEES: FeeDistribution = FeeDistribution::Uniform { lo: 1, hi: 100 };
+
+    fn batch(epoch: u64, contracts: usize) -> Vec<Transaction> {
+        Workload::uniform_contracts(160, contracts, FEES, 1000 + epoch).transactions
+    }
+
+    #[test]
+    fn epochs_accumulate_reports() {
+        let mut lr = LongRun::new(LongRunConfig::default());
+        for e in 0..4 {
+            let report = lr.run_epoch(&batch(e, 5)).clone();
+            assert_eq!(report.epoch, e);
+            assert!(report.improvement > 1.0, "epoch {e}: {report:?}");
+            assert!(report.shards >= 2);
+        }
+        assert_eq!(lr.reports().len(), 4);
+        assert!(lr.mean_improvement() > 1.5);
+    }
+
+    #[test]
+    fn merging_keeps_comm_at_two_per_small_shard() {
+        let mut lr = LongRun::new(LongRunConfig {
+            merging: Some(MergingConfig {
+                lower_bound: 12,
+                ..MergingConfig::default()
+            }),
+            ..LongRunConfig::default()
+        });
+        // A batch with deliberate small shards.
+        let w = Workload::with_small_shards(160, 8, 3, &[4, 5, 6], FEES, 7);
+        let report = lr.run_epoch(&w.transactions).clone();
+        assert_eq!(report.comm_rounds, 6, "2 per small shard");
+    }
+
+    #[test]
+    fn history_drift_grows_the_maxshard() {
+        // Re-sending from the same users across epochs with different
+        // contracts pushes them into the MaxShard over time.
+        let mut lr = LongRun::new(LongRunConfig {
+            merging: None,
+            ..LongRunConfig::default()
+        });
+        // Epoch 0: users 0..160 call contract set A.
+        let w0 = Workload::uniform_contracts(160, 4, FEES, 42);
+        let r0 = lr.run_epoch(&w0.transactions).maxshard_fraction;
+        // Epoch 1: THE SAME senders now call a different contract each —
+        // multi-contract history forces them into the MaxShard.
+        let mut w1 = Vec::new();
+        for (i, tx) in w0.transactions.iter().enumerate() {
+            if let cshard_ledger::TxKind::ContractCall { contract, value } = &tx.kind {
+                let other = cshard_primitives::ContractId::new((contract.0 + 1) % 4);
+                let _ = (i, value);
+                w1.push(Transaction::call(
+                    tx.sender,
+                    tx.nonce + 1,
+                    other,
+                    *value,
+                    tx.fee,
+                ));
+            }
+        }
+        let r1 = lr.run_epoch(&w1).maxshard_fraction;
+        assert!(r1 > r0 + 0.5, "drift not visible: {r0:.2} -> {r1:.2}");
+    }
+
+    #[test]
+    fn deterministic_across_replays() {
+        let run = || {
+            let mut lr = LongRun::new(LongRunConfig::default());
+            lr.run_epoch(&batch(0, 5));
+            lr.run_epoch(&batch(1, 6));
+            (lr.reports()[0].improvement, lr.reports()[1].improvement)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs transactions")]
+    fn empty_batch_rejected() {
+        LongRun::new(LongRunConfig::default()).run_epoch(&[]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Run reports and the paper's performance metrics.
+
+use cshard_primitives::{ShardId, SimTime};
+
+/// Per-shard results of one simulated run.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// The shard.
+    pub shard: ShardId,
+    /// Transactions injected into the shard.
+    pub txs: usize,
+    /// Transactions confirmed (== `txs` for completed runs).
+    pub confirmed: usize,
+    /// When the shard confirmed its last transaction (`None` if it had no
+    /// transactions).
+    pub completion: Option<SimTime>,
+    /// Blocks produced (useful + empty + stale).
+    pub blocks: usize,
+    /// Blocks carrying no transactions because the miner saw an empty
+    /// queue — the waste metric of Sec. III-D / Fig. 3(b)(c)(f).
+    pub empty_blocks: usize,
+    /// Blocks whose entire selection had already been confirmed by a
+    /// competitor within the propagation window — the duplicate-selection
+    /// waste that serializes vanilla Ethereum (Sec. II-B).
+    pub stale_blocks: usize,
+}
+
+/// Results of one simulated run across all shards.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The waiting time until **all** injected transactions were confirmed
+    /// — `W` in the paper's throughput metric (Sec. VI-A).
+    pub completion: SimTime,
+    /// Per-shard details.
+    pub shards: Vec<ShardReport>,
+}
+
+impl RunReport {
+    /// Total transactions across shards.
+    pub fn total_txs(&self) -> usize {
+        self.shards.iter().map(|s| s.txs).sum()
+    }
+
+    /// Total empty blocks (within the configured counting window).
+    pub fn total_empty_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.empty_blocks).sum()
+    }
+
+    /// Average empty blocks per shard — the y-axis of Fig. 3(c)/(f).
+    pub fn empty_blocks_per_shard(&self) -> f64 {
+        if self.shards.is_empty() {
+            return 0.0;
+        }
+        self.total_empty_blocks() as f64 / self.shards.len() as f64
+    }
+
+    /// Total stale (duplicate-selection) blocks.
+    pub fn total_stale_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.stale_blocks).sum()
+    }
+
+    /// Total blocks produced.
+    pub fn total_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.blocks).sum()
+    }
+
+    /// Confirmed transactions per second over the whole run.
+    pub fn throughput_tps(&self) -> f64 {
+        let secs = self.completion.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.total_txs() as f64 / secs
+    }
+}
+
+/// The paper's headline metric (Sec. VI-A): `W_E / W_S`, the Ethereum
+/// waiting time over the scheme's waiting time. 1.0 = no improvement,
+/// 7.2 = the paper's nine-shard result.
+pub fn throughput_improvement(ethereum: &RunReport, scheme: &RunReport) -> f64 {
+    let we = ethereum.completion.as_secs_f64();
+    let ws = scheme.completion.as_secs_f64();
+    assert!(ws > 0.0, "scheme run confirmed nothing");
+    we / ws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(txs: usize, empty: usize, completion_s: u64) -> ShardReport {
+        ShardReport {
+            shard: ShardId::new(0),
+            txs,
+            confirmed: txs,
+            completion: Some(SimTime::from_secs(completion_s)),
+            blocks: txs / 10 + empty,
+            empty_blocks: empty,
+            stale_blocks: 0,
+        }
+    }
+
+    fn report(completion_s: u64, shards: Vec<ShardReport>) -> RunReport {
+        RunReport {
+            completion: SimTime::from_secs(completion_s),
+            shards,
+        }
+    }
+
+    #[test]
+    fn totals_aggregate() {
+        let r = report(100, vec![shard(20, 2, 90), shard(30, 3, 100)]);
+        assert_eq!(r.total_txs(), 50);
+        assert_eq!(r.total_empty_blocks(), 5);
+        assert!((r.empty_blocks_per_shard() - 2.5).abs() < 1e-12);
+        assert!((r.throughput_tps() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_ratio() {
+        let e = report(1200, vec![shard(200, 0, 1200)]);
+        let s = report(200, vec![shard(200, 0, 200)]);
+        assert!((throughput_improvement(&e, &s) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "confirmed nothing")]
+    fn zero_scheme_time_rejected() {
+        let e = report(100, vec![]);
+        let s = report(0, vec![]);
+        throughput_improvement(&e, &s);
+    }
+
+    #[test]
+    fn empty_report_edge_cases() {
+        let r = report(0, vec![]);
+        assert_eq!(r.empty_blocks_per_shard(), 0.0);
+        assert_eq!(r.throughput_tps(), 0.0);
+    }
+}

@@ -1,0 +1,454 @@
+//! The end-to-end sharding system.
+//!
+//! [`ShardingSystem::run`] is the whole pipeline of the paper on one
+//! workload:
+//!
+//! 1. **Formation** (Sec. III-A) — classify transactions into contract
+//!    shards + MaxShard via the call graph.
+//! 2. **Miner assignment** (Sec. III-B) — allocate miners to shards, either
+//!    one-per-shard (the paper's testbed) or proportionally via the
+//!    verifiable-randomness rule.
+//! 3. **Inter-shard merging** (Sec. IV-A) — optionally run Algorithm 1 over
+//!    the small shards under unified parameters, fusing their queues.
+//! 4. **Intra-shard selection** (Sec. IV-B) — optionally give multi-miner
+//!    shards the congestion-game equilibrium strategy.
+//! 5. **Run** — drive the block-production runtime to completion and
+//!    report waiting time, empty blocks and communication counts.
+//!
+//! Every stage is independently switchable so experiments can ablate each
+//! mechanism (Fig. 3 runs every combination).
+
+use crate::formation::ShardPlan;
+use crate::metrics::RunReport;
+use crate::runtime::{simulate, RuntimeConfig, SelectionStrategy, ShardSpec};
+use cshard_crypto::sha256;
+use cshard_games::{GameInputs, MergingConfig, UnifiedParameters};
+use cshard_ledger::CallGraph;
+use cshard_network::CommStats;
+use cshard_primitives::{MinerId, ShardId};
+use cshard_workload::Workload;
+
+/// How miners are spread over shards.
+#[derive(Clone, Copy, Debug)]
+pub enum MinerAllocation {
+    /// One miner per shard — the paper's nine-server testbed (Sec. VI-A:
+    /// "we just set the number of miners in each shard as 1").
+    OnePerShard,
+    /// A fixed miner count per shard (used by the Fig. 3(h) single-shard
+    /// selection experiment).
+    PerShard(usize),
+    /// `total` miners split proportionally to shard transaction counts —
+    /// the Sec. III-B requirement that "the fraction of miners in a shard
+    /// shall keep up with the fraction of transactions in that shard".
+    /// Every shard receives at least one miner (largest-remainder split).
+    Proportional {
+        /// Total miners across the system.
+        total: usize,
+    },
+}
+
+/// System-level configuration.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Runtime (block production) parameters.
+    pub runtime: RuntimeConfig,
+    /// Enable inter-shard merging with this game configuration
+    /// (`lower_bound` doubles as the small-shard threshold).
+    pub merging: Option<MergingConfig>,
+    /// Enable equilibrium transaction selection in shards with more than
+    /// one miner (best-reply round cap).
+    pub selection: Option<usize>,
+    /// Miner spread.
+    pub allocation: MinerAllocation,
+    /// Epoch label — seeds leader randomness, so two systems with the same
+    /// config and workload are bit-identical.
+    pub epoch: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            runtime: RuntimeConfig::default(),
+            merging: None,
+            selection: None,
+            allocation: MinerAllocation::OnePerShard,
+            epoch: 0,
+        }
+    }
+}
+
+/// Summary of the merge stage.
+#[derive(Clone, Debug)]
+pub struct MergeSummary {
+    /// Small shards that entered the game.
+    pub small_shards: usize,
+    /// New (merged) shards formed.
+    pub new_shards: usize,
+    /// Small shards left unmerged.
+    pub leftover: usize,
+}
+
+/// The full result of a system run.
+#[derive(Clone, Debug)]
+pub struct SystemReport {
+    /// Block-production results.
+    pub run: RunReport,
+    /// Shards that actually ran (after any merging), with their sizes.
+    pub shard_sizes: Vec<(ShardId, u64)>,
+    /// Merge-stage summary, when merging was enabled.
+    pub merge: Option<MergeSummary>,
+    /// Cross-shard communication incurred (validation is always zero for
+    /// the contract-centric design; merging contributes 2 per small shard).
+    pub comm: CommStats,
+}
+
+/// Splits `total` miners over shards proportionally to `sizes`, giving
+/// every shard at least one miner (largest-remainder on the remainder).
+fn proportional_split(sizes: &[u64], total: usize) -> Vec<usize> {
+    assert!(total >= sizes.len());
+    let total_size: u64 = sizes.iter().sum::<u64>().max(1);
+    let spare = total - sizes.len();
+    // Exact shares of the spare pool.
+    let exact: Vec<f64> = sizes
+        .iter()
+        .map(|&s| s as f64 * spare as f64 / total_size as f64)
+        .collect();
+    let mut counts: Vec<usize> = exact.iter().map(|e| 1 + e.floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    // Largest remainders get the leftovers; ties by index (deterministic).
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = exact[a] - exact[a].floor();
+        let rb = exact[b] - exact[b].floor();
+        rb.partial_cmp(&ra).expect("finite").then(a.cmp(&b))
+    });
+    for &i in order.iter().take(total.saturating_sub(assigned)) {
+        counts[i] += 1;
+    }
+    debug_assert_eq!(counts.iter().sum::<usize>(), total);
+    counts
+}
+
+/// The contract-centric sharding system.
+#[derive(Clone, Debug)]
+pub struct ShardingSystem {
+    config: SystemConfig,
+}
+
+impl ShardingSystem {
+    /// Builds a system.
+    pub fn new(config: SystemConfig) -> Self {
+        ShardingSystem { config }
+    }
+
+    /// Convenience: the paper's testbed shape (one greedy miner per shard,
+    /// no merging, no selection game).
+    pub fn testbed(runtime: RuntimeConfig) -> Self {
+        ShardingSystem::new(SystemConfig {
+            runtime,
+            ..SystemConfig::default()
+        })
+    }
+
+    /// Runs the pipeline on a workload.
+    pub fn run(&self, workload: &Workload) -> SystemReport {
+        let comm = CommStats::new();
+        let plan = ShardPlan::build(&workload.transactions, &CallGraph::new());
+        let fees = workload.fees();
+
+        // Per-shard local fee queues.
+        let mut groups: Vec<(ShardId, Vec<u64>)> = plan
+            .contract_shards
+            .iter()
+            .map(|(&shard, idxs)| (shard, idxs.iter().map(|&i| fees[i]).collect()))
+            .collect();
+        if !plan.maxshard.is_empty() {
+            groups.push((
+                ShardId::MAX_SHARD,
+                plan.maxshard.iter().map(|&i| fees[i]).collect(),
+            ));
+        }
+
+        // Inter-shard merging (Algorithm 1 under unified parameters).
+        let merge = self.config.merging.as_ref().map(|mcfg| {
+            let small: Vec<usize> = groups
+                .iter()
+                .enumerate()
+                .filter(|(_, (shard, txs))| {
+                    !shard.is_max_shard() && (txs.len() as u64) < mcfg.lower_bound
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let shard_sizes: Vec<(ShardId, u64)> = small
+                .iter()
+                .map(|&i| (groups[i].0, groups[i].1.len() as u64))
+                .collect();
+            let params = UnifiedParameters::from_randomness(
+                sha256(self.config.epoch.to_be_bytes()),
+                (0..groups.len() as u32).map(MinerId::new).collect(),
+                GameInputs::Merge {
+                    shard_sizes,
+                    config: *mcfg,
+                },
+            );
+            params.record_communication(&comm);
+            let outcome = params.merge_outcome();
+
+            // Fuse the merged groups. New shards take the id of their
+            // lowest-numbered member; consumed members are dropped.
+            let mut consumed: Vec<usize> = Vec::new();
+            let mut fused: Vec<(ShardId, Vec<u64>)> = Vec::new();
+            for players in &outcome.new_shards {
+                let members: Vec<usize> = players.iter().map(|&p| small[p]).collect();
+                let id = members
+                    .iter()
+                    .map(|&g| groups[g].0)
+                    .min()
+                    .expect("merged shard has members");
+                let mut queue = Vec::new();
+                for &g in &members {
+                    queue.extend_from_slice(&groups[g].1);
+                }
+                consumed.extend_from_slice(&members);
+                fused.push((id, queue));
+            }
+            let summary = MergeSummary {
+                small_shards: small.len(),
+                new_shards: outcome.new_shards.len(),
+                leftover: outcome.leftover.len(),
+            };
+            consumed.sort_unstable();
+            consumed.dedup();
+            for &g in consumed.iter().rev() {
+                groups.remove(g);
+            }
+            groups.extend(fused);
+            groups.sort_by_key(|&(shard, _)| shard);
+            summary
+        });
+
+        // Miner allocation and strategy.
+        let per_shard_miners: Vec<usize> = match self.config.allocation {
+            MinerAllocation::OnePerShard => vec![1; groups.len()],
+            MinerAllocation::PerShard(n) => {
+                assert!(n > 0, "shards need at least one miner");
+                vec![n; groups.len()]
+            }
+            MinerAllocation::Proportional { total } => {
+                assert!(
+                    total >= groups.len(),
+                    "need at least one miner per shard ({} shards, {total} miners)",
+                    groups.len()
+                );
+                proportional_split(
+                    &groups.iter().map(|(_, q)| q.len() as u64).collect::<Vec<_>>(),
+                    total,
+                )
+            }
+        };
+        let specs: Vec<ShardSpec> = groups
+            .iter()
+            .zip(&per_shard_miners)
+            .map(|((shard, queue), &miners)| {
+                let strategy = match self.config.selection {
+                    Some(max_rounds) if miners > 1 => {
+                        SelectionStrategy::Equilibrium { max_rounds }
+                    }
+                    _ => SelectionStrategy::IdenticalGreedy,
+                };
+                ShardSpec {
+                    shard: *shard,
+                    fees: queue.clone(),
+                    miners,
+                    strategy,
+                }
+            })
+            .collect();
+
+        let run = simulate(&specs, &self.config.runtime);
+        SystemReport {
+            run,
+            shard_sizes: groups
+                .iter()
+                .map(|(s, q)| (*s, q.len() as u64))
+                .collect(),
+            merge,
+            comm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::throughput_improvement;
+    use crate::runtime::simulate_ethereum;
+    use cshard_primitives::SimTime;
+    use cshard_workload::FeeDistribution;
+
+    const FEES: FeeDistribution = FeeDistribution::Uniform { lo: 1, hi: 99 };
+
+    fn runtime(seed: u64) -> RuntimeConfig {
+        RuntimeConfig {
+            seed,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn testbed_run_confirms_everything() {
+        let w = Workload::uniform_contracts(200, 8, FEES, 1);
+        let report = ShardingSystem::testbed(runtime(1)).run(&w);
+        assert_eq!(report.run.total_txs(), 200);
+        assert_eq!(report.shard_sizes.len(), 9);
+        assert!(report.merge.is_none());
+        assert_eq!(report.comm.total(), 0, "no communication without merging");
+        assert!(report
+            .run
+            .shards
+            .iter()
+            .all(|s| s.confirmed == s.txs));
+    }
+
+    #[test]
+    fn fig3a_improvement_grows_with_shards() {
+        // Throughput improvement vs Ethereum rises ~linearly in the shard
+        // count (Fig. 3(a): 7.2× at 9 shards on the testbed).
+        let mut prev = 0.0;
+        for contracts in [1usize, 4, 8] {
+            let mut imp_sum = 0.0;
+            for seed in 0..5u64 {
+                let w = Workload::uniform_contracts(200, contracts, FEES, 2);
+                let sharded = ShardingSystem::testbed(runtime(seed)).run(&w);
+                let eth = simulate_ethereum(w.fees(), 1, &runtime(seed));
+                imp_sum += throughput_improvement(&eth, &sharded.run);
+            }
+            let imp = imp_sum / 5.0;
+            assert!(imp > prev * 0.8, "contracts={contracts}: {imp:.2} after {prev:.2}");
+            prev = imp;
+        }
+        assert!(prev > 2.8, "9-shard improvement {prev:.2} too small");
+    }
+
+    #[test]
+    fn merging_reduces_empty_blocks() {
+        // Fig. 3(c): small shards idle and spin empty blocks; merging fuses
+        // them into one busy shard.
+        let w = Workload::with_small_shards(200, 9, 4, &[3, 4, 5, 4], FEES, 3);
+        let base = SystemConfig {
+            runtime: RuntimeConfig {
+                mean_block_interval: SimTime::from_millis(1500),
+                conflict_window: SimTime::from_millis(1500),
+                seed: 3,
+                ..RuntimeConfig::default()
+            },
+            ..SystemConfig::default()
+        };
+        let unmerged = ShardingSystem::new(base.clone()).run(&w);
+        let merged = ShardingSystem::new(SystemConfig {
+            merging: Some(MergingConfig {
+                lower_bound: 16,
+                ..MergingConfig::default()
+            }),
+            ..base
+        })
+        .run(&w);
+        let summary = merged.merge.clone().expect("merging ran");
+        assert_eq!(summary.small_shards, 4);
+        assert!(summary.new_shards >= 1, "no shard formed: {summary:?}");
+        assert!(
+            merged.run.total_empty_blocks() < unmerged.run.total_empty_blocks(),
+            "merging did not reduce empties: {} vs {}",
+            merged.run.total_empty_blocks(),
+            unmerged.run.total_empty_blocks()
+        );
+        // Fewer shards after merging.
+        assert!(merged.shard_sizes.len() < unmerged.shard_sizes.len());
+        // Unification cost: exactly 2 per small shard.
+        assert_eq!(merged.comm.total(), 8);
+    }
+
+    #[test]
+    fn merged_runs_are_deterministic() {
+        let w = Workload::with_small_shards(200, 9, 3, &[4, 5, 6], FEES, 4);
+        let cfg = SystemConfig {
+            runtime: runtime(9),
+            merging: Some(MergingConfig {
+                lower_bound: 18,
+                ..MergingConfig::default()
+            }),
+            ..SystemConfig::default()
+        };
+        let a = ShardingSystem::new(cfg.clone()).run(&w);
+        let b = ShardingSystem::new(cfg).run(&w);
+        assert_eq!(a.run.completion, b.run.completion);
+        assert_eq!(a.shard_sizes, b.shard_sizes);
+    }
+
+    #[test]
+    fn selection_strategy_applies_to_multi_miner_shards() {
+        let w = Workload::uniform_contracts(200, 0, FEES, 5); // single MaxShard
+        let mut imp_sum = 0.0;
+        for seed in 0..6u64 {
+            let cfg = SystemConfig {
+                runtime: runtime(seed),
+                selection: Some(500),
+                allocation: MinerAllocation::PerShard(9),
+                ..SystemConfig::default()
+            };
+            let with_game = ShardingSystem::new(cfg.clone()).run(&w);
+            let without = ShardingSystem::new(SystemConfig {
+                selection: None,
+                ..cfg
+            })
+            .run(&w);
+            imp_sum += throughput_improvement(&without.run, &with_game.run);
+        }
+        let imp = imp_sum / 6.0;
+        assert!(imp > 1.2, "selection game improvement {imp:.2}");
+    }
+
+    #[test]
+    fn proportional_allocation_tracks_shard_sizes() {
+        // One dominant shard plus a small one: the dominant shard must get
+        // the lion's share of a 20-miner pool, and all shards ≥ 1.
+        let w = Workload::with_small_shards(200, 3, 1, &[8], FEES, 8);
+        let report = ShardingSystem::new(SystemConfig {
+            runtime: runtime(8),
+            allocation: MinerAllocation::Proportional { total: 20 },
+            ..SystemConfig::default()
+        })
+        .run(&w);
+        assert_eq!(report.run.total_txs(), 200);
+        assert!(report.run.shards.iter().all(|s| s.confirmed == s.txs));
+    }
+
+    #[test]
+    fn proportional_split_properties() {
+        let counts = super::proportional_split(&[100, 50, 5, 0], 31);
+        assert_eq!(counts.iter().sum::<usize>(), 31);
+        assert!(counts.iter().all(|&c| c >= 1));
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+        assert_eq!(counts[3], 1, "empty shard still staffed");
+        // Exactly one miner per shard when the pool equals the shard count.
+        assert_eq!(super::proportional_split(&[7, 9], 2), vec![1, 1]);
+    }
+
+    #[test]
+    fn total_txs_preserved_through_merging() {
+        let w = Workload::with_small_shards(200, 9, 5, &[2, 3, 4, 5, 6], FEES, 6);
+        let report = ShardingSystem::new(SystemConfig {
+            runtime: runtime(7),
+            merging: Some(MergingConfig {
+                lower_bound: 15,
+                ..MergingConfig::default()
+            }),
+            ..SystemConfig::default()
+        })
+        .run(&w);
+        let total: u64 = report.shard_sizes.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, 200);
+        assert_eq!(report.run.total_txs(), 200);
+    }
+}

@@ -1,0 +1,114 @@
+//! A keyed pseudo-random function built on SHA-256.
+//!
+//! Construction: `PRF_k(domain, msg) = SHA256(len(k) ‖ k ‖ len(domain) ‖
+//! domain ‖ msg)`. The explicit length framing prevents ambiguity between
+//! `(k="ab", m="c")` and `(k="a", m="bc")`; the domain string separates
+//! independent uses of the same key (leader election vs. group assignment
+//! vs. initial-choice derivation).
+
+use crate::sha256::Sha256;
+use cshard_primitives::Hash32;
+
+/// A keyed PRF instance.
+#[derive(Clone, Debug)]
+pub struct Prf {
+    key: Vec<u8>,
+}
+
+impl Prf {
+    /// Creates a PRF keyed by `key`.
+    pub fn new(key: impl AsRef<[u8]>) -> Self {
+        Prf {
+            key: key.as_ref().to_vec(),
+        }
+    }
+
+    /// Evaluates the PRF on `(domain, msg)`.
+    pub fn eval(&self, domain: &str, msg: impl AsRef<[u8]>) -> Hash32 {
+        let msg = msg.as_ref();
+        let mut h = Sha256::new();
+        h.update((self.key.len() as u64).to_be_bytes());
+        h.update(&self.key);
+        h.update((domain.len() as u64).to_be_bytes());
+        h.update(domain.as_bytes());
+        h.update(msg);
+        h.finalize()
+    }
+
+    /// Evaluates the PRF and reduces the output to `0..n`.
+    pub fn eval_mod(&self, domain: &str, msg: impl AsRef<[u8]>, n: u64) -> u64 {
+        self.eval(domain, msg).mod_u64(n)
+    }
+
+    /// Evaluates the PRF to a uniform `f64` in `[0, 1)`.
+    ///
+    /// Uses 53 bits of the digest, matching `f64` mantissa precision.
+    pub fn eval_unit(&self, domain: &str, msg: impl AsRef<[u8]>) -> f64 {
+        let bits = self.eval(domain, msg).leading_u64() >> 11;
+        bits as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let prf = Prf::new(b"key");
+        assert_eq!(prf.eval("d", b"m"), prf.eval("d", b"m"));
+    }
+
+    #[test]
+    fn key_domain_and_message_all_matter() {
+        let a = Prf::new(b"key-a");
+        let b = Prf::new(b"key-b");
+        assert_ne!(a.eval("d", b"m"), b.eval("d", b"m"));
+        assert_ne!(a.eval("d1", b"m"), a.eval("d2", b"m"));
+        assert_ne!(a.eval("d", b"m1"), a.eval("d", b"m2"));
+    }
+
+    #[test]
+    fn length_framing_prevents_ambiguity() {
+        // Without framing these two would collide.
+        let a = Prf::new(b"ab");
+        let b = Prf::new(b"a");
+        assert_ne!(a.eval("", b"c"), b.eval("", b"bc"));
+        let p = Prf::new(b"k");
+        assert_ne!(p.eval("ab", b"c"), p.eval("a", b"bc"));
+    }
+
+    #[test]
+    fn eval_mod_in_range() {
+        let prf = Prf::new(b"key");
+        for i in 0..200u64 {
+            let r = prf.eval_mod("range", i.to_be_bytes(), 100);
+            assert!(r < 100);
+        }
+    }
+
+    #[test]
+    fn eval_mod_covers_range() {
+        // With 1000 draws over 10 buckets every bucket should be hit.
+        let prf = Prf::new(b"coverage");
+        let mut seen = [false; 10];
+        for i in 0..1000u64 {
+            seen[prf.eval_mod("cov", i.to_be_bytes(), 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn eval_unit_in_unit_interval_and_roughly_uniform() {
+        let prf = Prf::new(b"unit");
+        let mut sum = 0.0;
+        let n = 2000;
+        for i in 0..n as u64 {
+            let u = prf.eval_unit("u", i.to_be_bytes());
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+}

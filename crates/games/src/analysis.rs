@@ -1,0 +1,310 @@
+//! Analytical tools for the merging game (Sec. V).
+//!
+//! The paper derives the mixed-strategy Nash equilibrium of the merging
+//! game from replicator dynamics; this module provides the closed-form
+//! quantities that analysis rests on, so tests and ablations can compare
+//! the *simulated* dynamics of [`crate::merging`] against theory:
+//!
+//! * exact satisfaction probabilities `Pr(y_m ≥ L)` under independent
+//!   Bernoulli participation (dynamic programming over the size
+//!   distribution),
+//! * expected utilities `U_{Y,i}` / `U_{N,i}` of Eqs. (8)–(9),
+//! * the replicator drift `ẋ_i` of Eq. (10) and its fixed points,
+//! * an evolutionarily-stable-strategy check per the Smith conditions the
+//!   paper quotes.
+
+use crate::merging::MergingConfig;
+
+/// Exact probability that the merged coalition reaches `lower_bound`
+/// transactions, when each player `j ≠ excluded` joins independently with
+/// probability `probs[j]` (the player's own decision is handled by the
+/// caller: pass `include` to force a player in).
+///
+/// Dynamic programming over total size — O(n · Σ sizes), exact.
+pub fn satisfaction_probability(
+    sizes: &[u64],
+    probs: &[f64],
+    lower_bound: u64,
+    forced_in: Option<usize>,
+    excluded: Option<usize>,
+) -> f64 {
+    assert_eq!(sizes.len(), probs.len());
+    let cap = lower_bound as usize; // sizes ≥ L are all equivalent
+    // dist[s] = P(total clamped at cap == s)
+    let mut dist = vec![0.0f64; cap + 1];
+    dist[0] = 1.0;
+    for (j, (&size, &p)) in sizes.iter().zip(probs).enumerate() {
+        if Some(j) == excluded {
+            continue;
+        }
+        let p_join = if Some(j) == forced_in { 1.0 } else { p };
+        if p_join == 0.0 {
+            continue;
+        }
+        let mut next = vec![0.0f64; cap + 1];
+        for (s, &mass) in dist.iter().enumerate() {
+            if mass == 0.0 {
+                continue;
+            }
+            // Stays out.
+            next[s] += mass * (1.0 - p_join);
+            // Joins.
+            let ns = (s + size as usize).min(cap);
+            next[ns] += mass * p_join;
+        }
+        dist = next;
+    }
+    dist[cap]
+}
+
+/// Eq. (8): expected utility of player `i` when it merges,
+/// `U_{Y,i} = Pr(y_m ≥ L) · G − C_i`, with the probability conditioned on
+/// `i` participating.
+pub fn merge_utility(sizes: &[u64], probs: &[f64], i: usize, config: &MergingConfig) -> f64 {
+    let p_sat = satisfaction_probability(sizes, probs, config.lower_bound, Some(i), None);
+    p_sat * config.reward.as_f64() - config.cost.as_f64()
+}
+
+/// Eq. (9): expected utility of player `i` when it stays,
+/// `U_{N,i} = Pr(y_m ≥ L) · G` over the *other* players' coalition.
+pub fn stay_utility(sizes: &[u64], probs: &[f64], i: usize, config: &MergingConfig) -> f64 {
+    let p_sat = satisfaction_probability(sizes, probs, config.lower_bound, None, Some(i));
+    p_sat * config.reward.as_f64()
+}
+
+/// The replicator drift of Eq. (10) for player `i` at the profile `probs`
+/// (up to the positive scale factor η): `[Ū(Y) − Ū] · x_i` with
+/// `Ū = x_i Ū(Y) + (1 − x_i) Ū(N)`, i.e.
+/// `x_i (1 − x_i) (U_{Y,i} − U_{N,i})`.
+pub fn replicator_drift(sizes: &[u64], probs: &[f64], i: usize, config: &MergingConfig) -> f64 {
+    let x = probs[i];
+    let uy = merge_utility(sizes, probs, i, config);
+    let un = stay_utility(sizes, probs, i, config);
+    x * (1.0 - x) * (uy - un)
+}
+
+/// The marginal value of player `i`'s participation: the increase in
+/// satisfaction probability it causes, times the reward, minus the cost.
+/// Positive ⇒ the drift pushes `x_i` up; the mixed equilibrium sits where
+/// this crosses zero (`ẋ = 0`, Sec. V-B).
+pub fn participation_margin(
+    sizes: &[u64],
+    probs: &[f64],
+    i: usize,
+    config: &MergingConfig,
+) -> f64 {
+    let with_me = satisfaction_probability(sizes, probs, config.lower_bound, Some(i), None);
+    let without_me = satisfaction_probability(sizes, probs, config.lower_bound, None, Some(i));
+    (with_me - without_me) * config.reward.as_f64() - config.cost.as_f64()
+}
+
+/// Verdict of an [`ess_check`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EssVerdict {
+    /// The profile satisfies the equilibrium condition with strict
+    /// inequality for all deviations checked — an ESS.
+    Stable,
+    /// Some unilateral deviation strictly improves a player — not an
+    /// equilibrium at all.
+    NotEquilibrium,
+    /// Equilibrium holds but with ties (the stability condition of the
+    /// Smith definition would need second-order checks).
+    BorderlineEquilibrium,
+}
+
+/// Checks the (pure-strategy restriction of the) ESS conditions the paper
+/// quotes: at profile `probs`, no player can strictly gain by deviating to
+/// pure merge (`x = 1`) or pure stay (`x = 0`).
+pub fn ess_check(sizes: &[u64], probs: &[f64], config: &MergingConfig, tol: f64) -> EssVerdict {
+    let mut borderline = false;
+    for i in 0..sizes.len() {
+        let x = probs[i];
+        let uy = merge_utility(sizes, probs, i, config);
+        let un = stay_utility(sizes, probs, i, config);
+        let current = x * uy + (1.0 - x) * un;
+        let best_dev = uy.max(un);
+        if best_dev > current + tol {
+            return EssVerdict::NotEquilibrium;
+        }
+        if (best_dev - current).abs() <= tol && (uy - un).abs() > tol {
+            borderline = true;
+        }
+    }
+    if borderline {
+        EssVerdict::BorderlineEquilibrium
+    } else {
+        EssVerdict::Stable
+    }
+}
+
+/// Empirical convergence-rate measurement for Algorithm 3: the slot count
+/// as a function of the tolerance `E`, which Sec. V-B bounds by
+/// `O(M log(1/E))`. Returns `(tolerance, slots)` pairs.
+pub fn convergence_profile(
+    sizes: &[u64],
+    initial_probs: &[f64],
+    base: &MergingConfig,
+    tolerances: &[f64],
+    seed: u64,
+) -> Vec<(f64, usize)> {
+    tolerances
+        .iter()
+        .map(|&tol| {
+            let cfg = MergingConfig {
+                tolerance: tol,
+                ..*base
+            };
+            let out = crate::merging::one_shot_merge(sizes, initial_probs, &cfg, seed);
+            (tol, out.slots)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cshard_primitives::Amount;
+
+    fn cfg(l: u64) -> MergingConfig {
+        MergingConfig {
+            lower_bound: l,
+            ..MergingConfig::default()
+        }
+    }
+
+    #[test]
+    fn satisfaction_probability_exact_small_cases() {
+        // Two players of size 5, both with p = 0.5, L = 10: only both
+        // joining satisfies → 0.25.
+        let p = satisfaction_probability(&[5, 5], &[0.5, 0.5], 10, None, None);
+        assert!((p - 0.25).abs() < 1e-12);
+        // Forcing one in: need the other → 0.5.
+        let p = satisfaction_probability(&[5, 5], &[0.5, 0.5], 10, Some(0), None);
+        assert!((p - 0.5).abs() < 1e-12);
+        // Excluding one: the rest can never reach 10 → 0.
+        let p = satisfaction_probability(&[5, 5], &[0.5, 0.5], 10, None, Some(1));
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn satisfaction_probability_with_certain_players() {
+        // One big certain player alone satisfies.
+        let p = satisfaction_probability(&[30, 2], &[1.0, 0.0], 22, None, None);
+        assert!((p - 1.0).abs() < 1e-12);
+        // All zero probabilities: never.
+        let p = satisfaction_probability(&[30, 2], &[0.0, 0.0], 22, None, None);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn satisfaction_monotone_in_probabilities() {
+        let sizes = [4u64, 6, 3, 8, 5];
+        let lo = satisfaction_probability(&sizes, &[0.3; 5], 15, None, None);
+        let hi = satisfaction_probability(&sizes, &[0.7; 5], 15, None, None);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn utilities_match_hand_computation() {
+        // sizes [5,5], probs [0.5,0.5], L=10, G=2 coins, C=0.25 coins.
+        let config = MergingConfig {
+            reward: Amount::from_coins(2),
+            cost: Amount::from_raw(250_000_000),
+            ..cfg(10)
+        };
+        let g = config.reward.as_f64();
+        let c = config.cost.as_f64();
+        let uy = merge_utility(&[5, 5], &[0.5, 0.5], 0, &config);
+        assert!((uy - (0.5 * g - c)).abs() < 1e-6);
+        let un = stay_utility(&[5, 5], &[0.5, 0.5], 0, &config);
+        assert!((un - 0.0).abs() < 1e-6, "others alone can never satisfy");
+    }
+
+    #[test]
+    fn drift_vanishes_at_pure_strategies() {
+        let sizes = [5u64, 5, 5];
+        let config = cfg(10);
+        let mut probs = [1.0, 0.5, 0.5];
+        assert_eq!(replicator_drift(&sizes, &probs, 0, &config), 0.0);
+        probs[0] = 0.0;
+        assert_eq!(replicator_drift(&sizes, &probs, 0, &config), 0.0);
+    }
+
+    #[test]
+    fn drift_sign_matches_participation_margin() {
+        let sizes = [5u64, 5, 5, 5];
+        let config = cfg(15);
+        for &x in &[0.2, 0.5, 0.8] {
+            let probs = [x; 4];
+            let margin = participation_margin(&sizes, &probs, 0, &config);
+            let drift = replicator_drift(&sizes, &probs, 0, &config);
+            assert_eq!(
+                margin > 0.0,
+                drift > 0.0,
+                "x={x}: margin {margin}, drift {drift}"
+            );
+        }
+    }
+
+    #[test]
+    fn margin_is_negative_when_others_suffice() {
+        // Others certainly satisfy without me → my margin is just −C.
+        let sizes = [5u64, 30];
+        let config = cfg(22);
+        let margin = participation_margin(&sizes, &[0.5, 1.0], 0, &config);
+        assert!((margin + config.cost.as_f64()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ess_detects_profitable_deviation() {
+        // A single player of size 30, L = 22: staying yields 0, merging
+        // yields G − C > 0. x = 0.1 is not an equilibrium (deviating to
+        // pure merge strictly gains).
+        let sizes = [30u64];
+        let config = cfg(22);
+        assert_eq!(
+            ess_check(&sizes, &[0.1], &config, 1e-9),
+            EssVerdict::NotEquilibrium
+        );
+        // Pure merge IS an equilibrium for it.
+        assert_ne!(
+            ess_check(&sizes, &[1.0], &config, 1e-9),
+            EssVerdict::NotEquilibrium
+        );
+    }
+
+    #[test]
+    fn dynamics_converge_toward_zero_drift_profiles() {
+        // Run the simulated game, then check the analytic drift at its
+        // final profile is small relative to the reward scale — theory and
+        // simulation agree on the fixed point.
+        let sizes = [6u64, 6, 6, 6, 6];
+        let config = cfg(22);
+        let out = crate::merging::one_shot_merge(&sizes, &[0.5; 5], &config, 3);
+        let g = config.reward.as_f64();
+        for i in 0..5 {
+            let drift = replicator_drift(&sizes, &out.final_probs, i, &config) / g;
+            assert!(
+                drift.abs() < 0.08,
+                "player {i}: residual drift {drift:.3} at {:?}",
+                out.final_probs
+            );
+        }
+    }
+
+    #[test]
+    fn convergence_profile_grows_with_precision() {
+        // Sec. V-B: slots ~ O(log 1/E). Tighter tolerance must not need
+        // fewer slots.
+        let sizes = [5u64, 7, 3, 8];
+        let profile = convergence_profile(
+            &sizes,
+            &[0.5; 4],
+            &cfg(14),
+            &[2e-2, 5e-3, 1e-3],
+            9,
+        );
+        assert_eq!(profile.len(), 3);
+        assert!(profile[0].1 <= profile[2].1 + 5, "{profile:?}");
+    }
+}

@@ -1,0 +1,258 @@
+//! The user↔contract call graph.
+//!
+//! Sec. III-C: to decide whether a sender "is only involved in the current
+//! shard", miners "maintain the call graph among smart contracts and users
+//! locally. In this way, miners can check the call graph instead of remotely
+//! referring to the whole history." This module is that structure: it is fed
+//! every observed transaction and classifies each sender as
+//! single-contract, multi-contract, or direct-transacting — the predicate
+//! that decides which shard a transaction belongs to (Sec. III-A).
+
+use crate::transaction::{Transaction, TxKind};
+use cshard_primitives::{Address, ContractId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// How a sender participates in the system — the three cases of Fig. 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SenderClass {
+    /// Never seen — no history constrains it yet.
+    Unknown,
+    /// Participates in exactly one contract and never transacted directly
+    /// (Fig. 1(a)): transactions validatable inside that contract's shard.
+    SingleContract(ContractId),
+    /// Participates in two or more contracts (Fig. 1(b)): must be handled
+    /// by the MaxShard.
+    MultiContract,
+    /// Has sent direct user-to-user or multi-input transfers (Fig. 1(c)):
+    /// must be handled by the MaxShard.
+    Direct,
+}
+
+/// Per-sender participation record.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct Participation {
+    contracts: HashSet<ContractId>,
+    direct: bool,
+}
+
+/// The call graph.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    senders: HashMap<Address, Participation>,
+}
+
+impl CallGraph {
+    /// An empty call graph.
+    pub fn new() -> Self {
+        CallGraph::default()
+    }
+
+    /// Records one observed transaction.
+    pub fn observe(&mut self, tx: &Transaction) {
+        let p = self.senders.entry(tx.sender).or_default();
+        match &tx.kind {
+            TxKind::ContractCall { contract, .. } => {
+                p.contracts.insert(*contract);
+            }
+            TxKind::DirectTransfer { .. } => {
+                p.direct = true;
+            }
+            TxKind::MultiInput { inputs, .. } => {
+                // Every input account's funds are touched, so each input is
+                // "transacting directly" for classification purposes.
+                p.direct = true;
+                for input in inputs {
+                    if *input != tx.sender {
+                        self.senders.entry(*input).or_default().direct = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a whole batch (e.g. an injected workload).
+    pub fn observe_all<'a>(&mut self, txs: impl IntoIterator<Item = &'a Transaction>) {
+        for tx in txs {
+            self.observe(tx);
+        }
+    }
+
+    /// Classifies a sender from its observed history.
+    pub fn classify(&self, sender: Address) -> SenderClass {
+        match self.senders.get(&sender) {
+            None => SenderClass::Unknown,
+            Some(p) if p.direct => SenderClass::Direct,
+            Some(p) => match p.contracts.len() {
+                0 => SenderClass::Unknown,
+                1 => SenderClass::SingleContract(
+                    *p.contracts.iter().next().expect("len checked"),
+                ),
+                _ => SenderClass::MultiContract,
+            },
+        }
+    }
+
+    /// Classifies the *transaction*: the shard-formation predicate.
+    ///
+    /// A transaction is isolable to a contract shard iff it is a contract
+    /// call **and** its sender's entire history (including this
+    /// transaction) involves only that contract. Everything else belongs to
+    /// the MaxShard.
+    pub fn isolable_contract(&self, tx: &Transaction) -> Option<ContractId> {
+        let TxKind::ContractCall { contract, .. } = &tx.kind else {
+            return None;
+        };
+        match self.classify(tx.sender) {
+            SenderClass::SingleContract(c) if c == *contract => Some(c),
+            // An unknown sender invoking a contract is single-contract so
+            // far; the caller must have already observed the workload, so
+            // Unknown means "no other history" — still isolable.
+            SenderClass::Unknown => Some(*contract),
+            _ => None,
+        }
+    }
+
+    /// Number of tracked senders.
+    pub fn sender_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// All contracts a sender participates in.
+    pub fn contracts_of(&self, sender: Address) -> Vec<ContractId> {
+        let mut v: Vec<ContractId> = self
+            .senders
+            .get(&sender)
+            .map(|p| p.contracts.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cshard_primitives::Amount;
+
+    fn call(user: u64, contract: u32) -> Transaction {
+        Transaction::call(
+            Address::user(user),
+            0,
+            ContractId::new(contract),
+            Amount::from_coins(1),
+            Amount::from_raw(1),
+        )
+    }
+
+    fn direct(user: u64, to: u64) -> Transaction {
+        Transaction::direct(
+            Address::user(user),
+            0,
+            Address::user(to),
+            Amount::from_coins(1),
+            Amount::from_raw(1),
+        )
+    }
+
+    #[test]
+    fn fig1a_single_contract_sender_is_isolable() {
+        // User A only sends through contract 1.
+        let mut g = CallGraph::new();
+        let t = call(1, 1);
+        g.observe(&t);
+        assert_eq!(g.classify(Address::user(1)), SenderClass::SingleContract(ContractId::new(1)));
+        assert_eq!(g.isolable_contract(&t), Some(ContractId::new(1)));
+    }
+
+    #[test]
+    fn fig1b_multi_contract_sender_goes_to_maxshard() {
+        // User C invokes contracts 2 and 3.
+        let mut g = CallGraph::new();
+        let t2 = call(3, 2);
+        let t3 = call(3, 3);
+        g.observe(&t2);
+        g.observe(&t3);
+        assert_eq!(g.classify(Address::user(3)), SenderClass::MultiContract);
+        assert_eq!(g.isolable_contract(&t2), None);
+        assert_eq!(g.isolable_contract(&t3), None);
+    }
+
+    #[test]
+    fn fig1c_direct_transactor_goes_to_maxshard() {
+        // User F invokes contract 1 AND pays H directly.
+        let mut g = CallGraph::new();
+        let t4 = call(6, 1);
+        let t5 = direct(6, 8);
+        g.observe(&t4);
+        g.observe(&t5);
+        assert_eq!(g.classify(Address::user(6)), SenderClass::Direct);
+        assert_eq!(g.isolable_contract(&t4), None);
+    }
+
+    #[test]
+    fn unknown_sender_calling_a_contract_is_isolable() {
+        let g = CallGraph::new();
+        let t = call(9, 4);
+        assert_eq!(g.classify(Address::user(9)), SenderClass::Unknown);
+        assert_eq!(g.isolable_contract(&t), Some(ContractId::new(4)));
+    }
+
+    #[test]
+    fn direct_transfer_is_never_isolable() {
+        let mut g = CallGraph::new();
+        let t = direct(1, 2);
+        g.observe(&t);
+        assert_eq!(g.isolable_contract(&t), None);
+    }
+
+    #[test]
+    fn multi_input_marks_all_inputs_direct() {
+        let mut g = CallGraph::new();
+        let t = Transaction::multi_input(
+            Address::user(1),
+            0,
+            vec![Address::user(1), Address::user(2), Address::user(3)],
+            Address::user(4),
+            Amount::from_coins(3),
+            Amount::ZERO,
+        );
+        g.observe(&t);
+        for u in 1..=3 {
+            assert_eq!(g.classify(Address::user(u)), SenderClass::Direct, "user {u}");
+        }
+        // The recipient is not an input; untouched.
+        assert_eq!(g.classify(Address::user(4)), SenderClass::Unknown);
+    }
+
+    #[test]
+    fn repeated_same_contract_calls_stay_single() {
+        let mut g = CallGraph::new();
+        for _ in 0..5 {
+            g.observe(&call(1, 2));
+        }
+        assert_eq!(
+            g.classify(Address::user(1)),
+            SenderClass::SingleContract(ContractId::new(2))
+        );
+        assert_eq!(g.contracts_of(Address::user(1)), vec![ContractId::new(2)]);
+    }
+
+    #[test]
+    fn contract_call_after_direct_is_not_isolable() {
+        let mut g = CallGraph::new();
+        g.observe(&direct(1, 2));
+        let t = call(1, 1);
+        g.observe(&t);
+        assert_eq!(g.isolable_contract(&t), None);
+    }
+
+    #[test]
+    fn sender_count_tracks_distinct_senders() {
+        let mut g = CallGraph::new();
+        g.observe(&call(1, 0));
+        g.observe(&call(1, 0));
+        g.observe(&call(2, 0));
+        assert_eq!(g.sender_count(), 2);
+    }
+}

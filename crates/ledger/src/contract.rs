@@ -1,0 +1,138 @@
+//! Smart contracts as condition-guarded transfer records.
+//!
+//! Sec. II-A: "A smart contract records a transaction and the conditions
+//! under which that transaction is valid. For instance, user A can enforce a
+//! contract to transfer 2 ETH to user B if B's balance is below 1 ETH."
+//!
+//! Sec. VI-A: the evaluation registers "multiple smart contracts, and each
+//! of them records an unconditional transaction that transfers money to a
+//! specified destination. Transactions in our experiments will invoke these
+//! smart contracts." Both shapes are supported here.
+
+use cshard_primitives::{Address, Amount, ContractId};
+use serde::{Deserialize, Serialize};
+
+/// The condition a contract checks before allowing its transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Condition {
+    /// Always allow (the unconditional contracts of Sec. VI-A).
+    Always,
+    /// Allow only while the account's balance is strictly below the
+    /// threshold (Sec. II-A's motivating example).
+    BalanceBelow(Address, Amount),
+    /// Allow only while the account's balance is at least the threshold.
+    BalanceAtLeast(Address, Amount),
+    /// Never allow — useful for negative tests and expiring offers.
+    Never,
+}
+
+/// A smart contract: when invoked by a sender, transfer the invocation value
+/// from the sender to `destination`, provided `condition` holds.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmartContract {
+    /// Dense registry id.
+    pub id: ContractId,
+    /// The contract's own account address.
+    pub address: Address,
+    /// Where the guarded transfer sends value.
+    pub destination: Address,
+    /// The recorded condition.
+    pub condition: Condition,
+    /// Number of times the contract has been successfully invoked — the
+    /// per-contract activity statistic shard formation sizes shards with.
+    pub invocations: u64,
+}
+
+impl SmartContract {
+    /// A contract that unconditionally forwards invocation value to
+    /// `destination` (the Sec. VI-A experimental shape).
+    pub fn unconditional(id: ContractId, destination: Address) -> Self {
+        SmartContract {
+            id,
+            address: Address::contract(id.0 as u64),
+            destination,
+            condition: Condition::Always,
+            invocations: 0,
+        }
+    }
+
+    /// A contract with an explicit condition.
+    pub fn conditional(id: ContractId, destination: Address, condition: Condition) -> Self {
+        SmartContract {
+            id,
+            address: Address::contract(id.0 as u64),
+            destination,
+            condition,
+            invocations: 0,
+        }
+    }
+
+    /// Evaluates the condition against a balance oracle.
+    ///
+    /// `balance_of` returns the *current* balance of an address (zero for
+    /// unknown accounts, matching Ethereum semantics for empty accounts).
+    pub fn condition_holds(&self, balance_of: impl Fn(Address) -> Amount) -> bool {
+        match self.condition {
+            Condition::Always => true,
+            Condition::Never => false,
+            Condition::BalanceBelow(addr, limit) => balance_of(addr) < limit,
+            Condition::BalanceAtLeast(addr, floor) => balance_of(addr) >= floor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(balance: Amount) -> impl Fn(Address) -> Amount {
+        move |_| balance
+    }
+
+    #[test]
+    fn unconditional_always_holds() {
+        let c = SmartContract::unconditional(ContractId::new(0), Address::user(1));
+        assert!(c.condition_holds(oracle(Amount::ZERO)));
+        assert!(c.condition_holds(oracle(Amount::from_coins(100))));
+    }
+
+    #[test]
+    fn never_never_holds() {
+        let c = SmartContract::conditional(ContractId::new(0), Address::user(1), Condition::Never);
+        assert!(!c.condition_holds(oracle(Amount::from_coins(5))));
+    }
+
+    #[test]
+    fn balance_below_is_strict() {
+        let limit = Amount::from_coins(1);
+        let c = SmartContract::conditional(
+            ContractId::new(0),
+            Address::user(1),
+            Condition::BalanceBelow(Address::user(2), limit),
+        );
+        assert!(c.condition_holds(oracle(Amount::ZERO)));
+        assert!(!c.condition_holds(oracle(limit))); // equal fails
+        assert!(!c.condition_holds(oracle(Amount::from_coins(2))));
+    }
+
+    #[test]
+    fn balance_at_least_is_inclusive() {
+        let floor = Amount::from_coins(3);
+        let c = SmartContract::conditional(
+            ContractId::new(0),
+            Address::user(1),
+            Condition::BalanceAtLeast(Address::user(2), floor),
+        );
+        assert!(c.condition_holds(oracle(floor)));
+        assert!(c.condition_holds(oracle(Amount::from_coins(4))));
+        assert!(!c.condition_holds(oracle(Amount::from_coins(2))));
+    }
+
+    #[test]
+    fn contract_address_derivation_is_stable() {
+        let a = SmartContract::unconditional(ContractId::new(7), Address::user(1));
+        let b = SmartContract::unconditional(ContractId::new(7), Address::user(2));
+        assert_eq!(a.address, b.address);
+        assert_eq!(a.address, Address::contract(7));
+    }
+}

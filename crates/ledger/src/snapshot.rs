@@ -1,0 +1,219 @@
+//! State snapshots: canonical serialization, digests, and restore.
+//!
+//! New miners joining a shard need the shard's state without replaying its
+//! whole history (the paper's future-work concern about MaxShard storage).
+//! A snapshot is a canonical, deterministic encoding of a [`State`]:
+//! accounts sorted by address, contracts in id order — so two honest nodes
+//! produce byte-identical snapshots and the SHA-256 [`StateSnapshot::digest`]
+//! doubles as a state commitment that can be pinned in checkpoints.
+
+use crate::account::Account;
+use crate::contract::SmartContract;
+use crate::state::State;
+use cshard_crypto::Sha256;
+use cshard_primitives::{Address, Amount, Hash32};
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of a [`State`].
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct StateSnapshot {
+    /// Accounts in ascending address order (canonical).
+    pub accounts: Vec<(Address, Account)>,
+    /// Contracts in id order.
+    pub contracts: Vec<SmartContract>,
+    /// Total minted rewards.
+    pub minted: Amount,
+}
+
+impl StateSnapshot {
+    /// Captures a state.
+    pub fn capture(state: &State) -> StateSnapshot {
+        let mut accounts: Vec<(Address, Account)> = state
+            .accounts_iter()
+            .map(|(a, acct)| (*a, acct.clone()))
+            .collect();
+        accounts.sort_by_key(|&(a, _)| a);
+        let contracts = (0..state.contract_count() as u32)
+            .map(|c| {
+                state
+                    .contract(cshard_primitives::ContractId::new(c))
+                    .expect("dense registry")
+                    .clone()
+            })
+            .collect();
+        StateSnapshot {
+            accounts,
+            contracts,
+            minted: state.minted(),
+        }
+    }
+
+    /// Rebuilds the state. The result is equivalent to the captured one:
+    /// same balances, nonces, contracts and mint counter.
+    pub fn restore(&self) -> State {
+        State::from_parts(
+            self.accounts.iter().cloned(),
+            self.contracts.clone(),
+            self.minted,
+        )
+    }
+
+    /// The canonical SHA-256 commitment of the snapshot.
+    pub fn digest(&self) -> Hash32 {
+        let mut h = Sha256::new();
+        h.update(b"cshard-state-v1");
+        h.update((self.accounts.len() as u64).to_be_bytes());
+        for (addr, acct) in &self.accounts {
+            h.update(addr.as_bytes());
+            h.update(acct.balance.raw().to_be_bytes());
+            h.update(acct.nonce.to_be_bytes());
+            match acct.kind {
+                crate::account::AccountKind::User => {
+                    h.update([0u8]);
+                }
+                crate::account::AccountKind::Contract(id) => {
+                    h.update([1u8]);
+                    h.update(id.0.to_be_bytes());
+                }
+            }
+        }
+        h.update((self.contracts.len() as u64).to_be_bytes());
+        for c in &self.contracts {
+            h.update(c.id.0.to_be_bytes());
+            h.update(c.address.as_bytes());
+            h.update(c.destination.as_bytes());
+            h.update(c.invocations.to_be_bytes());
+            match c.condition {
+                crate::contract::Condition::Always => {
+                    h.update([0u8]);
+                }
+                crate::contract::Condition::Never => {
+                    h.update([1u8]);
+                }
+                crate::contract::Condition::BalanceBelow(a, v) => {
+                    h.update([2u8]);
+                    h.update(a.as_bytes());
+                    h.update(v.raw().to_be_bytes());
+                }
+                crate::contract::Condition::BalanceAtLeast(a, v) => {
+                    h.update([3u8]);
+                    h.update(a.as_bytes());
+                    h.update(v.raw().to_be_bytes());
+                }
+            }
+        }
+        h.update(self.minted.raw().to_be_bytes());
+        h.finalize()
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot is serializable")
+    }
+
+    /// Parses a JSON snapshot.
+    pub fn from_json(json: &str) -> Result<StateSnapshot, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::Transaction;
+    use cshard_primitives::ContractId;
+
+    fn busy_state() -> State {
+        let mut s = State::new();
+        for u in 0..10 {
+            s.fund_user(Address::user(u), Amount::from_coins(20));
+        }
+        s.register_contract(SmartContract::unconditional(
+            ContractId::new(0),
+            Address::user(99),
+        ));
+        for u in 0..5 {
+            let tx = Transaction::call(
+                Address::user(u),
+                0,
+                ContractId::new(0),
+                Amount::from_coins(1),
+                Amount::from_raw(7),
+            );
+            s.apply_transaction(&tx, Address::miner(0)).unwrap();
+        }
+        s.mint(Address::miner(0), Amount::from_coins(2));
+        s
+    }
+
+    #[test]
+    fn capture_restore_round_trips_semantics() {
+        let s = busy_state();
+        let restored = StateSnapshot::capture(&s).restore();
+        assert_eq!(restored.total_balance(), s.total_balance());
+        assert_eq!(restored.minted(), s.minted());
+        for u in 0..10 {
+            assert_eq!(restored.balance_of(Address::user(u)), s.balance_of(Address::user(u)));
+            assert_eq!(restored.nonce_of(Address::user(u)), s.nonce_of(Address::user(u)));
+        }
+        assert_eq!(
+            restored.contract(ContractId::new(0)).unwrap().invocations,
+            5
+        );
+    }
+
+    #[test]
+    fn restored_state_accepts_further_transactions() {
+        let s = busy_state();
+        let mut restored = StateSnapshot::capture(&s).restore();
+        // User 0's nonce is 1 now; the next transaction must use it.
+        let tx = Transaction::call(
+            Address::user(0),
+            1,
+            ContractId::new(0),
+            Amount::from_coins(1),
+            Amount::from_raw(3),
+        );
+        restored.apply_transaction(&tx, Address::miner(0)).unwrap();
+    }
+
+    #[test]
+    fn digest_is_canonical_across_replicas() {
+        // Build "the same" state along two different operation orders; the
+        // snapshots and digests must agree.
+        let mut a = State::new();
+        a.fund_user(Address::user(1), Amount::from_coins(5));
+        a.fund_user(Address::user(2), Amount::from_coins(7));
+        let mut b = State::new();
+        b.fund_user(Address::user(2), Amount::from_coins(7));
+        b.fund_user(Address::user(1), Amount::from_coins(5));
+        let sa = StateSnapshot::capture(&a);
+        let sb = StateSnapshot::capture(&b);
+        assert_eq!(sa, sb);
+        assert_eq!(sa.digest(), sb.digest());
+    }
+
+    #[test]
+    fn digest_detects_any_tampering() {
+        let snap = StateSnapshot::capture(&busy_state());
+        let base = snap.digest();
+        let mut t = snap.clone();
+        t.accounts[0].1.balance += Amount::from_raw(1);
+        assert_ne!(t.digest(), base);
+        let mut t = snap.clone();
+        t.minted += Amount::from_raw(1);
+        assert_ne!(t.digest(), base);
+        let mut t = snap.clone();
+        t.contracts[0].invocations += 1;
+        assert_ne!(t.digest(), base);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let snap = StateSnapshot::capture(&busy_state());
+        let back = StateSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(snap.digest(), back.digest());
+        assert!(StateSnapshot::from_json("nope").is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Network latency model for block propagation.
+//!
+//! Table I's plateau comes from propagation: two blocks found within the
+//! propagation window of each other are in conflict, and since vanilla
+//! miners select identical transaction sets the loser's work is pure waste.
+//! The model here is the standard constant-plus-jitter link delay.
+
+use cshard_primitives::SimTime;
+
+/// A broadcast latency model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed one-way propagation delay.
+    pub base: SimTime,
+    /// Additional uniform jitter in `[0, jitter]`, sampled per delivery.
+    pub jitter: SimTime,
+}
+
+impl LatencyModel {
+    /// A zero-latency network (pure-algorithm experiments).
+    pub const INSTANT: LatencyModel = LatencyModel {
+        base: SimTime(0),
+        jitter: SimTime(0),
+    };
+
+    /// A typical wide-area blockchain gossip delay: ~2 s base with up to
+    /// 1 s jitter (block relay measurements for Ethereum-like networks).
+    pub fn wide_area() -> Self {
+        LatencyModel {
+            base: SimTime::from_millis(2000),
+            jitter: SimTime::from_millis(1000),
+        }
+    }
+
+    /// A constant-delay model.
+    pub fn constant(delay: SimTime) -> Self {
+        LatencyModel {
+            base: delay,
+            jitter: SimTime::ZERO,
+        }
+    }
+
+    /// Samples one delivery delay given a uniform draw `u ∈ [0, 1)`.
+    ///
+    /// Taking the draw as a parameter (rather than an RNG) keeps this type
+    /// pure and lets callers use their own seeded streams.
+    pub fn delay(&self, u: f64) -> SimTime {
+        assert!((0.0..1.0).contains(&u), "u must be in [0,1)");
+        self.base + SimTime::from_millis((self.jitter.as_millis() as f64 * u) as u64)
+    }
+
+    /// The worst-case delivery delay — the conflict window used by the
+    /// stale-block rule.
+    pub fn max_delay(&self) -> SimTime {
+        self.base + self.jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_is_zero() {
+        assert_eq!(LatencyModel::INSTANT.delay(0.5), SimTime::ZERO);
+        assert_eq!(LatencyModel::INSTANT.max_delay(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn constant_has_no_jitter() {
+        let m = LatencyModel::constant(SimTime::from_millis(500));
+        assert_eq!(m.delay(0.0), SimTime::from_millis(500));
+        assert_eq!(m.delay(0.999), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn jitter_spans_the_range() {
+        let m = LatencyModel::wide_area();
+        assert_eq!(m.delay(0.0), SimTime::from_millis(2000));
+        let top = m.delay(0.999_999);
+        assert!(top >= SimTime::from_millis(2990));
+        assert!(top <= m.max_delay());
+    }
+
+    #[test]
+    fn delay_is_monotone_in_u() {
+        let m = LatencyModel::wide_area();
+        assert!(m.delay(0.2) <= m.delay(0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "u must be in")]
+    fn out_of_range_draw_panics() {
+        LatencyModel::wide_area().delay(1.0);
+    }
+}

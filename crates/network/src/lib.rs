@@ -1,0 +1,19 @@
+//! Simulated peer-to-peer network: latency modelling and — crucially for
+//! the paper's evaluation — **communication accounting**.
+//!
+//! Fig. 4(b)/(c) measure "communication times per shard": how many rounds of
+//! cross-shard communication each scheme performs. The contract-centric
+//! design needs zero during validation and exactly two per shard during a
+//! merge (submit sizes → receive broadcast); ChainSpace needs at least two
+//! rounds per cross-shard transaction. [`CommStats`] is the single ledger
+//! all schemes report into, so the comparison is apples-to-apples.
+
+#![warn(missing_docs)]
+
+pub mod gossip;
+pub mod latency;
+pub mod stats;
+
+pub use gossip::GossipNet;
+pub use latency::LatencyModel;
+pub use stats::{CommKind, CommStats};

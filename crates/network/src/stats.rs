@@ -1,0 +1,188 @@
+//! Cross-shard communication accounting.
+
+use cshard_primitives::ShardId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a communication round was for — lets experiments slice the totals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommKind {
+    /// Cross-shard transaction validation (ChainSpace-style consensus).
+    CrossShardValidation,
+    /// Submitting per-shard statistics to the verifiable leader
+    /// (parameter unification, step 1).
+    StatSubmission,
+    /// The leader's broadcast of unified parameters (step 2).
+    ParameterBroadcast,
+    /// Anything else (labelled ad hoc in tests).
+    Other,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    per_shard: HashMap<ShardId, u64>,
+    per_kind: HashMap<CommKind, u64>,
+    total: u64,
+}
+
+/// Thread-safe communication counter, shared by every component of a run.
+///
+/// A "communication time" is one round of cross-shard messaging, counted
+/// once per participating shard — the unit Fig. 4 reports.
+#[derive(Clone, Debug, Default)]
+pub struct CommStats {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl CommStats {
+    /// A fresh, zeroed counter.
+    pub fn new() -> Self {
+        CommStats::default()
+    }
+
+    /// Records one communication round in which `shard` participated.
+    pub fn record(&self, shard: ShardId, kind: CommKind) {
+        self.record_many(shard, kind, 1);
+    }
+
+    /// Records `count` rounds at once.
+    pub fn record_many(&self, shard: ShardId, kind: CommKind, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        *inner.per_shard.entry(shard).or_insert(0) += count;
+        *inner.per_kind.entry(kind).or_insert(0) += count;
+        inner.total += count;
+    }
+
+    /// Total communication rounds across all shards.
+    pub fn total(&self) -> u64 {
+        self.inner.lock().total
+    }
+
+    /// Rounds in which a specific shard participated.
+    pub fn for_shard(&self, shard: ShardId) -> u64 {
+        self.inner
+            .lock()
+            .per_shard
+            .get(&shard)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Rounds of a specific kind.
+    pub fn for_kind(&self, kind: CommKind) -> u64 {
+        self.inner
+            .lock()
+            .per_kind
+            .get(&kind)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Average rounds per shard over `shard_count` shards — the y-axis of
+    /// Fig. 4(b)/(c).
+    pub fn per_shard_average(&self, shard_count: usize) -> f64 {
+        assert!(shard_count > 0);
+        self.total() as f64 / shard_count as f64
+    }
+
+    /// Maximum rounds over the shards that communicated at all.
+    pub fn per_shard_max(&self) -> u64 {
+        self.inner
+            .lock()
+            .per_shard
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Resets every counter (reused between experiment repetitions).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.per_shard.clear();
+        inner.per_kind.clear();
+        inner.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let s = CommStats::new();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.for_shard(ShardId::new(0)), 0);
+        assert_eq!(s.per_shard_max(), 0);
+    }
+
+    #[test]
+    fn records_accumulate_by_shard_and_kind() {
+        let s = CommStats::new();
+        s.record(ShardId::new(0), CommKind::CrossShardValidation);
+        s.record(ShardId::new(0), CommKind::CrossShardValidation);
+        s.record(ShardId::new(1), CommKind::StatSubmission);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.for_shard(ShardId::new(0)), 2);
+        assert_eq!(s.for_shard(ShardId::new(1)), 1);
+        assert_eq!(s.for_kind(CommKind::CrossShardValidation), 2);
+        assert_eq!(s.for_kind(CommKind::ParameterBroadcast), 0);
+    }
+
+    #[test]
+    fn record_many_and_zero() {
+        let s = CommStats::new();
+        s.record_many(ShardId::new(2), CommKind::Other, 5);
+        s.record_many(ShardId::new(2), CommKind::Other, 0);
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.per_shard_max(), 5);
+    }
+
+    #[test]
+    fn per_shard_average() {
+        let s = CommStats::new();
+        for i in 0..9 {
+            s.record_many(ShardId::new(i), CommKind::StatSubmission, 2);
+        }
+        assert!((s.per_shard_average(9) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = CommStats::new();
+        let t = s.clone();
+        t.record(ShardId::MAX_SHARD, CommKind::Other);
+        assert_eq!(s.total(), 1);
+        assert_eq!(s.for_shard(ShardId::MAX_SHARD), 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = CommStats::new();
+        s.record(ShardId::new(0), CommKind::Other);
+        s.reset();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.for_shard(ShardId::new(0)), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let s = CommStats::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record(ShardId::new(t), CommKind::Other);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.total(), 4000);
+    }
+}

@@ -1,0 +1,69 @@
+//! Minimal hex encode/decode helpers (no external dependency).
+
+/// Encodes bytes as lowercase hex.
+pub fn encode(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0x0F) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (optionally `0x`-prefixed, case-insensitive).
+///
+/// Returns `None` on odd length or non-hex characters.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = hex_val(pair[0])?;
+        let lo = hex_val(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Some(out)
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_known_vectors() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(encode(&[0x00, 0xFF, 0x10]), "00ff10");
+    }
+
+    #[test]
+    fn decode_known_vectors() {
+        assert_eq!(decode("00ff10"), Some(vec![0x00, 0xFF, 0x10]));
+        assert_eq!(decode("0x00FF10"), Some(vec![0x00, 0xFF, 0x10]));
+        assert_eq!(decode(""), Some(vec![]));
+    }
+
+    #[test]
+    fn decode_rejects_invalid() {
+        assert_eq!(decode("abc"), None); // odd length
+        assert_eq!(decode("zz"), None); // bad chars
+    }
+
+    #[test]
+    fn round_trip_all_bytes() {
+        let all: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&all)), Some(all));
+    }
+}

@@ -1,0 +1,22 @@
+//! Fundamental value types shared by every ContractShard crate.
+//!
+//! This crate is dependency-light on purpose: it defines the vocabulary of
+//! the system — hashes, addresses, amounts, identifiers and simulated time —
+//! and nothing else. Every other crate builds on these types, so they are all
+//! small, `Copy` where possible, and implement the full complement of
+//! ordering/hashing traits needed to be used as map keys.
+
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod amount;
+pub mod hash;
+pub mod hex;
+pub mod ids;
+pub mod time;
+
+pub use address::Address;
+pub use amount::Amount;
+pub use hash::Hash32;
+pub use ids::{BlockHeight, ContractId, MinerId, Nonce, ShardId, TxId};
+pub use time::SimTime;

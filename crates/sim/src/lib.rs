@@ -1,0 +1,14 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! Replaces the paper's AWS testbed: block discovery, propagation and
+//! injection become timestamped events on a priority queue. Everything is
+//! seeded, so a run is a pure function of its configuration — the property
+//! the parameter-unification scheme (Sec. IV-C) also relies on.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rng;
+
+pub use engine::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;

@@ -1,0 +1,86 @@
+//! # ContractShard
+//!
+//! A from-scratch Rust implementation of **"On Sharding Open Blockchains
+//! with Smart Contracts"** (Tao et al., ICDE 2020): contract-centric
+//! sharding for account-based blockchains, with the paper's inter-shard
+//! merging game, intra-shard transaction-selection game, and parameter
+//! unification scheme — plus every substrate they need (ledger, PoW,
+//! simulated network, discrete-event runtime) and the full evaluation
+//! harness.
+//!
+//! This crate is the facade: it re-exports the workspace crates under one
+//! roof and hosts the runnable examples and cross-crate integration tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use contractshard::prelude::*;
+//!
+//! // 200 transactions spread over 8 contracts + the MaxShard — the
+//! // paper's nine-shard testbed workload.
+//! let workload = Workload::uniform_contracts(
+//!     200, 8, FeeDistribution::Uniform { lo: 1, hi: 100 }, 42,
+//! );
+//!
+//! // Run the contract-centric sharding system…
+//! let system = ShardingSystem::testbed(RuntimeConfig::default());
+//! let report = system.run(&workload);
+//!
+//! // …and compare with the single-chain Ethereum baseline.
+//! let ethereum = simulate_ethereum(workload.fees(), 1, &RuntimeConfig::default());
+//! let improvement = throughput_improvement(&ethereum, &report.run);
+//! assert!(improvement > 2.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`primitives`] | hashes, addresses, amounts, ids, simulated time |
+//! | [`crypto`] | SHA-256, PRF, simulated VRF, randomness beacon |
+//! | [`ledger`] | accounts, contracts, transactions, blocks, chains, mempool, call graph |
+//! | [`consensus`] | real PoW + the Poisson mining model |
+//! | [`network`] | latency model + cross-shard communication accounting |
+//! | [`sim`] | deterministic discrete-event engine |
+//! | [`games`] | merging game (Alg. 1+3), selection game (Alg. 2), parameter unification |
+//! | [`security`] | Fig. 1(d) shard safety and the Eq. (3)–(6) corruption bounds |
+//! | [`workload`] | the Sec. VI injection generators |
+//! | [`baselines`] | randomized merging, ChainSpace model, optimal oracles |
+//! | [`core`] | shard formation, miner assignment, runtime, the end-to-end system |
+
+#![warn(missing_docs)]
+
+pub use cshard_baselines as baselines;
+pub use cshard_consensus as consensus;
+pub use cshard_core as core;
+pub use cshard_crypto as crypto;
+pub use cshard_games as games;
+pub use cshard_ledger as ledger;
+pub use cshard_network as network;
+pub use cshard_primitives as primitives;
+pub use cshard_security as security;
+pub use cshard_sim as sim;
+pub use cshard_workload as workload;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use cshard_baselines::{random_merge, ChainspacePlacement};
+    pub use cshard_core::metrics::throughput_improvement;
+    pub use cshard_core::runtime::simulate_ethereum;
+    pub use cshard_core::system::{MinerAllocation, SystemConfig};
+    pub use cshard_core::{
+        simulate, MinerAssignment, RunReport, RuntimeConfig, SelectionStrategy, ShardPlan,
+        ShardSpec, ShardingSystem, SystemReport,
+    };
+    pub use cshard_crypto::{sha256, RandomnessBeacon, Vrf};
+    pub use cshard_games::{
+        best_reply_equilibrium, iterative_merge, GameInputs, MergingConfig, SelectionConfig,
+        UnifiedParameters,
+    };
+    pub use cshard_ledger::{
+        Block, CallGraph, Chain, Condition, Mempool, SmartContract, State, Transaction,
+    };
+    pub use cshard_primitives::{Address, Amount, ContractId, Hash32, MinerId, ShardId, SimTime};
+    pub use cshard_security::{shard_safety, CorruptionThreshold};
+    pub use cshard_workload::{FeeDistribution, Workload};
+}

@@ -1,0 +1,138 @@
+//! Property tests over the chain's fork behaviour: random block DAGs must
+//! preserve the ledger invariants no matter how adversarially branches are
+//! interleaved.
+
+use contractshard::prelude::*;
+use proptest::prelude::*;
+
+fn genesis() -> State {
+    let mut s = State::new();
+    for u in 0..8 {
+        s.fund_user(Address::user(u), Amount::from_coins(1000));
+    }
+    s.register_contract(SmartContract::unconditional(
+        ContractId::new(0),
+        Address::user(99),
+    ));
+    s
+}
+
+/// A scripted operation: extend the block at index `parent_pick` (modulo
+/// the number of known blocks, 0 = genesis) with `tx_user`'s next valid
+/// transaction (nonce derived from that branch's state).
+#[derive(Clone, Debug)]
+struct Op {
+    parent_pick: usize,
+    tx_user: u64,
+    fee: u64,
+    empty: bool,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (any::<usize>(), 0u64..8, 1u64..100, any::<bool>()).prop_map(
+            |(parent_pick, tx_user, fee, empty)| Op {
+                parent_pick,
+                tx_user,
+                fee,
+                empty,
+            },
+        ),
+        0..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_forks_preserve_every_invariant(ops in arb_ops()) {
+        let mut chain = Chain::new(ShardId::new(0), 0, genesis());
+        // Known block hashes with their heights; genesis is ZERO at 0.
+        let mut known: Vec<(Hash32, u64)> = vec![(Hash32::ZERO, 0)];
+        let mut accepted = 0usize;
+
+        for op in &ops {
+            let (parent, parent_height) = known[op.parent_pick % known.len()];
+            // Build the branch-consistent transaction (nonce from the
+            // parent state).
+            let txs = if op.empty {
+                vec![]
+            } else {
+                let state = chain.state_at(parent);
+                let sender = Address::user(op.tx_user);
+                vec![Transaction::call(
+                    sender,
+                    state.nonce_of(sender),
+                    ContractId::new(0),
+                    Amount::from_coins(1),
+                    Amount::from_raw(op.fee),
+                )]
+            };
+            let block = Block::assemble(
+                parent,
+                parent_height + 1,
+                ShardId::new(0),
+                MinerId::new((op.tx_user % 4) as u32),
+                SimTime::from_millis((accepted as u64 + 1) * 1000),
+                0,
+                txs,
+            );
+            let hash = block.hash();
+            match chain.accept_block(block) {
+                Ok(()) => {
+                    known.push((hash, parent_height + 1));
+                    accepted += 1;
+                }
+                Err(e) => {
+                    // The only legitimate rejection in this script is a
+                    // duplicate (same parent + same tx + same timestamp can
+                    // recur when ops repeat).
+                    prop_assert!(
+                        matches!(e, contractshard::ledger::LedgerError::DuplicateBlock(_)),
+                        "unexpected rejection: {e}"
+                    );
+                }
+            }
+
+            // Invariant 1: the tip is a maximal-height block.
+            let max_height = known.iter().map(|&(_, h)| h).max().unwrap();
+            prop_assert_eq!(chain.height(), max_height);
+
+            // Invariant 2: canonical chain links genesis → tip with
+            // heights 1..=tip.
+            let canonical = chain.canonical_blocks();
+            prop_assert_eq!(canonical.len() as u64, chain.height());
+            let mut prev = Hash32::ZERO;
+            for (i, b) in canonical.iter().enumerate() {
+                prop_assert_eq!(b.header.parent, prev);
+                prop_assert_eq!(b.header.height, i as u64 + 1);
+                prev = b.hash();
+            }
+            if let Some(last) = canonical.last() {
+                prop_assert_eq!(last.hash(), chain.tip());
+            }
+
+            // Invariant 3: replaying the canonical chain from genesis
+            // reproduces the cached tip state (value conservation + nonces).
+            let mut replay = genesis();
+            for b in &canonical {
+                replay.apply_block(b).expect("canonical blocks are valid");
+            }
+            prop_assert_eq!(replay.total_balance(), chain.state().total_balance());
+            for u in 0..8 {
+                prop_assert_eq!(
+                    replay.nonce_of(Address::user(u)),
+                    chain.state().nonce_of(Address::user(u))
+                );
+            }
+
+            // Invariant 4: conservation — balances = genesis + minted.
+            let base = genesis().total_balance();
+            prop_assert_eq!(
+                chain.state().total_balance(),
+                base + chain.state().minted()
+            );
+        }
+    }
+}

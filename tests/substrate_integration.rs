@@ -1,0 +1,122 @@
+//! Integration across the newer substrates: snapshots, traces, the compact
+//! classifier, epochs and proportional allocation working together.
+
+use contractshard::core::system::{MinerAllocation, SystemConfig};
+use contractshard::ledger::{CompactClassifier, StateSnapshot};
+use contractshard::prelude::*;
+use contractshard::workload::{mainnet_shaped, Trace};
+
+const FEES: FeeDistribution = FeeDistribution::Uniform { lo: 1, hi: 100 };
+
+#[test]
+fn snapshot_sync_joins_a_running_shard() {
+    // A shard runs for a while; a new miner syncs from a snapshot and can
+    // validate the next block without replaying history.
+    let w = Workload::uniform_contracts(40, 1, FEES, 1);
+    let mut state = w.genesis.clone();
+    for tx in &w.transactions[..20] {
+        state.apply_transaction(tx, Address::miner(0)).unwrap();
+    }
+
+    // Checkpoint: snapshot + digest travel to the newcomer.
+    let snap = StateSnapshot::capture(&state);
+    let digest = snap.digest();
+    let json = snap.to_json();
+
+    // Newcomer restores and verifies the commitment.
+    let received = StateSnapshot::from_json(&json).unwrap();
+    assert_eq!(received.digest(), digest, "commitment pins the snapshot");
+    let mut synced = received.restore();
+
+    // Both the original and the synced node apply the remaining txs and
+    // end in identical states.
+    for tx in &w.transactions[20..] {
+        state.apply_transaction(tx, Address::miner(0)).unwrap();
+        synced.apply_transaction(tx, Address::miner(0)).unwrap();
+    }
+    assert_eq!(
+        StateSnapshot::capture(&state).digest(),
+        StateSnapshot::capture(&synced).digest()
+    );
+}
+
+#[test]
+fn trace_export_replay_runs_identically_through_the_system() {
+    let original = Workload::with_small_shards(150, 6, 2, &[3, 4], FEES, 2);
+    let replayed = Trace::from_workload(&original).replay();
+
+    let run = |w: &Workload| {
+        ShardingSystem::testbed(RuntimeConfig {
+            seed: 5,
+            ..RuntimeConfig::default()
+        })
+        .run(w)
+    };
+    let a = run(&original);
+    let b = run(&replayed);
+    assert_eq!(a.shard_sizes, b.shard_sizes, "formation identical");
+    assert_eq!(a.run.completion, b.run.completion, "simulation identical");
+}
+
+#[test]
+fn compact_classifier_agrees_with_callgraph_on_real_workloads() {
+    let w = mainnet_shaped(3_000, 30, 0.15, FEES, 3);
+    let mut graph = CallGraph::new();
+    let mut compact = CompactClassifier::new();
+    graph.observe_all(w.transactions.iter());
+    compact.observe_all(w.transactions.iter());
+    for tx in &w.transactions {
+        assert_eq!(
+            graph.isolable_contract(tx),
+            compact.isolable_contract(tx),
+            "divergence on {tx:?}"
+        );
+    }
+    assert_eq!(graph.sender_count(), compact.sender_count());
+}
+
+#[test]
+fn mainnet_shaped_workload_through_the_full_system() {
+    let w = mainnet_shaped(1_000, 16, 0.1, FEES, 4);
+    let report = ShardingSystem::new(SystemConfig {
+        runtime: RuntimeConfig {
+            seed: 4,
+            mean_block_interval: SimTime::from_millis(500),
+            conflict_window: SimTime::from_millis(500),
+            ..RuntimeConfig::default()
+        },
+        merging: Some(MergingConfig {
+            lower_bound: 10,
+            ..MergingConfig::default()
+        }),
+        selection: Some(500),
+        allocation: MinerAllocation::Proportional { total: 40 },
+        epoch: 4,
+    })
+    .run(&w);
+    assert_eq!(report.run.total_txs(), 1_000);
+    assert!(report.run.shards.iter().all(|s| s.confirmed == s.txs));
+    // The dominant contract shard exists and is the biggest.
+    let max_size = report.shard_sizes.iter().map(|&(_, s)| s).max().unwrap();
+    assert!(max_size > 1_000 / 16);
+}
+
+#[test]
+fn epoch_manager_drives_node_verification() {
+    use contractshard::core::epoch::EpochManager;
+    // The epoch outcome's assignment rule is exactly what nodes verify
+    // block shard-claims against.
+    let mut mgr = EpochManager::with_miner_count(40);
+    let w = Workload::uniform_contracts(100, 3, FEES, 6);
+    let out = mgr.run_epoch(&w.transactions);
+    for (id, shard) in out.shard_of.iter().take(10) {
+        let pk = mgr.public_key(*id).unwrap();
+        assert!(out.assignment.verify_claim(pk, *shard));
+        // A forged claim to any other shard fails.
+        for other in out.assignment.shards() {
+            if other != shard {
+                assert!(!out.assignment.verify_claim(pk, *other));
+            }
+        }
+    }
+}
