@@ -23,7 +23,7 @@ fn bench_system_run(c: &mut Criterion) {
                     seed,
                     ..RuntimeConfig::default()
                 });
-                black_box(sys.run(w).run.completion)
+                black_box(sys.run(w).expect("valid config").run.completion)
             });
         });
     }
@@ -65,7 +65,7 @@ fn bench_merging_pipeline(c: &mut Criterion) {
                 epoch: seed,
                 ..SystemConfig::default()
             });
-            black_box(sys.run(&w).run.completion)
+            black_box(sys.run(&w).expect("valid config").run.completion)
         });
     });
     group.finish();

@@ -43,7 +43,7 @@ fn bench_unification(c: &mut Criterion) {
         b.iter(|| {
             let stats = CommStats::new();
             params.record_communication(&stats);
-            black_box((params.merge_outcome().new_shard_count(), stats.total()))
+            black_box((params.merge_outcome().expect("merge inputs").new_shard_count(), stats.total()))
         });
     });
 }

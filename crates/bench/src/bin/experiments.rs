@@ -1,13 +1,16 @@
 //! The evaluation driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments <id>... [--quick] [--json <dir>] [--svg <dir>]
-//! experiments all [--quick] [--json <dir>] [--svg <dir>]
+//! experiments <id>... [--quick] [--threads <n>] [--json <dir>] [--svg <dir>]
+//! experiments all [--quick] [--threads <n>] [--json <dir>] [--svg <dir>]
 //! experiments list
 //! ```
 //!
 //! Ids: table1, fig1d, fig3a..fig3h, fig4a..fig4c, fig5a, fig5b, sec4d.
 //! `--quick` shrinks repeat counts (same sweeps, noisier averages);
+//! `--threads <n>` caps the workers used for independent grid points
+//! (default 0 = one per core; 1 = sequential — results are identical
+//! either way, only wall-clock changes);
 //! `--json <dir>` additionally writes one JSON file per experiment.
 
 use cshard_bench::experiments;
@@ -24,6 +27,13 @@ fn main() -> ExitCode {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => experiments::set_grid_threads(n),
+                None => {
+                    eprintln!("--threads needs a worker count (0 = one per core)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--json" => match it.next() {
                 Some(dir) => json_dir = Some(dir),
                 None => {
@@ -54,7 +64,9 @@ fn main() -> ExitCode {
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: experiments <id>...|all|ablations [--quick] [--json <dir>]");
+        eprintln!(
+            "usage: experiments <id>...|all|ablations [--quick] [--threads <n>] [--json <dir>]"
+        );
         eprintln!("ids: {}", experiments::ALL.join(", "));
         eprintln!("ablations: {}", experiments::ABLATIONS.join(", "));
         return ExitCode::FAILURE;

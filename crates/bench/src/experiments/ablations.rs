@@ -77,7 +77,7 @@ pub fn run_window(quick: bool) -> ExperimentResult {
                 conflict_window: SimTime::from_secs(w),
                 ..RuntimeConfig::default()
             };
-            let sharded = ShardingSystem::testbed(cfg.clone()).run(&wl);
+            let sharded = ShardingSystem::testbed(cfg.clone()).run(&wl).expect("valid config");
             let eth = simulate_ethereum(wl.fees(), 9, &cfg);
             imp += throughput_improvement(&eth, &sharded.run);
         }
@@ -251,7 +251,7 @@ pub fn run_alloc(quick: bool) -> ExperimentResult {
                 ),
                 ..SystemConfig::default()
             })
-            .run(&wl);
+            .run(&wl).expect("valid config");
             let prop_run = ShardingSystem::new(SystemConfig {
                 runtime: rt.clone(),
                 selection: Some(1000),
@@ -260,7 +260,7 @@ pub fn run_alloc(quick: bool) -> ExperimentResult {
                 },
                 ..SystemConfig::default()
             })
-            .run(&wl);
+            .run(&wl).expect("valid config");
             flat += throughput_improvement(&eth, &flat_run.run);
             proportional += throughput_improvement(&eth, &prop_run.run);
         }

@@ -7,7 +7,7 @@
 //! improvement curve is anchored at 1.0 for one shard, and Table I shows
 //! extra miners do not speed the serialized chain up).
 
-use crate::experiments::default_fees;
+use crate::experiments::{default_fees, grid_executor};
 use crate::report::{ExperimentResult, Series};
 use cshard_core::metrics::throughput_improvement;
 use cshard_core::runtime::simulate_ethereum;
@@ -30,7 +30,7 @@ fn measure(shards: usize, repeats: u64) -> Point {
             seed,
             ..RuntimeConfig::default()
         };
-        let sharded = ShardingSystem::testbed(cfg.clone()).run(&w);
+        let sharded = ShardingSystem::testbed(cfg.clone()).run(&w).expect("valid config");
         let ethereum = simulate_ethereum(w.fees(), 1, &cfg);
         imp += throughput_improvement(&ethereum, &sharded.run);
         se += sharded.run.empty_blocks_per_shard();
@@ -46,7 +46,8 @@ fn measure(shards: usize, repeats: u64) -> Point {
 
 fn sweep(quick: bool) -> Vec<(usize, Point)> {
     let repeats = if quick { 4 } else { 20 };
-    (1..=9).map(|s| (s, measure(s, repeats))).collect()
+    // Every shard count is an independently seeded measurement.
+    grid_executor().run((1..=9).collect(), move |_, s| (s, measure(s, repeats)))
 }
 
 /// Fig. 3(a): throughput improvement vs. number of shards.

@@ -11,7 +11,7 @@
 //!   constant 2 of parameter unification (submit statistics + receive the
 //!   broadcast), independent of the number of small shards.
 
-use crate::experiments::default_fees;
+use crate::experiments::{default_fees, grid_executor};
 use crate::report::{ExperimentResult, Series};
 use cshard_baselines::ChainspacePlacement;
 use cshard_core::metrics::throughput_improvement;
@@ -34,6 +34,7 @@ fn chainspace_runtime(seed: u64, capacity: usize) -> RuntimeConfig {
         conflict_window: SimTime::from_secs_f64(interval),
         empty_block_window: None,
         seed,
+        ..RuntimeConfig::default()
     }
 }
 
@@ -52,7 +53,7 @@ pub fn run_a(quick: bool) -> ExperimentResult {
             let ethereum = simulate_ethereum(w.fees(), 1, &cfg);
 
             // Ours: contract-centric formation.
-            let sharded = ShardingSystem::testbed(cfg.clone()).run(&w);
+            let sharded = ShardingSystem::testbed(cfg.clone()).run(&w).expect("valid config");
             ours_imp += throughput_improvement(&ethereum, &sharded.run);
 
             // ChainSpace: uniform random placement of the same transactions.
@@ -105,22 +106,21 @@ pub fn run_b(quick: bool) -> ExperimentResult {
     let mut ours_pts = Vec::new();
     let mut cs_pts = Vec::new();
     for &count in &xs {
-        let mut cs_avg = 0.0;
-        for seed in 0..repeats {
+        // The repeats are independently seeded runs — fan them out.
+        let per_seed = grid_executor().run((0..repeats).collect(), |_, seed| {
             let w = Workload::three_input(count, 3, default_fees(), seed);
             // ChainSpace: random placement → cross-shard validation rounds.
             let stats = CommStats::new();
             let placement = ChainspacePlacement::place(&w.transactions, shards, seed);
             placement.record_validation_communication(&stats);
-            cs_avg += stats.per_shard_average(shards);
 
             // Ours: every 3-input tx is MaxShard-internal → zero rounds.
-            let stats = CommStats::new();
             let sharded = ShardingSystem::testbed(chainspace_runtime(seed, 10));
-            let report = sharded.run(&w);
+            let report = sharded.run(&w).expect("valid config");
             assert_eq!(report.comm.total(), 0);
-            drop(stats);
-        }
+            stats.per_shard_average(shards)
+        });
+        let cs_avg: f64 = per_seed.iter().sum();
         ours_pts.push((count as f64, 0.0));
         cs_pts.push((count as f64, cs_avg / repeats as f64));
     }
@@ -168,7 +168,7 @@ pub fn run_c(quick: bool) -> ExperimentResult {
             }),
             ..SystemConfig::default()
         })
-        .run(&w);
+        .run(&w).expect("valid config");
         let per_shard = if small == 0 {
             0.0
         } else {

@@ -5,6 +5,7 @@
 //! * (b) number of distinct transaction sets reached by the selection game
 //!   vs. the optimal (= miner count), up to 1000 miners.
 
+use crate::experiments::grid_executor;
 use crate::report::{ExperimentResult, Series};
 use cshard_baselines::{optimal_distinct_sets, optimal_new_shards};
 use cshard_games::selection::{best_reply_equilibrium, SelectionConfig};
@@ -25,18 +26,21 @@ pub fn run_a(quick: bool) -> ExperimentResult {
         lower_bound,
         ..MergingConfig::default()
     };
-    let mut ours = Vec::new();
-    let mut optimal = Vec::new();
-    for &n in &xs {
+    // Grid points are seeded by `n` alone, so they are independent tasks.
+    let points = grid_executor().run(xs.clone(), |_, n| {
         let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
         // "We randomly generate different numbers of transactions in
         // multiple small shards" — 1..=9 like the testbed runs.
         let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=9u64)).collect();
         let probs = vec![0.5; n];
         let out = iterative_merge(&sizes, &probs, &config, n as u64);
-        ours.push((n as f64, out.new_shard_count() as f64));
-        optimal.push((n as f64, optimal_new_shards(&sizes, lower_bound) as f64));
-    }
+        (
+            (n as f64, out.new_shard_count() as f64),
+            (n as f64, optimal_new_shards(&sizes, lower_bound) as f64),
+        )
+    });
+    type Points = Vec<(f64, f64)>;
+    let (ours, optimal): (Points, Points) = points.into_iter().unzip();
     let ratio: f64 = ours
         .iter()
         .zip(&optimal)
@@ -82,29 +86,36 @@ pub fn run_b(quick: bool) -> ExperimentResult {
     };
     let capacity = 10usize;
     let repeats = if quick { 3 } else { 10 };
+    // Flatten (miners, repeat) into independent tasks — each is seeded by
+    // its own pair, so the fan-out is deterministic and load-balanced
+    // (the 1000-miner repeats dominate; one point would bottleneck).
+    let pairs: Vec<(usize, usize)> = xs
+        .iter()
+        .flat_map(|&miners| (0..repeats).map(move |rep| (miners, rep)))
+        .collect();
+    let counts = grid_executor().run(pairs, |_, (miners, rep)| {
+        let mut rng = ChaCha8Rng::seed_from_u64((miners * 31 + rep) as u64 ^ 0xBEEF);
+        // Candidate-set fee = sum of `capacity` heavy-tailed tx fees.
+        let fee_model = FeeDistribution::Zipf { max: 50_000, s: 1.1 };
+        let set_fees: Vec<u64> = (0..miners)
+            .map(|_| (0..capacity).map(|_| fee_model.sample(&mut rng)).sum())
+            .collect();
+        // Each miner picks one set; staggered initial choices.
+        let initial: Vec<Vec<usize>> = (0..miners).map(|m| vec![m]).collect();
+        let out = best_reply_equilibrium(
+            &set_fees,
+            &initial,
+            &SelectionConfig {
+                capacity: 1,
+                max_rounds: 10_000,
+            },
+        );
+        out.covered_tx_count() as f64
+    });
     let mut ours = Vec::new();
     let mut optimal = Vec::new();
-    for &miners in &xs {
-        let mut distinct_sum = 0.0;
-        for rep in 0..repeats {
-            let mut rng = ChaCha8Rng::seed_from_u64((miners * 31 + rep) as u64 ^ 0xBEEF);
-            // Candidate-set fee = sum of `capacity` heavy-tailed tx fees.
-            let fee_model = FeeDistribution::Zipf { max: 50_000, s: 1.1 };
-            let set_fees: Vec<u64> = (0..miners)
-                .map(|_| (0..capacity).map(|_| fee_model.sample(&mut rng)).sum())
-                .collect();
-            // Each miner picks one set; staggered initial choices.
-            let initial: Vec<Vec<usize>> = (0..miners).map(|m| vec![m]).collect();
-            let out = best_reply_equilibrium(
-                &set_fees,
-                &initial,
-                &SelectionConfig {
-                    capacity: 1,
-                    max_rounds: 10_000,
-                },
-            );
-            distinct_sum += out.covered_tx_count() as f64;
-        }
+    for (i, &miners) in xs.iter().enumerate() {
+        let distinct_sum: f64 = counts[i * repeats..(i + 1) * repeats].iter().sum();
         ours.push((miners as f64, distinct_sum / repeats as f64));
         optimal.push((
             miners as f64,

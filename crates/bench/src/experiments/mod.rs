@@ -11,6 +11,24 @@ pub mod sec4d;
 pub mod table1;
 
 use crate::report::ExperimentResult;
+use cshard_sim::Executor;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker threads for parallelizing independent experiment grid points
+/// (0 = one per core). Grid points are seeded independently, so the
+/// results are bit-identical at any setting — only wall-clock changes.
+static GRID_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the grid-point worker count (the driver's `--threads` flag).
+/// `1` forces the original sequential sweeps; `0` uses every core.
+pub fn set_grid_threads(threads: usize) {
+    GRID_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The executor experiments fan their independent grid points out on.
+pub fn grid_executor() -> Executor {
+    Executor::new(GRID_THREADS.load(Ordering::Relaxed))
+}
 
 /// All experiment ids, in paper order.
 pub const ALL: &[&str] = &[

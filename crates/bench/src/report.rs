@@ -1,10 +1,10 @@
 //! Experiment results: structured data plus table/JSON rendering.
 
-use serde::Serialize;
+use cshard_json as json;
 use std::fmt::Write as _;
 
 /// One named line of a figure (or one column of a table).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Legend label.
     pub name: String,
@@ -31,7 +31,7 @@ impl Series {
 }
 
 /// A regenerated table or figure.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentResult {
     /// Experiment id (`table1`, `fig3a`, …).
     pub id: String,
@@ -109,7 +109,44 @@ impl ExperimentResult {
 
     /// Renders as JSON (pretty).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("results are serializable")
+        json::ObjectBuilder::new()
+            .field("id", self.id.as_str())
+            .field("title", self.title.as_str())
+            .field("x_label", self.x_label.as_str())
+            .field("y_label", self.y_label.as_str())
+            .field(
+                "series",
+                json::Value::Array(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            json::ObjectBuilder::new()
+                                .field("name", s.name.as_str())
+                                .field(
+                                    "points",
+                                    json::Value::Array(
+                                        s.points
+                                            .iter()
+                                            .map(|&(x, y)| {
+                                                json::Value::Array(vec![
+                                                    json::Value::from(x),
+                                                    json::Value::from(y),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                )
+                                .build()
+                        })
+                        .collect(),
+                ),
+            )
+            .field(
+                "notes",
+                json::Value::Array(self.notes.iter().map(|n| n.as_str().into()).collect()),
+            )
+            .build()
+            .to_string_pretty()
     }
 }
 
@@ -160,9 +197,11 @@ mod tests {
     #[test]
     fn json_round_trips_structure() {
         let j = sample().to_json();
-        let parsed: serde_json::Value = serde_json::from_str(&j).unwrap();
-        assert_eq!(parsed["id"], "figX");
-        assert_eq!(parsed["series"][0]["points"][1][1], 2.25);
+        let parsed = json::parse(&j).unwrap();
+        assert_eq!(parsed.get("id").unwrap().as_str(), Some("figX"));
+        let first_series = &parsed.get("series").unwrap().as_array().unwrap()[0];
+        let points = first_series.get("points").unwrap().as_array().unwrap();
+        assert_eq!(points[1].as_array().unwrap()[1].as_f64(), Some(2.25));
     }
 
     #[test]

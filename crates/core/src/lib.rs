@@ -39,4 +39,4 @@ pub use longrun::{LongRun, LongRunConfig};
 pub use formation::ShardPlan;
 pub use metrics::{RunReport, ShardReport};
 pub use runtime::{RuntimeConfig, SelectionStrategy, ShardSpec, simulate};
-pub use system::{ShardingSystem, SystemConfig, SystemReport};
+pub use system::{ShardingSystem, SystemBuilder, SystemConfig, SystemReport};

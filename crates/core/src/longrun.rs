@@ -129,7 +129,7 @@ impl LongRun {
                     },
                 );
                 params.record_communication(&comm);
-                let merge = params.merge_outcome();
+                let merge = params.merge_outcome().expect("merge inputs");
                 let mut consumed: Vec<usize> = Vec::new();
                 let mut fused: Vec<(ShardId, Vec<u64>)> = Vec::new();
                 for players in &merge.new_shards {

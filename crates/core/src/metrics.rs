@@ -1,6 +1,8 @@
 //! Run reports and the paper's performance metrics.
 
-use cshard_primitives::{ShardId, SimTime};
+use cshard_crypto::Sha256;
+use cshard_primitives::{Hash32, ShardId, SimTime};
+use std::time::Duration;
 
 /// Per-shard results of one simulated run.
 #[derive(Clone, Debug)]
@@ -23,6 +25,12 @@ pub struct ShardReport {
     /// competitor within the propagation window — the duplicate-selection
     /// waste that serializes vanilla Ethereum (Sec. II-B).
     pub stale_blocks: usize,
+    /// Simulation events this shard's task processed (block discoveries,
+    /// across both the active and the idle-drain phase).
+    pub events_processed: usize,
+    /// Host wall-clock time the shard's task spent simulating. Diagnostic
+    /// only — excluded from [`RunReport::fingerprint`].
+    pub wall: Duration,
 }
 
 /// Results of one simulated run across all shards.
@@ -33,6 +41,10 @@ pub struct RunReport {
     pub completion: SimTime,
     /// Per-shard details.
     pub shards: Vec<ShardReport>,
+    /// Host wall-clock time of the whole run. Diagnostic only.
+    pub wall: Duration,
+    /// Worker threads the executor resolved to for this run.
+    pub threads_used: usize,
 }
 
 impl RunReport {
@@ -72,6 +84,42 @@ impl RunReport {
         }
         self.total_txs() as f64 / secs
     }
+
+    /// Total simulation events processed across shard tasks.
+    pub fn total_events_processed(&self) -> usize {
+        self.shards.iter().map(|s| s.events_processed).sum()
+    }
+
+    /// A digest over every *deterministic* field of the report — all the
+    /// simulated quantities, excluding host-side diagnostics (`wall`,
+    /// `threads_used`). Two runs of the same configuration must produce
+    /// equal fingerprints regardless of thread count; the determinism
+    /// tests assert exactly that.
+    pub fn fingerprint(&self) -> Hash32 {
+        let mut h = Sha256::new();
+        h.update(b"cshard-run-report-v1");
+        h.update(self.completion.as_millis().to_be_bytes());
+        h.update((self.shards.len() as u64).to_be_bytes());
+        for s in &self.shards {
+            h.update(s.shard.0.to_be_bytes());
+            h.update((s.txs as u64).to_be_bytes());
+            h.update((s.confirmed as u64).to_be_bytes());
+            match s.completion {
+                None => {
+                    h.update([0u8]);
+                }
+                Some(t) => {
+                    h.update([1u8]);
+                    h.update(t.as_millis().to_be_bytes());
+                }
+            }
+            h.update((s.blocks as u64).to_be_bytes());
+            h.update((s.empty_blocks as u64).to_be_bytes());
+            h.update((s.stale_blocks as u64).to_be_bytes());
+            h.update((s.events_processed as u64).to_be_bytes());
+        }
+        h.finalize()
+    }
 }
 
 /// The paper's headline metric (Sec. VI-A): `W_E / W_S`, the Ethereum
@@ -97,6 +145,8 @@ mod tests {
             blocks: txs / 10 + empty,
             empty_blocks: empty,
             stale_blocks: 0,
+            events_processed: txs / 10 + empty,
+            wall: Duration::ZERO,
         }
     }
 
@@ -104,6 +154,8 @@ mod tests {
         RunReport {
             completion: SimTime::from_secs(completion_s),
             shards,
+            wall: Duration::ZERO,
+            threads_used: 1,
         }
     }
 

@@ -24,9 +24,11 @@
 //! over 212 s in Sec. VI-C1).
 
 use crate::metrics::{RunReport, ShardReport};
+use cshard_crypto::Prf;
 use cshard_games::selection::{best_reply_equilibrium, SelectionConfig};
 use cshard_primitives::{ShardId, SimTime};
-use cshard_sim::{EventQueue, SimRng};
+use cshard_sim::{EventQueue, Executor, SimRng};
+use std::time::{Duration, Instant};
 
 /// How miners of a shard pick transactions.
 #[derive(Clone, Debug)]
@@ -85,6 +87,12 @@ pub struct RuntimeConfig {
     pub empty_block_window: Option<SimTime>,
     /// RNG seed; identical seeds reproduce runs bit-for-bit.
     pub seed: u64,
+    /// Worker threads for the per-shard executor: `1` runs shard tasks
+    /// inline (sequential), `0` uses one worker per available core, any
+    /// other value is an explicit pool size. Results are bit-identical
+    /// across all settings — each shard's randomness is derived from
+    /// `(seed, shard)` by a PRF, never from cross-shard draw order.
+    pub threads: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -98,16 +106,9 @@ impl Default for RuntimeConfig {
             conflict_window: SimTime::from_secs(60),
             empty_block_window: None,
             seed: 0,
+            threads: 1,
         }
     }
-}
-
-/// A mining event: shard-local miner `miner` of shard index `shard_idx`
-/// found a block.
-#[derive(Clone, Copy, Debug)]
-struct BlockFound {
-    shard_idx: usize,
-    miner: usize,
 }
 
 struct ShardState {
@@ -210,48 +211,53 @@ impl ShardState {
     }
 }
 
-/// Runs the simulation to completion (every injected transaction of every
-/// shard confirmed) and reports.
-pub fn simulate(shards: &[ShardSpec], config: &RuntimeConfig) -> RunReport {
-    assert!(config.block_capacity > 0, "block capacity must be positive");
-    let mut rng = SimRng::new(config.seed);
-    let mut states: Vec<ShardState> = shards
-        .iter()
-        .enumerate()
-        .map(|(i, s)| {
-            assert!(s.miners > 0, "shard {} has no miners", s.shard);
-            let epoch_rng = rng.fork(0x4545_0000 + i as u64);
-            ShardState::new(s.clone(), epoch_rng)
-        })
-        .collect();
-    let mut miner_rngs: Vec<Vec<SimRng>> = shards
-        .iter()
-        .enumerate()
-        .map(|(i, s)| {
-            (0..s.miners as u64)
-                .map(|m| rng.fork(((i as u64) << 20) | m))
-                .collect()
-        })
-        .collect();
+/// Derives one shard task's root RNG stream as a pure function of
+/// `(master seed, shard id)`, via the keyed PRF. No draw order is
+/// involved, so shard tasks can be constructed and run in any order — or
+/// concurrently — with bit-identical results, and a shard's stream does
+/// not depend on which other shards share the run.
+fn shard_stream(seed: u64, shard: ShardId) -> SimRng {
+    let prf = Prf::new(seed.to_be_bytes());
+    SimRng::from_seed_bytes(*prf.eval("shard-task-v1", shard.0.to_be_bytes()).as_bytes())
+}
 
-    let mut queue: EventQueue<BlockFound> = EventQueue::new();
-    for (i, rngs) in miner_rngs.iter_mut().enumerate() {
-        for (m, rng) in rngs.iter_mut().enumerate() {
+/// One shard's independent simulation: its chain state, its own event
+/// queue, and its miners' private RNG streams. The task never reads
+/// another shard's state, which is what makes the executor safe.
+struct ShardTask {
+    st: ShardState,
+    queue: EventQueue<usize>,
+    miner_rngs: Vec<SimRng>,
+    events: usize,
+    wall: Duration,
+}
+
+impl ShardTask {
+    fn new(spec: &ShardSpec, config: &RuntimeConfig) -> ShardTask {
+        assert!(spec.miners > 0, "shard {} has no miners", spec.shard);
+        let mut root = shard_stream(config.seed, spec.shard);
+        let epoch_rng = root.fork(0x4550_4F43); // "EPOC"
+        let mut miner_rngs: Vec<SimRng> =
+            (0..spec.miners as u64).map(|m| root.fork(m)).collect();
+        let mut queue = EventQueue::new();
+        for (m, rng) in miner_rngs.iter_mut().enumerate() {
             let dt = rng.exp_delay(config.mean_block_interval);
-            queue.schedule(dt, BlockFound { shard_idx: i, miner: m });
+            queue.schedule(dt, m);
+        }
+        ShardTask {
+            st: ShardState::new(spec.clone(), epoch_rng),
+            queue,
+            miner_rngs,
+            events: 0,
+            wall: Duration::ZERO,
         }
     }
 
-    let mut global_unconfirmed: usize = states.iter().map(|s| s.unconfirmed).sum();
-    let mut completion = SimTime::ZERO;
-    let window = config.conflict_window;
-    let mut candidate: Vec<usize> = Vec::with_capacity(config.block_capacity);
-
-    while global_unconfirmed > 0 {
-        let Some((now, ev)) = queue.pop() else {
-            unreachable!("miners reschedule forever; queue cannot drain early");
-        };
-        let st = &mut states[ev.shard_idx];
+    /// Processes one block-found event: build the miner's candidate block,
+    /// classify it (useful / empty / stale), apply confirmations.
+    fn step(&mut self, now: SimTime, miner: usize, config: &RuntimeConfig, candidate: &mut Vec<usize>) {
+        let st = &mut self.st;
+        let window = config.conflict_window;
         st.blocks += 1;
 
         // Build the miner's candidate block.
@@ -295,11 +301,11 @@ pub fn simulate(shards: &[ShardSpec], config: &RuntimeConfig) -> RunReport {
                     st.start_epoch(config.block_capacity, max_rounds);
                 }
                 if !st.epoch_assignments.is_empty() {
-                    for &tx in &st.epoch_assignments[ev.miner] {
+                    for &tx in &st.epoch_assignments[miner] {
                         if candidate.len() >= config.block_capacity {
                             break;
                         }
-                        if st.visible_unconfirmed(tx, now, ev.miner, window) {
+                        if st.visible_unconfirmed(tx, now, miner, window) {
                             candidate.push(tx);
                         }
                     }
@@ -309,11 +315,10 @@ pub fn simulate(shards: &[ShardSpec], config: &RuntimeConfig) -> RunReport {
 
         // Classify the block and apply confirmations.
         let mut newly = 0;
-        for &tx in &candidate {
+        for &tx in candidate.iter() {
             if st.confirmed[tx].is_none() {
-                st.confirmed[tx] = Some((now, ev.miner));
+                st.confirmed[tx] = Some((now, miner));
                 st.unconfirmed -= 1;
-                global_unconfirmed -= 1;
                 st.last_confirmation = Some(now);
                 newly += 1;
                 if matches!(st.spec.strategy, SelectionStrategy::Equilibrium { .. }) {
@@ -324,48 +329,118 @@ pub fn simulate(shards: &[ShardSpec], config: &RuntimeConfig) -> RunReport {
         if contended_stale {
             st.stale_blocks += 1;
         } else if candidate.is_empty() {
-            let within = config
-                .empty_block_window
-                .is_none_or(|cap| now <= cap);
+            let within = config.empty_block_window.is_none_or(|cap| now <= cap);
             if within {
                 st.empty_blocks += 1;
             }
         } else if newly == 0 {
             st.stale_blocks += 1;
         }
-        if global_unconfirmed == 0 {
-            completion = now;
-            break;
-        }
-
-        // Reschedule this miner.
-        let dt = miner_rngs[ev.shard_idx][ev.miner].exp_delay(config.mean_block_interval);
-        queue.schedule_in(dt, ev);
     }
 
-    let shard_reports = states
-        .into_iter()
-        .map(|st| ShardReport {
-            shard: st.spec.shard,
-            txs: st.spec.fees.len(),
-            confirmed: st.spec.fees.len() - st.unconfirmed,
-            completion: st.last_confirmation,
-            blocks: st.blocks,
-            empty_blocks: st.empty_blocks,
-            stale_blocks: st.stale_blocks,
-        })
-        .collect();
+    /// Phase 1: run until every local transaction is confirmed. The shard
+    /// that finishes last determines the run's global completion time.
+    fn run_active(&mut self, config: &RuntimeConfig) {
+        let start = Instant::now();
+        let mut candidate: Vec<usize> = Vec::with_capacity(config.block_capacity);
+        while self.st.unconfirmed > 0 {
+            let Some((now, miner)) = self.queue.pop() else {
+                unreachable!("miners reschedule forever; queue cannot drain early");
+            };
+            self.events += 1;
+            self.step(now, miner, config, &mut candidate);
+            let dt = self.miner_rngs[miner].exp_delay(config.mean_block_interval);
+            self.queue.schedule_in(dt, miner);
+        }
+        self.wall += start.elapsed();
+    }
+
+    /// Phase 2: a locally-finished shard keeps mining (for the reward)
+    /// while slower shards still work — replay its events strictly before
+    /// the global completion time so empty/stale accounting matches a
+    /// fully serialized run.
+    fn drain_until(&mut self, t_end: SimTime, config: &RuntimeConfig) {
+        let start = Instant::now();
+        let mut candidate: Vec<usize> = Vec::with_capacity(config.block_capacity);
+        while self.queue.next_time().is_some_and(|t| t < t_end) {
+            let (now, miner) = self.queue.pop().expect("peeked event");
+            self.events += 1;
+            self.step(now, miner, config, &mut candidate);
+            let dt = self.miner_rngs[miner].exp_delay(config.mean_block_interval);
+            self.queue.schedule_in(dt, miner);
+        }
+        self.wall += start.elapsed();
+    }
+
+    fn into_report(self) -> ShardReport {
+        ShardReport {
+            shard: self.st.spec.shard,
+            txs: self.st.spec.fees.len(),
+            confirmed: self.st.spec.fees.len() - self.st.unconfirmed,
+            completion: self.st.last_confirmation,
+            blocks: self.st.blocks,
+            empty_blocks: self.st.empty_blocks,
+            stale_blocks: self.st.stale_blocks,
+            events_processed: self.events,
+            wall: self.wall,
+        }
+    }
+}
+
+/// Runs the simulation to completion (every injected transaction of every
+/// shard confirmed) and reports.
+///
+/// Shards are independent simulation tasks: each derives its randomness
+/// from `(config.seed, shard)` via a PRF and owns its event queue, so the
+/// executor may run them on any number of threads
+/// ([`RuntimeConfig::threads`]) and the report is bit-for-bit identical to
+/// a sequential run. The run has two phases — every shard first confirms
+/// its own transactions, then shards that finished early replay their idle
+/// mining up to the global completion time so empty-block accounting is
+/// exact.
+pub fn simulate(shards: &[ShardSpec], config: &RuntimeConfig) -> RunReport {
+    assert!(config.block_capacity > 0, "block capacity must be positive");
+    let run_start = Instant::now();
+    let executor = Executor::new(config.threads);
+
+    // Phase 1: each shard to local completion, concurrently.
+    let tasks: Vec<ShardTask> = executor.run(shards.iter().collect(), |_, spec| {
+        let mut task = ShardTask::new(spec, config);
+        task.run_active(config);
+        task
+    });
+
+    // Global completion = the last confirmation anywhere.
+    let completion = tasks
+        .iter()
+        .filter_map(|t| t.st.last_confirmation)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+
+    // Phase 2: idle-drain early finishers up to the global completion.
+    let tasks: Vec<ShardTask> = executor.run(tasks, |_, mut task| {
+        task.drain_until(completion, config);
+        task
+    });
+
     RunReport {
         completion,
-        shards: shard_reports,
+        shards: tasks.into_iter().map(ShardTask::into_report).collect(),
+        wall: run_start.elapsed(),
+        threads_used: executor.threads(),
     }
 }
 
 /// Convenience: the Ethereum baseline — all transactions on one chain,
 /// `miners` identical greedy miners (Sec. VI-A's benchmark).
+///
+/// Vanilla Ethereum is the degenerate sharding where nothing is separated,
+/// so the single chain is the [`ShardId::MAX_SHARD`]. Because RNG streams
+/// are keyed by `(seed, shard)`, this makes the benchmark bit-identical to
+/// a one-shard run of the full system under the same configuration.
 pub fn simulate_ethereum(fees: Vec<u64>, miners: usize, config: &RuntimeConfig) -> RunReport {
     let spec = ShardSpec {
-        shard: ShardId::new(0),
+        shard: ShardId::MAX_SHARD,
         fees,
         miners,
         strategy: SelectionStrategy::IdenticalGreedy,

@@ -25,7 +25,7 @@ use cshard_crypto::sha256;
 use cshard_games::{GameInputs, MergingConfig, UnifiedParameters};
 use cshard_ledger::CallGraph;
 use cshard_network::CommStats;
-use cshard_primitives::{MinerId, ShardId};
+use cshard_primitives::{Error, MinerId, ShardId, SimTime};
 use cshard_workload::Workload;
 
 /// How miners are spread over shards.
@@ -141,6 +141,24 @@ impl ShardingSystem {
         ShardingSystem { config }
     }
 
+    /// Starts a validated, fluent configuration:
+    ///
+    /// ```
+    /// use cshard_core::ShardingSystem;
+    ///
+    /// let system = ShardingSystem::builder()
+    ///     .shards(9)
+    ///     .block_capacity(10)
+    ///     .seed(42)
+    ///     .threads(0) // one worker per core; bit-identical to threads(1)
+    ///     .build()
+    ///     .expect("valid configuration");
+    /// # let _ = system;
+    /// ```
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::new()
+    }
+
     /// Convenience: the paper's testbed shape (one greedy miner per shard,
     /// no merging, no selection game).
     pub fn testbed(runtime: RuntimeConfig) -> Self {
@@ -150,8 +168,226 @@ impl ShardingSystem {
         })
     }
 
+    /// The configuration this system runs with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+}
+
+impl From<SystemConfig> for ShardingSystem {
+    fn from(config: SystemConfig) -> Self {
+        ShardingSystem::new(config)
+    }
+}
+
+impl From<RuntimeConfig> for SystemConfig {
+    fn from(runtime: RuntimeConfig) -> Self {
+        SystemConfig {
+            runtime,
+            ..SystemConfig::default()
+        }
+    }
+}
+
+impl From<RuntimeConfig> for ShardingSystem {
+    fn from(runtime: RuntimeConfig) -> Self {
+        ShardingSystem::testbed(runtime)
+    }
+}
+
+/// Fluent construction of a [`ShardingSystem`], collapsing the
+/// [`RuntimeConfig`] / [`SystemConfig`] / [`MergingConfig`] / selection
+/// sprawl behind one entry point with validated defaults.
+///
+/// Every setter has the default of the underlying config struct; `build`
+/// validates the combination and returns [`Error`] instead of panicking
+/// deep inside a run.
+#[derive(Clone, Debug)]
+pub struct SystemBuilder {
+    shards: Option<usize>,
+    config: SystemConfig,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder::new()
+    }
+}
+
+impl SystemBuilder {
+    /// A builder holding every default.
+    pub fn new() -> Self {
+        SystemBuilder {
+            shards: None,
+            config: SystemConfig::default(),
+        }
+    }
+
+    /// The shard count this system is intended for. Shard formation itself
+    /// follows the workload's contracts; the builder uses this to validate
+    /// miner allocation (a proportional pool must staff every shard).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Transactions per block (default 10, the paper's gas limit).
+    pub fn block_capacity(mut self, capacity: usize) -> Self {
+        self.config.runtime.block_capacity = capacity;
+        self
+    }
+
+    /// Mean block interval per miner (default 60 s).
+    pub fn mean_block_interval(mut self, interval: SimTime) -> Self {
+        self.config.runtime.mean_block_interval = interval;
+        self
+    }
+
+    /// The conflict window (default one block interval).
+    pub fn conflict_window(mut self, window: SimTime) -> Self {
+        self.config.runtime.conflict_window = window;
+        self
+    }
+
+    /// Count empty blocks only up to this time (default: whole run).
+    pub fn empty_block_window(mut self, window: SimTime) -> Self {
+        self.config.runtime.empty_block_window = Some(window);
+        self
+    }
+
+    /// The master RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.runtime.seed = seed;
+        self
+    }
+
+    /// Executor worker threads: `1` = sequential (default), `0` = one per
+    /// core. Results are bit-identical across settings.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.runtime.threads = threads;
+        self
+    }
+
+    /// A fixed miner count on every shard (default: one per shard).
+    pub fn miners_per_shard(mut self, miners: usize) -> Self {
+        self.config.allocation = MinerAllocation::PerShard(miners);
+        self
+    }
+
+    /// A total miner pool split proportionally to shard sizes.
+    pub fn total_miners(mut self, total: usize) -> Self {
+        self.config.allocation = MinerAllocation::Proportional { total };
+        self
+    }
+
+    /// Enables inter-shard merging with the given small-shard threshold
+    /// (shards below `lower_bound` transactions enter Algorithm 1).
+    pub fn merging(mut self, lower_bound: u64) -> Self {
+        self.config.merging = Some(MergingConfig {
+            lower_bound,
+            ..MergingConfig::default()
+        });
+        self
+    }
+
+    /// Enables inter-shard merging with a fully specified game config.
+    pub fn merging_config(mut self, config: MergingConfig) -> Self {
+        self.config.merging = Some(config);
+        self
+    }
+
+    /// Enables equilibrium transaction selection in multi-miner shards
+    /// (best-reply round cap, Algorithm 2).
+    pub fn selection(mut self, max_rounds: usize) -> Self {
+        self.config.selection = Some(max_rounds);
+        self
+    }
+
+    /// The epoch label seeding leader randomness (default 0).
+    pub fn epoch(mut self, epoch: u64) -> Self {
+        self.config.epoch = epoch;
+        self
+    }
+
+    /// Validates the combination and builds the system.
+    pub fn build(self) -> Result<ShardingSystem, Error> {
+        let rt = &self.config.runtime;
+        if rt.block_capacity == 0 {
+            return Err(Error::Config {
+                field: "block_capacity",
+                reason: "must be positive".into(),
+            });
+        }
+        if rt.mean_block_interval == SimTime::ZERO {
+            return Err(Error::Config {
+                field: "mean_block_interval",
+                reason: "must be positive".into(),
+            });
+        }
+        if self.shards == Some(0) {
+            return Err(Error::Config {
+                field: "shards",
+                reason: "must be positive".into(),
+            });
+        }
+        match self.config.allocation {
+            MinerAllocation::PerShard(0) => {
+                return Err(Error::Config {
+                    field: "allocation",
+                    reason: "shards need at least one miner".into(),
+                });
+            }
+            MinerAllocation::Proportional { total } => {
+                if let Some(shards) = self.shards {
+                    if total < shards {
+                        return Err(Error::InsufficientMiners {
+                            shards,
+                            miners: total,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        if self.config.selection == Some(0) {
+            return Err(Error::Config {
+                field: "selection",
+                reason: "needs at least one best-reply round".into(),
+            });
+        }
+        if let Some(m) = &self.config.merging {
+            if m.lower_bound == 0 {
+                return Err(Error::Config {
+                    field: "merging.lower_bound",
+                    reason: "a zero threshold merges nothing".into(),
+                });
+            }
+        }
+        Ok(ShardingSystem::new(self.config))
+    }
+}
+
+impl From<SystemBuilder> for SystemConfig {
+    /// The unvalidated escape hatch: the raw config the builder holds.
+    fn from(builder: SystemBuilder) -> Self {
+        builder.config
+    }
+}
+
+impl ShardingSystem {
     /// Runs the pipeline on a workload.
-    pub fn run(&self, workload: &Workload) -> SystemReport {
+    ///
+    /// Errors when the configuration cannot produce a valid run — a zero
+    /// block capacity, a zero per-shard miner count, or a proportional
+    /// miner pool smaller than the shard count. (Systems built through
+    /// [`ShardingSystem::builder`] have already been validated.)
+    pub fn run(&self, workload: &Workload) -> Result<SystemReport, Error> {
+        if self.config.runtime.block_capacity == 0 {
+            return Err(Error::Config {
+                field: "block_capacity",
+                reason: "must be positive".into(),
+            });
+        }
         let comm = CommStats::new();
         let plan = ShardPlan::build(&workload.transactions, &CallGraph::new());
         let fees = workload.fees();
@@ -170,7 +406,7 @@ impl ShardingSystem {
         }
 
         // Inter-shard merging (Algorithm 1 under unified parameters).
-        let merge = self.config.merging.as_ref().map(|mcfg| {
+        let merge = if let Some(mcfg) = self.config.merging.as_ref() {
             let small: Vec<usize> = groups
                 .iter()
                 .enumerate()
@@ -192,7 +428,7 @@ impl ShardingSystem {
                 },
             );
             params.record_communication(&comm);
-            let outcome = params.merge_outcome();
+            let outcome = params.merge_outcome()?;
 
             // Fuse the merged groups. New shards take the id of their
             // lowest-numbered member; consumed members are dropped.
@@ -224,22 +460,30 @@ impl ShardingSystem {
             }
             groups.extend(fused);
             groups.sort_by_key(|&(shard, _)| shard);
-            summary
-        });
+            Some(summary)
+        } else {
+            None
+        };
 
         // Miner allocation and strategy.
         let per_shard_miners: Vec<usize> = match self.config.allocation {
             MinerAllocation::OnePerShard => vec![1; groups.len()],
             MinerAllocation::PerShard(n) => {
-                assert!(n > 0, "shards need at least one miner");
+                if n == 0 {
+                    return Err(Error::Config {
+                        field: "allocation",
+                        reason: "shards need at least one miner".into(),
+                    });
+                }
                 vec![n; groups.len()]
             }
             MinerAllocation::Proportional { total } => {
-                assert!(
-                    total >= groups.len(),
-                    "need at least one miner per shard ({} shards, {total} miners)",
-                    groups.len()
-                );
+                if total < groups.len() {
+                    return Err(Error::InsufficientMiners {
+                        shards: groups.len(),
+                        miners: total,
+                    });
+                }
                 proportional_split(
                     &groups.iter().map(|(_, q)| q.len() as u64).collect::<Vec<_>>(),
                     total,
@@ -266,7 +510,7 @@ impl ShardingSystem {
             .collect();
 
         let run = simulate(&specs, &self.config.runtime);
-        SystemReport {
+        Ok(SystemReport {
             run,
             shard_sizes: groups
                 .iter()
@@ -274,7 +518,7 @@ impl ShardingSystem {
                 .collect(),
             merge,
             comm,
-        }
+        })
     }
 }
 
@@ -298,7 +542,7 @@ mod tests {
     #[test]
     fn testbed_run_confirms_everything() {
         let w = Workload::uniform_contracts(200, 8, FEES, 1);
-        let report = ShardingSystem::testbed(runtime(1)).run(&w);
+        let report = ShardingSystem::testbed(runtime(1)).run(&w).expect("valid config");
         assert_eq!(report.run.total_txs(), 200);
         assert_eq!(report.shard_sizes.len(), 9);
         assert!(report.merge.is_none());
@@ -319,7 +563,7 @@ mod tests {
             let mut imp_sum = 0.0;
             for seed in 0..5u64 {
                 let w = Workload::uniform_contracts(200, contracts, FEES, 2);
-                let sharded = ShardingSystem::testbed(runtime(seed)).run(&w);
+                let sharded = ShardingSystem::testbed(runtime(seed)).run(&w).expect("valid config");
                 let eth = simulate_ethereum(w.fees(), 1, &runtime(seed));
                 imp_sum += throughput_improvement(&eth, &sharded.run);
             }
@@ -344,7 +588,7 @@ mod tests {
             },
             ..SystemConfig::default()
         };
-        let unmerged = ShardingSystem::new(base.clone()).run(&w);
+        let unmerged = ShardingSystem::new(base.clone()).run(&w).expect("valid config");
         let merged = ShardingSystem::new(SystemConfig {
             merging: Some(MergingConfig {
                 lower_bound: 16,
@@ -352,7 +596,7 @@ mod tests {
             }),
             ..base
         })
-        .run(&w);
+        .run(&w).expect("valid config");
         let summary = merged.merge.clone().expect("merging ran");
         assert_eq!(summary.small_shards, 4);
         assert!(summary.new_shards >= 1, "no shard formed: {summary:?}");
@@ -379,8 +623,8 @@ mod tests {
             }),
             ..SystemConfig::default()
         };
-        let a = ShardingSystem::new(cfg.clone()).run(&w);
-        let b = ShardingSystem::new(cfg).run(&w);
+        let a = ShardingSystem::new(cfg.clone()).run(&w).expect("valid config");
+        let b = ShardingSystem::new(cfg).run(&w).expect("valid config");
         assert_eq!(a.run.completion, b.run.completion);
         assert_eq!(a.shard_sizes, b.shard_sizes);
     }
@@ -396,12 +640,12 @@ mod tests {
                 allocation: MinerAllocation::PerShard(9),
                 ..SystemConfig::default()
             };
-            let with_game = ShardingSystem::new(cfg.clone()).run(&w);
+            let with_game = ShardingSystem::new(cfg.clone()).run(&w).expect("valid config");
             let without = ShardingSystem::new(SystemConfig {
                 selection: None,
                 ..cfg
             })
-            .run(&w);
+            .run(&w).expect("valid config");
             imp_sum += throughput_improvement(&without.run, &with_game.run);
         }
         let imp = imp_sum / 6.0;
@@ -418,7 +662,7 @@ mod tests {
             allocation: MinerAllocation::Proportional { total: 20 },
             ..SystemConfig::default()
         })
-        .run(&w);
+        .run(&w).expect("valid config");
         assert_eq!(report.run.total_txs(), 200);
         assert!(report.run.shards.iter().all(|s| s.confirmed == s.txs));
     }
@@ -436,6 +680,137 @@ mod tests {
     }
 
     #[test]
+    fn builder_defaults_match_struct_defaults() {
+        let built = ShardingSystem::builder().build().expect("defaults valid");
+        let direct = ShardingSystem::new(SystemConfig::default());
+        let w = Workload::uniform_contracts(100, 4, FEES, 11);
+        let a = built.run(&w).expect("valid config");
+        let b = direct.run(&w).expect("valid config");
+        assert_eq!(a.run.completion, b.run.completion);
+        assert_eq!(a.shard_sizes, b.shard_sizes);
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let system = ShardingSystem::builder()
+            .shards(9)
+            .block_capacity(12)
+            .mean_block_interval(SimTime::from_secs(30))
+            .conflict_window(SimTime::from_secs(15))
+            .empty_block_window(SimTime::from_secs(212))
+            .seed(42)
+            .threads(4)
+            .total_miners(20)
+            .merging(16)
+            .selection(500)
+            .epoch(3)
+            .build()
+            .expect("valid configuration");
+        let cfg = system.config();
+        assert_eq!(cfg.runtime.block_capacity, 12);
+        assert_eq!(cfg.runtime.mean_block_interval, SimTime::from_secs(30));
+        assert_eq!(cfg.runtime.conflict_window, SimTime::from_secs(15));
+        assert_eq!(cfg.runtime.empty_block_window, Some(SimTime::from_secs(212)));
+        assert_eq!(cfg.runtime.seed, 42);
+        assert_eq!(cfg.runtime.threads, 4);
+        assert!(matches!(
+            cfg.allocation,
+            MinerAllocation::Proportional { total: 20 }
+        ));
+        assert_eq!(cfg.merging.as_ref().map(|m| m.lower_bound), Some(16));
+        assert_eq!(cfg.selection, Some(500));
+        assert_eq!(cfg.epoch, 3);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configurations() {
+        use cshard_primitives::Error;
+        assert!(matches!(
+            ShardingSystem::builder().block_capacity(0).build(),
+            Err(Error::Config {
+                field: "block_capacity",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ShardingSystem::builder().miners_per_shard(0).build(),
+            Err(Error::Config {
+                field: "allocation",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ShardingSystem::builder().shards(9).total_miners(4).build(),
+            Err(Error::InsufficientMiners {
+                shards: 9,
+                miners: 4
+            })
+        ));
+        assert!(matches!(
+            ShardingSystem::builder().selection(0).build(),
+            Err(Error::Config {
+                field: "selection",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ShardingSystem::builder()
+                .mean_block_interval(SimTime::ZERO)
+                .build(),
+            Err(Error::Config {
+                field: "mean_block_interval",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn run_rejects_invalid_direct_configs() {
+        use cshard_primitives::Error;
+        let w = Workload::uniform_contracts(50, 2, FEES, 12);
+        let zero_cap = ShardingSystem::new(SystemConfig {
+            runtime: RuntimeConfig {
+                block_capacity: 0,
+                ..RuntimeConfig::default()
+            },
+            ..SystemConfig::default()
+        });
+        assert!(matches!(
+            zero_cap.run(&w),
+            Err(Error::Config {
+                field: "block_capacity",
+                ..
+            })
+        ));
+        let starved = ShardingSystem::new(SystemConfig {
+            runtime: runtime(1),
+            allocation: MinerAllocation::Proportional { total: 1 },
+            ..SystemConfig::default()
+        });
+        assert!(matches!(
+            starved.run(&w),
+            Err(Error::InsufficientMiners { .. })
+        ));
+    }
+
+    #[test]
+    fn from_impls_wire_the_old_call_sites() {
+        let w = Workload::uniform_contracts(80, 3, FEES, 13);
+        let via_runtime: ShardingSystem = runtime(2).into();
+        let via_config: ShardingSystem = SystemConfig {
+            runtime: runtime(2),
+            ..SystemConfig::default()
+        }
+        .into();
+        let a = via_runtime.run(&w).expect("valid config");
+        let b = via_config.run(&w).expect("valid config");
+        assert_eq!(a.run.completion, b.run.completion);
+        // SystemBuilder -> SystemConfig is the unvalidated escape hatch.
+        let cfg: SystemConfig = ShardingSystem::builder().seed(9).into();
+        assert_eq!(cfg.runtime.seed, 9);
+    }
+
+    #[test]
     fn total_txs_preserved_through_merging() {
         let w = Workload::with_small_shards(200, 9, 5, &[2, 3, 4, 5, 6], FEES, 6);
         let report = ShardingSystem::new(SystemConfig {
@@ -446,7 +821,7 @@ mod tests {
             }),
             ..SystemConfig::default()
         })
-        .run(&w);
+        .run(&w).expect("valid config");
         let total: u64 = report.shard_sizes.iter().map(|&(_, s)| s).sum();
         assert_eq!(total, 200);
         assert_eq!(report.run.total_txs(), 200);

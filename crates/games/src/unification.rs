@@ -20,7 +20,7 @@ use crate::merging::{iterative_merge, IterativeMergeOutcome, MergingConfig};
 use crate::selection::{best_reply_equilibrium, SelectionConfig, SelectionOutcome};
 use cshard_crypto::{RandomnessBeacon, Vrf, VrfProof};
 use cshard_network::{CommKind, CommStats};
-use cshard_primitives::{Hash32, MinerId, ShardId};
+use cshard_primitives::{Error, Hash32, MinerId, ShardId};
 use std::fmt;
 
 /// The per-epoch inputs to one of the two games.
@@ -68,6 +68,16 @@ pub enum VerificationError {
     },
     /// The leader's VRF credential failed verification.
     BadLeaderCredential,
+    /// The broadcast carried the wrong [`GameInputs`] variant for the
+    /// attempted check (e.g. verifying a merge claim against selection
+    /// inputs).
+    WrongInputs(Error),
+}
+
+impl From<Error> for VerificationError {
+    fn from(e: Error) -> Self {
+        VerificationError::WrongInputs(e)
+    }
 }
 
 impl fmt::Display for VerificationError {
@@ -88,6 +98,7 @@ impl fmt::Display for VerificationError {
             VerificationError::BadLeaderCredential => {
                 write!(f, "leader VRF credential failed verification")
             }
+            VerificationError::WrongInputs(e) => write!(f, "{e}"),
         }
     }
 }
@@ -141,31 +152,52 @@ impl UnifiedParameters {
         self.beacon().derive("game-seed").leading_u64()
     }
 
+    /// The variant name of the carried inputs, for error reporting.
+    fn inputs_kind(&self) -> &'static str {
+        match self.inputs {
+            GameInputs::Merge { .. } => "merge",
+            GameInputs::Select { .. } => "selection",
+        }
+    }
+
+    fn wrong_inputs(&self, operation: &'static str, expected: &'static str) -> Error {
+        Error::GameInputs {
+            operation,
+            expected,
+            got: self.inputs_kind(),
+        }
+    }
+
     /// "Others' random initial choices" for the merging game: one merge
     /// probability per small shard.
-    pub fn initial_merge_probs(&self) -> Vec<f64> {
+    ///
+    /// Errors when the broadcast carries selection inputs.
+    pub fn initial_merge_probs(&self) -> Result<Vec<f64>, Error> {
         let GameInputs::Merge { shard_sizes, .. } = &self.inputs else {
-            panic!("initial_merge_probs on selection inputs");
+            return Err(self.wrong_inputs("initial_merge_probs", "merge"));
         };
         let beacon = self.beacon();
-        (0..shard_sizes.len() as u64)
+        Ok((0..shard_sizes.len() as u64)
             .map(|i| {
                 // Keep the strategies interior: [0.25, 0.75].
                 0.25 + 0.5 * beacon.derive_unit("merge-init", i)
             })
-            .collect()
+            .collect())
     }
 
     /// "Others' random initial choices" for the selection game: one initial
     /// transaction set per miner.
-    pub fn initial_selections(&self) -> Vec<Vec<usize>> {
+    ///
+    /// Errors when the broadcast carries merge inputs.
+    pub fn initial_selections(&self) -> Result<Vec<Vec<usize>>, Error> {
         let GameInputs::Select { fees, config, .. } = &self.inputs else {
-            panic!("initial_selections on merge inputs");
+            return Err(self.wrong_inputs("initial_selections", "selection"));
         };
         let t = fees.len();
         let capacity = config.capacity.min(t);
         let beacon = self.beacon();
-        self.miners
+        Ok(self
+            .miners
             .iter()
             .enumerate()
             .map(|(m, _)| {
@@ -178,29 +210,42 @@ impl UnifiedParameters {
                     beacon.derive_unit("select-init", m as u64).mul_add(t as f64, 0.0) as usize;
                 (0..capacity).map(|k| (offset + k * 7 + m) % t).collect()
             })
-            .collect()
+            .collect())
     }
 
     /// Replays Algorithm 1 locally: the merge outcome every honest miner
     /// agrees on without exchanging a single in-game message.
-    pub fn merge_outcome(&self) -> IterativeMergeOutcome {
+    ///
+    /// Errors when the broadcast carries selection inputs.
+    pub fn merge_outcome(&self) -> Result<IterativeMergeOutcome, Error> {
         let GameInputs::Merge {
             shard_sizes,
             config,
         } = &self.inputs
         else {
-            panic!("merge_outcome on selection inputs");
+            return Err(self.wrong_inputs("merge_outcome", "merge"));
         };
         let sizes: Vec<u64> = shard_sizes.iter().map(|&(_, s)| s).collect();
-        iterative_merge(&sizes, &self.initial_merge_probs(), config, self.game_seed())
+        Ok(iterative_merge(
+            &sizes,
+            &self.initial_merge_probs()?,
+            config,
+            self.game_seed(),
+        ))
     }
 
     /// Replays Algorithm 2 locally: the selection equilibrium.
-    pub fn selection_outcome(&self) -> SelectionOutcome {
+    ///
+    /// Errors when the broadcast carries merge inputs.
+    pub fn selection_outcome(&self) -> Result<SelectionOutcome, Error> {
         let GameInputs::Select { fees, config, .. } = &self.inputs else {
-            panic!("selection_outcome on merge inputs");
+            return Err(self.wrong_inputs("selection_outcome", "selection"));
         };
-        best_reply_equilibrium(fees, &self.initial_selections(), config)
+        Ok(best_reply_equilibrium(
+            fees,
+            &self.initial_selections()?,
+            config,
+        ))
     }
 
     /// Verifies a claimed merge partition against the local replay.
@@ -208,7 +253,7 @@ impl UnifiedParameters {
     /// `claimed` is the partition a (possibly malicious) miner announced:
     /// per new shard, the indices of the merged small shards.
     pub fn verify_merge_claim(&self, claimed: &[Vec<usize>]) -> Result<(), VerificationError> {
-        let expected = self.merge_outcome();
+        let expected = self.merge_outcome()?;
         let mut want = expected.new_shards.clone();
         let mut got = claimed.to_vec();
         for s in want.iter_mut().chain(got.iter_mut()) {
@@ -237,7 +282,7 @@ impl UnifiedParameters {
         if miner_index >= self.miners.len() {
             return Err(VerificationError::UnknownMiner(miner_index));
         }
-        let outcome = self.selection_outcome();
+        let outcome = self.selection_outcome()?;
         let allowed: std::collections::HashSet<usize> =
             outcome.assignments[miner_index].iter().copied().collect();
         for &j in packed_tx_indices {
@@ -316,15 +361,15 @@ mod tests {
         // Two "miners" holding the same broadcast replay byte-identical
         // outcomes — the heart of Sec. IV-C.
         let p = merge_params();
-        let a = p.merge_outcome();
-        let b = p.clone().merge_outcome();
+        let a = p.merge_outcome().expect("merge inputs");
+        let b = p.clone().merge_outcome().expect("merge inputs");
         assert_eq!(a.new_shards, b.new_shards);
         assert_eq!(a.leftover, b.leftover);
 
         let s = select_params();
         assert_eq!(
-            s.selection_outcome().assignments,
-            s.selection_outcome().assignments
+            s.selection_outcome().expect("selection inputs").assignments,
+            s.selection_outcome().expect("selection inputs").assignments
         );
     }
 
@@ -334,13 +379,16 @@ mod tests {
         let mut p2 = merge_params();
         p2.randomness = sha256(b"epoch-8");
         assert_ne!(p1.game_seed(), p2.game_seed());
-        assert_ne!(p1.initial_merge_probs(), p2.initial_merge_probs());
+        assert_ne!(
+            p1.initial_merge_probs().expect("merge inputs"),
+            p2.initial_merge_probs().expect("merge inputs")
+        );
     }
 
     #[test]
     fn honest_merge_claim_verifies() {
         let p = merge_params();
-        let outcome = p.merge_outcome();
+        let outcome = p.merge_outcome().expect("merge inputs");
         assert_eq!(p.verify_merge_claim(&outcome.new_shards), Ok(()));
         // Order within shards and among shards must not matter.
         let mut shuffled = outcome.new_shards.clone();
@@ -354,7 +402,7 @@ mod tests {
     #[test]
     fn cheating_merge_claim_rejected() {
         let p = merge_params();
-        let mut claim = p.merge_outcome().new_shards;
+        let mut claim = p.merge_outcome().expect("merge inputs").new_shards;
         if claim.is_empty() {
             claim.push(vec![0, 1]);
         } else {
@@ -370,7 +418,7 @@ mod tests {
     #[test]
     fn honest_selection_block_verifies_including_subsets() {
         let p = select_params();
-        let outcome = p.selection_outcome();
+        let outcome = p.selection_outcome().expect("selection inputs");
         for (m, set) in outcome.assignments.iter().enumerate() {
             assert_eq!(p.verify_selection_block(m, set), Ok(()));
             // A partial block (first half of the set) is also fine.
@@ -381,7 +429,7 @@ mod tests {
     #[test]
     fn selection_violation_is_caught_and_attributed() {
         let p = select_params();
-        let outcome = p.selection_outcome();
+        let outcome = p.selection_outcome().expect("selection inputs");
         // Find a tx not in miner 0's set.
         let allowed: std::collections::HashSet<usize> =
             outcome.assignments[0].iter().copied().collect();
@@ -440,7 +488,7 @@ mod tests {
     #[test]
     fn initial_selections_are_valid_and_diverse() {
         let p = select_params();
-        let sets = p.initial_selections();
+        let sets = p.initial_selections().expect("selection inputs");
         assert_eq!(sets.len(), 5);
         for set in &sets {
             assert_eq!(set.len(), 4);
@@ -457,14 +505,26 @@ mod tests {
     #[test]
     fn initial_merge_probs_are_interior() {
         let p = merge_params();
-        for prob in p.initial_merge_probs() {
+        for prob in p.initial_merge_probs().expect("merge inputs") {
             assert!((0.25..=0.75).contains(&prob));
         }
     }
 
     #[test]
-    #[should_panic(expected = "merge_outcome on selection inputs")]
-    fn wrong_input_kind_panics() {
-        select_params().merge_outcome();
+    fn wrong_input_kind_is_an_error() {
+        let err = select_params().merge_outcome().unwrap_err();
+        assert_eq!(
+            err,
+            Error::GameInputs {
+                operation: "merge_outcome",
+                expected: "merge",
+                got: "selection",
+            }
+        );
+        // And the verification path reports it as WrongInputs.
+        assert!(matches!(
+            select_params().verify_merge_claim(&[]),
+            Err(VerificationError::WrongInputs(Error::GameInputs { .. }))
+        ));
     }
 }

@@ -1,10 +1,9 @@
 //! Accounts: externally-owned user accounts and contract accounts.
 
 use cshard_primitives::{Amount, ContractId, Nonce};
-use serde::{Deserialize, Serialize};
 
 /// What kind of account an address denotes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccountKind {
     /// An externally-owned account controlled by a user key.
     User,
@@ -14,7 +13,7 @@ pub enum AccountKind {
 }
 
 /// A ledger account.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Account {
     /// Spendable balance.
     pub balance: Amount,

@@ -9,10 +9,9 @@ use crate::merkle::merkle_root;
 use crate::transaction::Transaction;
 use cshard_crypto::Sha256;
 use cshard_primitives::{BlockHeight, Hash32, MinerId, ShardId, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A block header.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BlockHeader {
     /// Hash of the parent block (`Hash32::ZERO` for genesis).
     pub parent: Hash32,
@@ -55,7 +54,7 @@ impl BlockHeader {
 }
 
 /// A block: header plus the confirmed transactions.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Block {
     /// The header.
     pub header: BlockHeader,

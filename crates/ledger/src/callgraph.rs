@@ -10,7 +10,6 @@
 
 use crate::transaction::{Transaction, TxKind};
 use cshard_primitives::{Address, ContractId};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// How a sender participates in the system — the three cases of Fig. 1.
@@ -30,7 +29,7 @@ pub enum SenderClass {
 }
 
 /// Per-sender participation record.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 struct Participation {
     contracts: HashSet<ContractId>,
     direct: bool,

@@ -10,10 +10,9 @@
 //! smart contracts." Both shapes are supported here.
 
 use cshard_primitives::{Address, Amount, ContractId};
-use serde::{Deserialize, Serialize};
 
 /// The condition a contract checks before allowing its transfer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Condition {
     /// Always allow (the unconditional contracts of Sec. VI-A).
     Always,
@@ -28,7 +27,7 @@ pub enum Condition {
 
 /// A smart contract: when invoked by a sender, transfer the invocation value
 /// from the sender to `destination`, provided `condition` holds.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SmartContract {
     /// Dense registry id.
     pub id: ContractId,

@@ -7,15 +7,15 @@
 //! produce byte-identical snapshots and the SHA-256 [`StateSnapshot::digest`]
 //! doubles as a state commitment that can be pinned in checkpoints.
 
-use crate::account::Account;
-use crate::contract::SmartContract;
+use crate::account::{Account, AccountKind};
+use crate::contract::{Condition, SmartContract};
 use crate::state::State;
 use cshard_crypto::Sha256;
-use cshard_primitives::{Address, Amount, Hash32};
-use serde::{Deserialize, Serialize};
+use cshard_json as json;
+use cshard_primitives::{Address, Amount, ContractId, Hash32};
 
 /// A serializable snapshot of a [`State`].
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StateSnapshot {
     /// Accounts in ascending address order (canonical).
     pub accounts: Vec<(Address, Account)>,
@@ -108,12 +108,183 @@ impl StateSnapshot {
 
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("snapshot is serializable")
+        json::ObjectBuilder::new()
+            .field(
+                "accounts",
+                json::Value::Array(
+                    self.accounts
+                        .iter()
+                        .map(|(addr, acct)| {
+                            json::ObjectBuilder::new()
+                                .field("address", addr_to_json(addr))
+                                .field("balance", acct.balance.raw())
+                                .field("nonce", acct.nonce)
+                                .field(
+                                    "kind",
+                                    match acct.kind {
+                                        AccountKind::User => json::Value::from("user"),
+                                        AccountKind::Contract(id) => json::ObjectBuilder::new()
+                                            .field("contract", id.0)
+                                            .build(),
+                                    },
+                                )
+                                .build()
+                        })
+                        .collect(),
+                ),
+            )
+            .field(
+                "contracts",
+                json::Value::Array(
+                    self.contracts
+                        .iter()
+                        .map(|c| {
+                            json::ObjectBuilder::new()
+                                .field("id", c.id.0)
+                                .field("address", addr_to_json(&c.address))
+                                .field("destination", addr_to_json(&c.destination))
+                                .field("invocations", c.invocations)
+                                .field("condition", condition_to_json(&c.condition))
+                                .build()
+                        })
+                        .collect(),
+                ),
+            )
+            .field("minted", self.minted.raw())
+            .build()
+            .to_string_compact()
     }
 
     /// Parses a JSON snapshot.
-    pub fn from_json(json: &str) -> Result<StateSnapshot, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+    pub fn from_json(text: &str) -> Result<StateSnapshot, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let accounts = doc
+            .get("accounts")
+            .and_then(|v| v.as_array())
+            .ok_or("snapshot: missing accounts")?
+            .iter()
+            .map(|entry| {
+                let addr = addr_from_json(entry.get("address"))?;
+                let balance = entry
+                    .get("balance")
+                    .and_then(|v| v.as_u64())
+                    .ok_or("account: missing balance")?;
+                let nonce = entry
+                    .get("nonce")
+                    .and_then(|v| v.as_u64())
+                    .ok_or("account: missing nonce")?;
+                let kind = match entry.get("kind") {
+                    Some(k) if k.as_str() == Some("user") => AccountKind::User,
+                    Some(k) => AccountKind::Contract(ContractId::new(
+                        k.get("contract")
+                            .and_then(|v| v.as_u64())
+                            .and_then(|v| u32::try_from(v).ok())
+                            .ok_or("account: bad kind")?,
+                    )),
+                    None => return Err("account: missing kind".to_string()),
+                };
+                Ok((
+                    addr,
+                    Account {
+                        balance: Amount::from_raw(balance),
+                        nonce,
+                        kind,
+                    },
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let contracts = doc
+            .get("contracts")
+            .and_then(|v| v.as_array())
+            .ok_or("snapshot: missing contracts")?
+            .iter()
+            .map(|entry| {
+                Ok(SmartContract {
+                    id: ContractId::new(
+                        entry
+                            .get("id")
+                            .and_then(|v| v.as_u64())
+                            .and_then(|v| u32::try_from(v).ok())
+                            .ok_or("contract: missing id")?,
+                    ),
+                    address: addr_from_json(entry.get("address"))?,
+                    destination: addr_from_json(entry.get("destination"))?,
+                    invocations: entry
+                        .get("invocations")
+                        .and_then(|v| v.as_u64())
+                        .ok_or("contract: missing invocations")?,
+                    condition: condition_from_json(entry.get("condition"))?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let minted = doc
+            .get("minted")
+            .and_then(|v| v.as_u64())
+            .ok_or("snapshot: missing minted")?;
+        Ok(StateSnapshot {
+            accounts,
+            contracts,
+            minted: Amount::from_raw(minted),
+        })
+    }
+}
+
+fn addr_to_json(addr: &Address) -> json::Value {
+    json::Value::from(cshard_primitives::hex::encode(addr.as_bytes()))
+}
+
+fn addr_from_json(v: Option<&json::Value>) -> Result<Address, String> {
+    let text = v.and_then(|v| v.as_str()).ok_or("missing address")?;
+    let bytes = cshard_primitives::hex::decode(text).ok_or("bad address hex")?;
+    let arr: [u8; 20] = bytes.try_into().map_err(|_| "address must be 20 bytes")?;
+    Ok(Address::from_bytes(arr))
+}
+
+fn condition_to_json(condition: &Condition) -> json::Value {
+    let guarded = |tag: &str, a: &Address, v: &Amount| {
+        json::ObjectBuilder::new()
+            .field(
+                tag,
+                json::ObjectBuilder::new()
+                    .field("address", addr_to_json(a))
+                    .field("value", v.raw())
+                    .build(),
+            )
+            .build()
+    };
+    match condition {
+        Condition::Always => json::Value::from("always"),
+        Condition::Never => json::Value::from("never"),
+        Condition::BalanceBelow(a, v) => guarded("balance_below", a, v),
+        Condition::BalanceAtLeast(a, v) => guarded("balance_at_least", a, v),
+    }
+}
+
+fn condition_from_json(v: Option<&json::Value>) -> Result<Condition, String> {
+    let v = v.ok_or("contract: missing condition")?;
+    if let Some(tag) = v.as_str() {
+        return match tag {
+            "always" => Ok(Condition::Always),
+            "never" => Ok(Condition::Never),
+            other => Err(format!("unknown condition {other:?}")),
+        };
+    }
+    let guarded = |inner: &json::Value| -> Result<(Address, Amount), String> {
+        let addr = addr_from_json(inner.get("address"))?;
+        let value = inner
+            .get("value")
+            .and_then(|v| v.as_u64())
+            .ok_or("condition: missing value")?;
+        Ok((addr, Amount::from_raw(value)))
+    };
+    if let Some(inner) = v.get("balance_below") {
+        let (a, amt) = guarded(inner)?;
+        Ok(Condition::BalanceBelow(a, amt))
+    } else if let Some(inner) = v.get("balance_at_least") {
+        let (a, amt) = guarded(inner)?;
+        Ok(Condition::BalanceAtLeast(a, amt))
+    } else {
+        Err("unknown condition shape".to_string())
     }
 }
 

@@ -2,10 +2,9 @@
 
 use cshard_crypto::Sha256;
 use cshard_primitives::{Address, Amount, ContractId, Nonce, TxId};
-use serde::{Deserialize, Serialize};
 
 /// What a transaction does.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TxKind {
     /// Invoke a smart contract with `value`; if the contract's condition
     /// holds, `value` moves from the sender to the contract's destination.
@@ -69,7 +68,7 @@ impl TxKind {
 /// Signatures are modelled, not computed: within the simulation the sender
 /// field is authoritative (an honest-channel assumption; the paper's
 /// adversary does not forge signatures either).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Transaction {
     /// The (authenticated) sender.
     pub sender: Address,

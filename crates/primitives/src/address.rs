@@ -1,14 +1,13 @@
 //! Account addresses.
 
 use crate::hex;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 20-byte account address (Ethereum-style).
 ///
 /// Both externally-owned user accounts and smart-contract accounts are
 /// addressed this way; the ledger's account table distinguishes the kinds.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Address(pub [u8; 20]);
 
 impl Address {

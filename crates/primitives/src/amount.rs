@@ -1,6 +1,5 @@
 //! Coin amounts with checked arithmetic.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
@@ -10,9 +9,7 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// Arithmetic via `+`/`-` panics on overflow/underflow in all build profiles
 /// — a ledger must never silently wrap. Use [`Amount::checked_sub`] where an
 /// insufficient balance is an expected, recoverable condition.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Amount(pub u64);
 
 impl Amount {

@@ -1,0 +1,124 @@
+//! The workspace-wide error type.
+//!
+//! One enum, hand-rolled `Display`/`Error` impls (no `thiserror`
+//! dependency), shared by every crate whose fallible entry points an
+//! embedding caller might hit with bad inputs: system configuration,
+//! miner allocation, and the unification games.
+
+use crate::ids::ShardId;
+use std::fmt;
+
+/// Everything a ContractShard entry point can reject instead of panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A configuration field failed validation (builder or direct struct).
+    Config {
+        /// The offending field, e.g. `"block_capacity"`.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A shard was configured with zero miners — nothing could ever mine
+    /// its transactions.
+    NoMiners {
+        /// The minerless shard.
+        shard: ShardId,
+    },
+    /// A proportional miner allocation cannot staff every shard.
+    InsufficientMiners {
+        /// Shards that each need at least one miner.
+        shards: usize,
+        /// Miners available in the pool.
+        miners: usize,
+    },
+    /// A game method was invoked on the wrong [`GameInputs`] variant —
+    /// e.g. replaying the merge outcome from a selection broadcast.
+    ///
+    /// [`GameInputs`]: https://docs.rs/cshard-games
+    GameInputs {
+        /// The operation that was attempted.
+        operation: &'static str,
+        /// The inputs variant it requires.
+        expected: &'static str,
+        /// The variant actually carried by the broadcast.
+        got: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config { field, reason } => write!(f, "invalid `{field}`: {reason}"),
+            Error::NoMiners { shard } => write!(f, "shard {shard} has no miners"),
+            Error::InsufficientMiners { shards, miners } => write!(
+                f,
+                "need at least one miner per shard ({shards} shards, {miners} miners)"
+            ),
+            Error::GameInputs {
+                operation,
+                expected,
+                got,
+            } => write!(f, "{operation} requires {expected} inputs, got {got}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = Error::Config {
+            field: "block_capacity",
+            reason: "must be positive".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("block_capacity"));
+        assert!(s.contains("must be positive"));
+    }
+
+    #[test]
+    fn display_covers_every_variant() {
+        assert!(Error::NoMiners {
+            shard: ShardId::new(3)
+        }
+        .to_string()
+        .contains("no miners"));
+        assert!(Error::InsufficientMiners {
+            shards: 9,
+            miners: 4
+        }
+        .to_string()
+        .contains("9 shards"));
+        assert!(Error::GameInputs {
+            operation: "merge_outcome",
+            expected: "merge",
+            got: "selection"
+        }
+        .to_string()
+        .contains("merge_outcome"));
+    }
+
+    #[test]
+    fn errors_are_comparable_and_boxable() {
+        assert_eq!(
+            Error::NoMiners {
+                shard: ShardId::new(0)
+            },
+            Error::NoMiners {
+                shard: ShardId::new(0)
+            }
+        );
+        let boxed: Box<dyn std::error::Error> = Box::new(Error::InsufficientMiners {
+            shards: 2,
+            miners: 1,
+        });
+        assert!(boxed.to_string().contains("2 shards"));
+    }
+}

@@ -1,7 +1,6 @@
 //! 32-byte hash values.
 
 use crate::hex;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 256-bit hash digest.
@@ -9,7 +8,7 @@ use std::fmt;
 /// Used for block hashes, transaction ids and verifiable-randomness outputs.
 /// The digest algorithm itself lives in `cshard-crypto`; this type is only
 /// the value.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Hash32(pub [u8; 32]);
 
 impl Hash32 {

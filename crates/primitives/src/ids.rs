@@ -1,7 +1,6 @@
 //! Identifier newtypes: shards, contracts, miners, transactions, blocks.
 
 use crate::hash::Hash32;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a shard.
@@ -10,7 +9,7 @@ use std::fmt;
 /// receivers can check the packer really belongs to the claimed shard.
 /// [`ShardId::MAX_SHARD`] is the distinguished shard for transactions whose
 /// senders touch more than one contract or transact with users directly.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ShardId(pub u32);
 
 impl ShardId {
@@ -46,7 +45,7 @@ impl fmt::Debug for ShardId {
 }
 
 /// Identifier of a smart contract (dense index into the contract registry).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ContractId(pub u32);
 
 impl ContractId {
@@ -69,7 +68,7 @@ impl fmt::Debug for ContractId {
 }
 
 /// Identifier of a miner (dense index into the miner registry).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MinerId(pub u32);
 
 impl MinerId {

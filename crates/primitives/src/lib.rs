@@ -10,6 +10,7 @@
 
 pub mod address;
 pub mod amount;
+pub mod error;
 pub mod hash;
 pub mod hex;
 pub mod ids;
@@ -17,6 +18,7 @@ pub mod time;
 
 pub use address::Address;
 pub use amount::Amount;
+pub use error::Error;
 pub use hash::Hash32;
 pub use ids::{BlockHeight, ContractId, MinerId, Nonce, ShardId, TxId};
 pub use time::SimTime;

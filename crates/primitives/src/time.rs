@@ -1,6 +1,5 @@
 //! Simulated time.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -10,9 +9,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// Milliseconds give a total order (needed by the event queue) while being
 /// fine-grained enough for sub-second block intervals (the ChainSpace
 /// comparison runs at 76 tx/s).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

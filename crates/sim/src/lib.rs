@@ -8,7 +8,9 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod executor;
 pub mod rng;
 
 pub use engine::{EventQueue, ScheduledEvent};
+pub use executor::Executor;
 pub use rng::SimRng;

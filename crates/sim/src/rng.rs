@@ -23,6 +23,15 @@ impl SimRng {
         }
     }
 
+    /// Creates a stream from a full 256-bit seed — e.g. a PRF output, so a
+    /// shard's stream is a pure function of `(master seed, shard id)` and
+    /// independent of any other shard's draws.
+    pub fn from_seed_bytes(seed: [u8; 32]) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::from_seed(seed),
+        }
+    }
+
     /// Derives an independent sub-stream, e.g. one per shard, so that
     /// adding events to one shard never perturbs another's draws.
     pub fn fork(&mut self, label: u64) -> SimRng {

@@ -10,26 +10,25 @@
 
 use crate::fees::FeeDistribution;
 use crate::generator::{Workload, WorkloadKind};
+use cshard_json as json;
 use cshard_ledger::{SmartContract, State, Transaction, TxKind};
 use cshard_primitives::{Address, Amount, ContractId};
-use serde::{Deserialize, Serialize};
 
 /// One trace record: the minimal description of an injected transaction.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Sender index (dense user namespace).
     pub sender: u64,
     /// Contract index for a call; `None` for a direct transfer.
     pub contract: Option<u32>,
     /// Recipient user index for a direct transfer (ignored for calls).
-    #[serde(default)]
     pub recipient: Option<u64>,
     /// Fee in base units.
     pub fee: u64,
 }
 
 /// A serializable trace: records plus the contract count.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Trace {
     /// Number of contracts the records reference.
     pub contracts: u32,
@@ -85,12 +84,71 @@ impl Trace {
 
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("trace is serializable")
+        json::ObjectBuilder::new()
+            .field("contracts", self.contracts)
+            .field(
+                "records",
+                json::Value::Array(
+                    self.records
+                        .iter()
+                        .map(|r| {
+                            let mut rec = json::ObjectBuilder::new().field("sender", r.sender);
+                            if let Some(c) = r.contract {
+                                rec = rec.field("contract", c);
+                            }
+                            if let Some(to) = r.recipient {
+                                rec = rec.field("recipient", to);
+                            }
+                            rec.field("fee", r.fee).build()
+                        })
+                        .collect(),
+                ),
+            )
+            .build()
+            .to_string_pretty()
     }
 
     /// Parses a JSON trace.
-    pub fn from_json(json: &str) -> Result<Trace, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+    pub fn from_json(text: &str) -> Result<Trace, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let contracts = doc
+            .get("contracts")
+            .and_then(|v| v.as_u64())
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or("trace: missing contracts")?;
+        let records = doc
+            .get("records")
+            .and_then(|v| v.as_array())
+            .ok_or("trace: missing records")?
+            .iter()
+            .map(|entry| {
+                Ok(TraceRecord {
+                    sender: entry
+                        .get("sender")
+                        .and_then(|v| v.as_u64())
+                        .ok_or("record: missing sender")?,
+                    contract: match entry.get("contract") {
+                        None => None,
+                        Some(v) if v.is_null() => None,
+                        Some(v) => Some(
+                            v.as_u64()
+                                .and_then(|v| u32::try_from(v).ok())
+                                .ok_or("record: bad contract")?,
+                        ),
+                    },
+                    recipient: match entry.get("recipient") {
+                        None => None,
+                        Some(v) if v.is_null() => None,
+                        Some(v) => Some(v.as_u64().ok_or("record: bad recipient")?),
+                    },
+                    fee: entry
+                        .get("fee")
+                        .and_then(|v| v.as_u64())
+                        .ok_or("record: missing fee")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Trace { contracts, records })
     }
 
     /// Materialises the trace into a runnable [`Workload`]: funds every

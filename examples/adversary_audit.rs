@@ -60,7 +60,14 @@ fn main() {
     );
 
     // Three independent replicas.
-    let outcomes: Vec<_> = (0..3).map(|_| params.clone().selection_outcome()).collect();
+    let outcomes: Vec<_> = (0..3)
+        .map(|_| {
+            params
+                .clone()
+                .selection_outcome()
+                .expect("selection inputs")
+        })
+        .collect();
     assert!(outcomes.windows(2).all(|w| w[0].assignments == w[1].assignments));
     println!(
         "\nparameter unification: 3 replicas replayed Algorithm 2 and \
@@ -93,7 +100,7 @@ fn main() {
             },
         },
     );
-    let outcome = merge_params.merge_outcome();
+    let outcome = merge_params.merge_outcome().expect("merge inputs");
     assert!(merge_params.verify_merge_claim(&outcome.new_shards).is_ok());
     let mut lie = outcome.new_shards.clone();
     lie.push(vec![0]);

@@ -23,12 +23,19 @@ fn main() {
     }
 
     // Run the sharded system: one miner per shard, one block per minute,
-    // 10 transactions per block — the paper's testbed calibration.
-    let runtime = RuntimeConfig::default();
-    let sharded = ShardingSystem::testbed(runtime.clone()).run(&workload);
+    // 10 transactions per block — the paper's testbed calibration. The
+    // builder validates the combination; threads(0) simulates shards on
+    // one worker per core with bit-identical results to a sequential run.
+    let system = ShardingSystem::builder()
+        .shards(9)
+        .block_capacity(10)
+        .threads(0)
+        .build()
+        .expect("valid configuration");
+    let sharded = system.run(&workload).expect("valid config");
 
     // The Ethereum baseline: the same transactions on one serialized chain.
-    let ethereum = simulate_ethereum(workload.fees(), 1, &runtime);
+    let ethereum = simulate_ethereum(workload.fees(), 1, &RuntimeConfig::default());
 
     println!("\nresults:");
     println!(

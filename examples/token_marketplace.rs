@@ -9,7 +9,6 @@
 //!
 //! Run with: `cargo run --release --example token_marketplace`
 
-use contractshard::core::system::{MinerAllocation, SystemConfig};
 use contractshard::prelude::*;
 
 fn main() {
@@ -30,28 +29,31 @@ fn main() {
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     println!("  shard sizes (desc): {sorted:?}");
 
+    // Without merging: the tail shards idle and pack empty blocks.
+    let before = ShardingSystem::builder()
+        .seed(7)
+        .empty_block_window(SimTime::from_secs(600))
+        .build()
+        .expect("valid configuration")
+        .run(&workload)
+        .expect("valid config");
+
+    // With the merging game (Algorithm 1 + 3) under unified parameters.
+    let after = ShardingSystem::builder()
+        .seed(7)
+        .empty_block_window(SimTime::from_secs(600))
+        .merging(10)
+        .epoch(1)
+        .build()
+        .expect("valid configuration")
+        .run(&workload)
+        .expect("valid config");
+
     let runtime = RuntimeConfig {
         seed: 7,
         empty_block_window: Some(SimTime::from_secs(600)),
         ..RuntimeConfig::default()
     };
-
-    // Without merging: the tail shards idle and pack empty blocks.
-    let before = ShardingSystem::testbed(runtime.clone()).run(&workload);
-
-    // With the merging game (Algorithm 1 + 3) under unified parameters.
-    let after = ShardingSystem::new(SystemConfig {
-        runtime: runtime.clone(),
-        merging: Some(MergingConfig {
-            lower_bound: 10,
-            ..MergingConfig::default()
-        }),
-        selection: None,
-        allocation: MinerAllocation::OnePerShard,
-        epoch: 1,
-    })
-    .run(&workload);
-
     let ethereum = simulate_ethereum(workload.fees(), 1, &runtime);
     let merge = after.merge.as_ref().expect("merging ran");
 

@@ -1,0 +1,19 @@
+# Development workflow for contractshard. `just verify` is the gate CI runs.
+
+# Build, test and lint the whole workspace.
+verify:
+    cargo build --release --workspace
+    cargo test -q --workspace
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Fast feedback loop: tests only.
+test:
+    cargo test -q --workspace
+
+# Regenerate every paper figure/table (quick mode; drop --quick for full scale).
+experiments:
+    cargo run --release -p cshard-bench --bin experiments -- all --quick
+
+# Sequential-vs-parallel sanity: identical results, only wall-clock differs.
+determinism:
+    cargo test -q --test determinism

@@ -22,12 +22,21 @@
 //!     200, 8, FeeDistribution::Uniform { lo: 1, hi: 100 }, 42,
 //! );
 //!
-//! // Run the contract-centric sharding system…
-//! let system = ShardingSystem::testbed(RuntimeConfig::default());
-//! let report = system.run(&workload);
+//! // Configure the contract-centric sharding system with the builder.
+//! // `threads(0)` simulates the shards on one worker per core; results
+//! // are bit-identical to a sequential run (per-shard PRF seeding).
+//! let system = ShardingSystem::builder()
+//!     .shards(9)
+//!     .block_capacity(10)
+//!     .seed(42)
+//!     .threads(0)
+//!     .build()
+//!     .expect("valid configuration");
+//! let report = system.run(&workload).expect("run completes");
 //!
 //! // …and compare with the single-chain Ethereum baseline.
-//! let ethereum = simulate_ethereum(workload.fees(), 1, &RuntimeConfig::default());
+//! let baseline = RuntimeConfig { seed: 42, ..RuntimeConfig::default() };
+//! let ethereum = simulate_ethereum(workload.fees(), 1, &baseline);
 //! let improvement = throughput_improvement(&ethereum, &report.run);
 //! assert!(improvement > 2.0);
 //! ```
@@ -67,11 +76,12 @@ pub mod prelude {
     pub use cshard_baselines::{random_merge, ChainspacePlacement};
     pub use cshard_core::metrics::throughput_improvement;
     pub use cshard_core::runtime::simulate_ethereum;
-    pub use cshard_core::system::{MinerAllocation, SystemConfig};
+    pub use cshard_core::system::{MinerAllocation, SystemBuilder, SystemConfig};
     pub use cshard_core::{
         simulate, MinerAssignment, RunReport, RuntimeConfig, SelectionStrategy, ShardPlan,
         ShardSpec, ShardingSystem, SystemReport,
     };
+    pub use cshard_primitives::Error;
     pub use cshard_crypto::{sha256, RandomnessBeacon, Vrf};
     pub use cshard_games::{
         best_reply_equilibrium, iterative_merge, GameInputs, MergingConfig, SelectionConfig,

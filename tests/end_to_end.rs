@@ -23,7 +23,7 @@ fn full_pipeline_is_deterministic_end_to_end() {
             allocation: MinerAllocation::PerShard(3),
             epoch: 11,
         };
-        let report = ShardingSystem::new(cfg).run(&w);
+        let report = ShardingSystem::new(cfg).run(&w).expect("valid config");
         (
             report.run.completion,
             report.shard_sizes.clone(),
@@ -41,7 +41,7 @@ fn every_transaction_is_confirmed_exactly_once() {
         seed: 3,
         ..RuntimeConfig::default()
     })
-    .run(&w);
+    .run(&w).expect("valid config");
     assert_eq!(report.run.total_txs(), 300);
     let confirmed: usize = report.run.shards.iter().map(|s| s.confirmed).sum();
     assert_eq!(confirmed, 300);
@@ -70,7 +70,7 @@ fn merging_and_selection_compose() {
         allocation: MinerAllocation::PerShard(4),
         epoch: 5,
     })
-    .run(&w);
+    .run(&w).expect("valid config");
     let merge = report.merge.expect("merging enabled");
     assert_eq!(merge.small_shards, 5);
     assert!(report.run.shards.iter().all(|s| s.confirmed == s.txs));
@@ -154,7 +154,7 @@ fn unified_parameters_run_the_system_games_identically_across_replicas() {
             allocation: MinerAllocation::OnePerShard,
             epoch: 99,
         })
-        .run(&w)
+        .run(&w).expect("valid config")
     };
     let a = mk();
     let b = mk();

@@ -239,7 +239,7 @@ fn unification_rejects_non_equilibrium_blocks_fleet_wide() {
             },
         },
     );
-    let truth = params.selection_outcome();
+    let truth = params.selection_outcome().expect("selection inputs");
     let foreign = (0..30)
         .find(|j| !truth.assignments[5].contains(j))
         .expect("some tx is not miner 5's");

@@ -51,6 +51,7 @@ fn trace_export_replay_runs_identically_through_the_system() {
             ..RuntimeConfig::default()
         })
         .run(w)
+        .expect("valid config")
     };
     let a = run(&original);
     let b = run(&replayed);
@@ -93,7 +94,7 @@ fn mainnet_shaped_workload_through_the_full_system() {
         allocation: MinerAllocation::Proportional { total: 40 },
         epoch: 4,
     })
-    .run(&w);
+    .run(&w).expect("valid config");
     assert_eq!(report.run.total_txs(), 1_000);
     assert!(report.run.shards.iter().all(|s| s.confirmed == s.txs));
     // The dominant contract shard exists and is the biggest.

@@ -1,0 +1,235 @@
+//! An offline drop-in for the subset of `criterion` this workspace's
+//! benches use. It keeps the `criterion_group!`/`criterion_main!` harness
+//! shape and the `BenchmarkGroup` builder API, but replaces criterion's
+//! statistical machinery with a simple timed loop: each benchmark runs a
+//! short warm-up, then `sample_size` timed samples, and prints the median
+//! per-iteration time. Good enough to compare before/after on one machine;
+//! not a substitute for criterion's outlier analysis.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id labelled by the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the routine.
+pub struct Bencher {
+    samples: usize,
+    last: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`: a warm-up pass, then `samples` timed passes.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        std::hint::black_box(routine()); // warm-up, also defeats DCE
+        self.last.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.last.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup` outside the timed span.
+    pub fn iter_with_setup<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+    ) {
+        std::hint::black_box(routine(setup())); // warm-up, also defeats DCE
+        self.last.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.last.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.last.is_empty() {
+            return Duration::ZERO;
+        }
+        self.last.sort_unstable();
+        self.last[self.last.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: Vec::new(),
+        };
+        f(&mut b);
+        let med = b.median();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if med > Duration::ZERO => {
+                format!("  {:.0} elem/s", n as f64 / med.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if med > Duration::ZERO => {
+                format!("  {:.0} B/s", n as f64 / med.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("bench {}/{}: median {:?}{}", self.name, id, med, rate);
+    }
+
+    /// Ends the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored here, so
+    /// `cargo bench -- <filter>` does not error out).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Convenience single-benchmark entry (criterion parity).
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let name = id.to_string();
+        self.benchmark_group(&name).sample_size(10).bench_function("run", f);
+        self
+    }
+
+    /// Runs the registered group functions (invoked by `criterion_main!`).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Defines a benchmark group function invoking each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching criterion's optional `black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(ran >= 4, "warm-up + samples ran the closure");
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("merge", 100).to_string(), "merge/100");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}
