@@ -4,9 +4,11 @@
 //!   miners in small shards merge with probability ½, stopping at the first
 //!   stable (satisfying) realization.
 //! * [`chainspace`] — the ChainSpace model: uniform random transaction
-//!   placement over a fixed shard count, with cross-shard validation
-//!   communication (≥ 2 rounds per cross-shard transaction, O(N²) bits per
-//!   round) booked into [`cshard_network::CommStats`]. Fig. 4(a)/(b).
+//!   placement over a fixed shard count, run as a real
+//!   [`cshard_runtime::ProtocolDriver`] whose 2PC validation rounds are
+//!   scheduled events booking cross-shard communication (≥ 2 rounds per
+//!   cross-shard transaction, O(N²) bits per round) into
+//!   [`cshard_network::CommStats`] as they fire. Fig. 4(a)/(b).
 //! * [`optimal`] — the oracles of Sec. VI-E: the optimal number of new
 //!   shards (every new shard exactly `L`) and the optimal number of
 //!   distinct transaction sets (every miner distinct), plus a first-fit
@@ -23,6 +25,6 @@ pub mod chainspace;
 pub mod optimal;
 pub mod random_merge;
 
-pub use chainspace::{ChainspacePlacement, CROSS_SHARD_ROUNDS_PER_TX};
+pub use chainspace::{ChainspaceDriver, ChainspacePlacement, CROSS_SHARD_ROUNDS_PER_TX};
 pub use optimal::{first_fit_partition, optimal_distinct_sets, optimal_new_shards};
 pub use random_merge::{random_merge, RandomMergeOutcome};

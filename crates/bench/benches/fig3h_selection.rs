@@ -23,14 +23,10 @@ fn bench(c: &mut Criterion) {
         max_rounds: 10_000,
     };
     for miners in [3usize, 9] {
-        group.bench_with_input(
-            BenchmarkId::new("best_reply", miners),
-            &miners,
-            |b, &m| {
-                let init = initial(m, 10, 200);
-                b.iter(|| black_box(best_reply_equilibrium(&f, &init, &cfg).rounds));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("best_reply", miners), &miners, |b, &m| {
+            let init = initial(m, 10, 200);
+            b.iter(|| black_box(best_reply_equilibrium(&f, &init, &cfg).rounds));
+        });
     }
     group.bench_function("greedy_reference", |b| {
         b.iter(|| black_box(greedy_assignment(&f, 9, 10).distinct_set_count()));

@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cshard_baselines::ChainspacePlacement;
+use cshard_crypto::sha256;
 use cshard_games::{GameInputs, MergingConfig, UnifiedParameters};
 use cshard_network::CommStats;
-use cshard_crypto::sha256;
 use cshard_primitives::{MinerId, ShardId};
 use cshard_workload::{FeeDistribution, Workload};
 use std::hint::black_box;
@@ -43,7 +43,13 @@ fn bench_unification(c: &mut Criterion) {
         b.iter(|| {
             let stats = CommStats::new();
             params.record_communication(&stats);
-            black_box((params.merge_outcome().expect("merge inputs").new_shard_count(), stats.total()))
+            black_box((
+                params
+                    .merge_outcome()
+                    .expect("merge inputs")
+                    .new_shard_count(),
+                stats.total(),
+            ))
         });
     });
 }

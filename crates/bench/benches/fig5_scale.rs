@@ -40,9 +40,7 @@ fn bench_select_scale(c: &mut Criterion) {
             max_rounds: 10_000,
         };
         group.bench_with_input(BenchmarkId::from_parameter(miners), &fees, |b, fees| {
-            b.iter(|| {
-                black_box(best_reply_equilibrium(fees, &initial, &cfg).distinct_set_count())
-            });
+            b.iter(|| black_box(best_reply_equilibrium(fees, &initial, &cfg).distinct_set_count()));
         });
     }
     group.finish();

@@ -107,12 +107,7 @@ fn bench_mempool(c: &mut Criterion) {
 
 fn bench_classifier(c: &mut Criterion) {
     // The paper's future-work item: classification cost per transaction.
-    let w = Workload::uniform_contracts(
-        5_000,
-        50,
-        FeeDistribution::Uniform { lo: 1, hi: 100 },
-        1,
-    );
+    let w = Workload::uniform_contracts(5_000, 50, FeeDistribution::Uniform { lo: 1, hi: 100 }, 1);
     let mut group = c.benchmark_group("sender_classification");
     group.throughput(Throughput::Elements(w.transactions.len() as u64));
     group.bench_function("callgraph_sets", |b| {
@@ -143,12 +138,7 @@ fn bench_classifier(c: &mut Criterion) {
 }
 
 fn bench_codec(c: &mut Criterion) {
-    let w = Workload::uniform_contracts(
-        1_000,
-        10,
-        FeeDistribution::Uniform { lo: 1, hi: 100 },
-        2,
-    );
+    let w = Workload::uniform_contracts(1_000, 10, FeeDistribution::Uniform { lo: 1, hi: 100 }, 2);
     let block = Block::assemble(
         Hash32::ZERO,
         1,

@@ -6,7 +6,7 @@ use crate::report::{ExperimentResult, Series};
 use cshard_core::metrics::throughput_improvement;
 use cshard_core::runtime::simulate_ethereum;
 use cshard_core::system::{MinerAllocation, SystemConfig};
-use cshard_core::{RuntimeConfig, ShardingSystem};
+use cshard_core::{PropagationModel, RuntimeConfig, ShardingSystem};
 use cshard_games::merging::optimal_new_shard_count;
 use cshard_games::selection::{best_reply_equilibrium, SelectionConfig};
 use cshard_games::{iterative_merge, one_shot_merge, MergingConfig};
@@ -74,10 +74,12 @@ pub fn run_window(quick: bool) -> ExperimentResult {
             let wl = Workload::uniform_contracts(200, 8, default_fees(), seed);
             let cfg = RuntimeConfig {
                 seed,
-                conflict_window: SimTime::from_secs(w),
+                propagation: PropagationModel::Window(SimTime::from_secs(w)),
                 ..RuntimeConfig::default()
             };
-            let sharded = ShardingSystem::testbed(cfg.clone()).run(&wl).expect("valid config");
+            let sharded = ShardingSystem::testbed(cfg.clone())
+                .run(&wl)
+                .expect("valid config");
             let eth = simulate_ethereum(wl.fees(), 9, &cfg);
             imp += throughput_improvement(&eth, &sharded.run);
         }
@@ -117,7 +119,13 @@ pub fn run_fees(quick: bool) -> ExperimentResult {
         ("constant", FeeDistribution::Constant(10)),
         ("uniform", FeeDistribution::Uniform { lo: 1, hi: 100 }),
         ("binomial", FeeDistribution::Binomial { n: 200 }),
-        ("zipf", FeeDistribution::Zipf { max: 10_000, s: 1.4 }),
+        (
+            "zipf",
+            FeeDistribution::Zipf {
+                max: 10_000,
+                s: 1.4,
+            },
+        ),
     ];
     let mut series = Vec::new();
     for (name, model) in models {
@@ -246,12 +254,11 @@ pub fn run_alloc(quick: bool) -> ExperimentResult {
             let flat_run = ShardingSystem::new(SystemConfig {
                 runtime: rt.clone(),
                 selection: Some(1000),
-                allocation: MinerAllocation::PerShard(
-                    (total_miners / shard_count).max(1),
-                ),
+                allocation: MinerAllocation::PerShard((total_miners / shard_count).max(1)),
                 ..SystemConfig::default()
             })
-            .run(&wl).expect("valid config");
+            .run(&wl)
+            .expect("valid config");
             let prop_run = ShardingSystem::new(SystemConfig {
                 runtime: rt.clone(),
                 selection: Some(1000),
@@ -260,7 +267,8 @@ pub fn run_alloc(quick: bool) -> ExperimentResult {
                 },
                 ..SystemConfig::default()
             })
-            .run(&wl).expect("valid config");
+            .run(&wl)
+            .expect("valid config");
             flat += throughput_improvement(&eth, &flat_run.run);
             proportional += throughput_improvement(&eth, &prop_run.run);
         }
@@ -350,7 +358,12 @@ mod tests {
                 .unwrap()
                 .mean_y()
         };
-        assert!(mean("uniform") >= mean("zipf"), "{} vs {}", mean("uniform"), mean("zipf"));
+        assert!(
+            mean("uniform") >= mean("zipf"),
+            "{} vs {}",
+            mean("uniform"),
+            mean("zipf")
+        );
         assert!(mean("constant") >= 8.0, "equal fees must spread fully");
     }
 

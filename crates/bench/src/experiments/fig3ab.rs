@@ -30,7 +30,9 @@ fn measure(shards: usize, repeats: u64) -> Point {
             seed,
             ..RuntimeConfig::default()
         };
-        let sharded = ShardingSystem::testbed(cfg.clone()).run(&w).expect("valid config");
+        let sharded = ShardingSystem::testbed(cfg.clone())
+            .run(&w)
+            .expect("valid config");
         let ethereum = simulate_ethereum(w.fees(), 1, &cfg);
         imp += throughput_improvement(&ethereum, &sharded.run);
         se += sharded.run.empty_blocks_per_shard();

@@ -145,7 +145,9 @@ fn measure(small_count: usize, repeats: u64) -> Avg {
         };
         let ethereum = simulate_ethereum(w.fees(), 1, &rt);
 
-        let before: SystemReport = ShardingSystem::testbed(rt.clone()).run(&w).expect("valid config");
+        let before: SystemReport = ShardingSystem::testbed(rt.clone())
+            .run(&w)
+            .expect("valid config");
         let ours: SystemReport = ShardingSystem::new(SystemConfig {
             runtime: rt.clone(),
             merging: Some(MergingConfig {
@@ -155,7 +157,8 @@ fn measure(small_count: usize, repeats: u64) -> Avg {
             epoch: seed,
             ..SystemConfig::default()
         })
-        .run(&w).expect("valid config");
+        .run(&w)
+        .expect("valid config");
         let (random_run, random_shards) = run_randomized(&w, &rt, seed);
 
         acc.imp_before += throughput_improvement(&ethereum, &before.run);

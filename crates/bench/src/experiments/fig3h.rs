@@ -59,9 +59,7 @@ pub fn run(quick: bool) -> ExperimentResult {
         series: vec![Series::new("equilibrium vs greedy", points)],
         notes: vec![
             format!("200 txs, single shard, 1 blk/min, {repeats} seeds/point"),
-            format!(
-                "average improvement {avg:.2}x, {at9:.2}x at 9 miners (paper: 3x average)"
-            ),
+            format!("average improvement {avg:.2}x, {at9:.2}x at 9 miners (paper: 3x average)"),
             "the gain comes from disjoint equilibrium sets confirming in parallel; epoch \
              re-assignment barriers keep it below the miner count"
                 .into(),

@@ -17,10 +17,10 @@ use cshard_baselines::ChainspacePlacement;
 use cshard_core::metrics::throughput_improvement;
 use cshard_core::runtime::simulate_ethereum;
 use cshard_core::system::SystemConfig;
-use cshard_core::{simulate, RuntimeConfig, ShardSpec, ShardingSystem};
+use cshard_core::{PropagationModel, Runtime, RuntimeConfig, ShardingSystem};
 use cshard_games::MergingConfig;
-use cshard_network::CommStats;
-use cshard_primitives::{ShardId, SimTime};
+use cshard_network::{CommStats, LatencyModel};
+use cshard_primitives::SimTime;
 use cshard_workload::Workload;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -31,7 +31,7 @@ fn chainspace_runtime(seed: u64, capacity: usize) -> RuntimeConfig {
     RuntimeConfig {
         block_capacity: capacity,
         mean_block_interval: SimTime::from_secs_f64(interval),
-        conflict_window: SimTime::from_secs_f64(interval),
+        propagation: PropagationModel::Window(SimTime::from_secs_f64(interval)),
         empty_block_window: None,
         seed,
         ..RuntimeConfig::default()
@@ -53,24 +53,23 @@ pub fn run_a(quick: bool) -> ExperimentResult {
             let ethereum = simulate_ethereum(w.fees(), 1, &cfg);
 
             // Ours: contract-centric formation.
-            let sharded = ShardingSystem::testbed(cfg.clone()).run(&w).expect("valid config");
+            let sharded = ShardingSystem::testbed(cfg.clone())
+                .run(&w)
+                .expect("valid config");
             ours_imp += throughput_improvement(&ethereum, &sharded.run);
 
-            // ChainSpace: uniform random placement of the same transactions.
+            // ChainSpace: uniform random placement of the same
+            // transactions, run as protocol drivers on the shared loop
+            // (home-queue mining plus scheduled 2PC validation rounds;
+            // the mining trajectory — and so the throughput — matches a
+            // plain sharded run of the same placement).
             let placement = ChainspacePlacement::place(&w.transactions, shards, seed);
             let fees = w.fees();
-            let specs: Vec<ShardSpec> = placement
-                .shard_tx_indices()
-                .into_iter()
-                .enumerate()
-                .map(|(s, idxs)| {
-                    ShardSpec::solo_greedy(
-                        ShardId::new(s as u32),
-                        idxs.into_iter().map(|i| fees[i]).collect(),
-                    )
-                })
-                .collect();
-            let cs_run = simulate(&specs, &cfg);
+            let cs_run = Runtime::new(cfg.threads).run(placement.drivers(
+                &fees,
+                &cfg,
+                LatencyModel::wide_area(),
+            ));
             cs_imp += throughput_improvement(&ethereum, &cs_run);
         }
         ours_pts.push((shards as f64, ours_imp / repeats as f64));
@@ -109,16 +108,20 @@ pub fn run_b(quick: bool) -> ExperimentResult {
         // The repeats are independently seeded runs — fan them out.
         let per_seed = grid_executor().run((0..repeats).collect(), |_, seed| {
             let w = Workload::three_input(count, 3, default_fees(), seed);
-            // ChainSpace: random placement → cross-shard validation rounds.
-            let stats = CommStats::new();
+            // ChainSpace: random placement, then an actual run — each 2PC
+            // validation round is a scheduled event that books one
+            // communication time as it fires (no post-hoc bookkeeping).
             let placement = ChainspacePlacement::place(&w.transactions, shards, seed);
-            placement.record_validation_communication(&stats);
+            let cfg = chainspace_runtime(seed, 10);
+            let fees = w.fees();
+            let rt = Runtime::with_comm(1, CommStats::new());
+            rt.run(placement.drivers(&fees, &cfg, LatencyModel::wide_area()));
 
             // Ours: every 3-input tx is MaxShard-internal → zero rounds.
             let sharded = ShardingSystem::testbed(chainspace_runtime(seed, 10));
             let report = sharded.run(&w).expect("valid config");
             assert_eq!(report.comm.total(), 0);
-            stats.per_shard_average(shards)
+            rt.comm().per_shard_average(shards)
         });
         let cs_avg: f64 = per_seed.iter().sum();
         ours_pts.push((count as f64, 0.0));
@@ -168,7 +171,8 @@ pub fn run_c(quick: bool) -> ExperimentResult {
             }),
             ..SystemConfig::default()
         })
-        .run(&w).expect("valid config");
+        .run(&w)
+        .expect("valid config");
         let per_shard = if small == 0 {
             0.0
         } else {

@@ -96,7 +96,10 @@ pub fn run_b(quick: bool) -> ExperimentResult {
     let counts = grid_executor().run(pairs, |_, (miners, rep)| {
         let mut rng = ChaCha8Rng::seed_from_u64((miners * 31 + rep) as u64 ^ 0xBEEF);
         // Candidate-set fee = sum of `capacity` heavy-tailed tx fees.
-        let fee_model = FeeDistribution::Zipf { max: 50_000, s: 1.1 };
+        let fee_model = FeeDistribution::Zipf {
+            max: 50_000,
+            s: 1.1,
+        };
         let set_fees: Vec<u64> = (0..miners)
             .map(|_| (0..capacity).map(|_| fee_model.sample(&mut rng)).sum())
             .collect();
@@ -161,7 +164,13 @@ mod tests {
         let r = run_a(true);
         for (o, opt) in r.series[0].points.iter().zip(&r.series[1].points) {
             assert!(o.1 <= opt.1 + 1e-9, "beat the oracle at {}", o.0);
-            assert!(o.1 >= opt.1 * 0.4, "too far from optimal at {}: {} vs {}", o.0, o.1, opt.1);
+            assert!(
+                o.1 >= opt.1 * 0.4,
+                "too far from optimal at {}: {} vs {}",
+                o.0,
+                o.1,
+                opt.1
+            );
         }
     }
 

@@ -38,8 +38,14 @@ pub const ALL: &[&str] = &[
 
 /// The ablation studies of DESIGN.md §8 (run with `experiments ablations`
 /// or by id).
-pub const ABLATIONS: &[&str] =
-    &["abl-eta", "abl-window", "abl-fees", "abl-pool", "abl-alloc", "abl-threshold"];
+pub const ABLATIONS: &[&str] = &[
+    "abl-eta",
+    "abl-window",
+    "abl-fees",
+    "abl-pool",
+    "abl-alloc",
+    "abl-threshold",
+];
 
 /// Runs one experiment by id. `quick` shrinks repeat counts and sweep sizes
 /// (used by CI-ish runs); the default reproduces the paper-scale settings.

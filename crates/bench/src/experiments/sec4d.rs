@@ -2,7 +2,9 @@
 
 use crate::report::{ExperimentResult, Series};
 use cshard_security::corruption::{PAPER_EQ3_SHARD_SIZE, PAPER_EQ6_VALIDATORS};
-use cshard_security::{inter_shard_corruption, selection_corruption, shard_safety, CorruptionThreshold};
+use cshard_security::{
+    inter_shard_corruption, selection_corruption, shard_safety, CorruptionThreshold,
+};
 
 /// Runs the Sec. IV-D reproduction: corruption probability vs. adversary
 /// fraction for both attacks (`l → ∞`), with the paper's two 25 % headline
@@ -18,7 +20,12 @@ pub fn run() -> ExperimentResult {
         .collect();
     let select_curve: Vec<(f64, f64)> = fractions
         .iter()
-        .map(|&f| (f, selection_corruption(f, 200, None, |_| PAPER_EQ6_VALIDATORS)))
+        .map(|&f| {
+            (
+                f,
+                selection_corruption(f, 200, None, |_| PAPER_EQ6_VALIDATORS),
+            )
+        })
         .collect();
 
     let merge_at_25 = merge_curve

@@ -74,7 +74,9 @@ fn fmt_tick(v: f64, log: bool) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders one experiment as a standalone SVG document.
@@ -215,7 +217,10 @@ pub fn render_svg(result: &ExperimentResult, options: PlotOptions) -> String {
             );
         }
         for &(x, y) in &pts {
-            let _ = writeln!(out, r#"<circle cx="{x:.1}" cy="{y:.1}" r="3" fill="{color}"/>"#);
+            let _ = writeln!(
+                out,
+                r#"<circle cx="{x:.1}" cy="{y:.1}" r="3" fill="{color}"/>"#
+            );
         }
         // Legend entry.
         let ly = MARGIN_T + 6.0 + i as f64 * 16.0;
@@ -266,7 +271,10 @@ mod tests {
             x_label: "shards".into(),
             y_label: "improvement".into(),
             series: vec![
-                Series::new("ours", (1..=9).map(|i| (i as f64, i as f64 * 0.8)).collect()),
+                Series::new(
+                    "ours",
+                    (1..=9).map(|i| (i as f64, i as f64 * 0.8)).collect(),
+                ),
                 Series::new("paper", vec![(1.0, 1.0), (9.0, 7.2)]),
             ],
             notes: vec![],

@@ -96,8 +96,7 @@ impl ExperimentResult {
                 .collect();
             let _ = writeln!(out, "  {}", line.join("  "));
             if i == 0 {
-                let underline: Vec<String> =
-                    widths.iter().map(|&w| "-".repeat(w)).collect();
+                let underline: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
                 let _ = writeln!(out, "  {}", underline.join("  "));
             }
         }

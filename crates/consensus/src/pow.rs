@@ -31,8 +31,7 @@ pub fn mine(block: &mut Block) -> Option<Hash32> {
 /// Verifies a block's PoW against an externally required difficulty (which
 /// must also match the header's claim, so headers cannot under-promise).
 pub fn verify_pow(block: &Block, required_bits: u32) -> bool {
-    block.header.difficulty_bits == required_bits
-        && block.hash().meets_difficulty(required_bits)
+    block.header.difficulty_bits == required_bits && block.hash().meets_difficulty(required_bits)
 }
 
 #[cfg(test)]

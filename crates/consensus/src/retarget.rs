@@ -21,7 +21,11 @@ use cshard_primitives::SimTime;
 pub const MIN_DIFFICULTY: Difficulty = Difficulty(0x20000);
 
 /// The Homestead per-block difficulty update.
-pub fn next_difficulty(parent: Difficulty, parent_time: SimTime, child_time: SimTime) -> Difficulty {
+pub fn next_difficulty(
+    parent: Difficulty,
+    parent_time: SimTime,
+    child_time: SimTime,
+) -> Difficulty {
     let dt = child_time.saturating_since(parent_time).as_secs_f64();
     let adj = (1.0 - (dt / 10.0).floor()).max(-99.0);
     let delta = (parent.0 as f64 / 2048.0 * adj) as i64;

@@ -63,9 +63,7 @@ impl MinerAssignment {
     pub fn shard_of(&self, pk: VrfPublicKey) -> ShardId {
         let r = self.group_of(pk) as u32;
         // First shard whose cumulative bound covers r.
-        let idx = self
-            .cumulative
-            .partition_point(|&bound| bound < r);
+        let idx = self.cumulative.partition_point(|&bound| bound < r);
         self.shards[idx.min(self.shards.len() - 1)]
     }
 
@@ -155,10 +153,7 @@ mod tests {
 
     #[test]
     fn zero_fraction_shard_gets_no_miners() {
-        let fr = vec![
-            (ShardId::new(0), 0),
-            (ShardId::new(1), 100),
-        ];
+        let fr = vec![(ShardId::new(0), 0), (ShardId::new(1), 100)];
         let a = MinerAssignment::new(sha256(b"r"), &fr);
         let counts = a.shard_miner_counts(&roster(500));
         assert_eq!(counts.get(&ShardId::new(0)), None);
@@ -167,10 +162,7 @@ mod tests {
 
     #[test]
     fn maxshard_participates_in_assignment() {
-        let fr = vec![
-            (ShardId::new(0), 40),
-            (ShardId::MAX_SHARD, 60),
-        ];
+        let fr = vec![(ShardId::new(0), 40), (ShardId::MAX_SHARD, 60)];
         let a = MinerAssignment::new(sha256(b"r"), &fr);
         let counts = a.shard_miner_counts(&roster(1000));
         assert!(counts[&ShardId::MAX_SHARD] > counts[&ShardId::new(0)]);

@@ -181,9 +181,27 @@ mod tests {
         use cshard_ledger::Transaction;
         use cshard_primitives::{Address, Amount};
         let txs = vec![
-            Transaction::call(Address::user(1), 0, ContractId::new(0), Amount(10), Amount(1)),
-            Transaction::call(Address::user(1), 1, ContractId::new(1), Amount(10), Amount(1)),
-            Transaction::call(Address::user(2), 0, ContractId::new(0), Amount(10), Amount(1)),
+            Transaction::call(
+                Address::user(1),
+                0,
+                ContractId::new(0),
+                Amount(10),
+                Amount(1),
+            ),
+            Transaction::call(
+                Address::user(1),
+                1,
+                ContractId::new(1),
+                Amount(10),
+                Amount(1),
+            ),
+            Transaction::call(
+                Address::user(2),
+                0,
+                ContractId::new(0),
+                Amount(10),
+                Amount(1),
+            ),
         ];
         let p = ShardPlan::build(&txs, &CallGraph::new());
         assert_eq!(p.maxshard, vec![0, 1]);

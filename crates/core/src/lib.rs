@@ -9,8 +9,11 @@
 //!   fraction, and any claimed assignment is publicly checkable.
 //! * [`runtime`] — the discrete-event block-production simulator standing
 //!   in for the paper's nine-server testbed: per-shard PoW chains,
-//!   fee-greedy or game-equilibrium transaction selection, propagation-
-//!   window conflicts, and empty-block accounting.
+//!   fee-greedy or game-equilibrium transaction selection, window- or
+//!   latency-modelled propagation, and empty-block accounting. The
+//!   machinery itself lives in `cshard-runtime` (typed events, the
+//!   `ProtocolDriver` trait, the shared harness); this module is the
+//!   compatibility facade over it.
 //! * [`metrics`] — waiting times, throughput improvement (`W_E / W_S`,
 //!   Sec. VI-A), empty blocks and communication counts.
 //! * [`system`] — [`system::ShardingSystem`]: the end-to-end pipeline
@@ -35,8 +38,11 @@ pub mod system;
 
 pub use assignment::MinerAssignment;
 pub use epoch::{EpochManager, EpochOutcome};
-pub use longrun::{LongRun, LongRunConfig};
 pub use formation::ShardPlan;
+pub use longrun::{LongRun, LongRunConfig};
 pub use metrics::{RunReport, ShardReport};
-pub use runtime::{RuntimeConfig, SelectionStrategy, ShardSpec, simulate};
+pub use runtime::{
+    simulate, ContractShardDriver, EthereumDriver, Event, PropagationModel, ProtocolDriver,
+    Runtime, RuntimeConfig, SelectionStrategy, ShardSpec,
+};
 pub use system::{ShardingSystem, SystemBuilder, SystemConfig, SystemReport};

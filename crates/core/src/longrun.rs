@@ -111,8 +111,7 @@ impl LongRun {
         if let Some(mcfg) = &self.config.merging {
             let small: Vec<usize> = (0..groups.len())
                 .filter(|&i| {
-                    !groups[i].0.is_max_shard()
-                        && (groups[i].1.len() as u64) < mcfg.lower_bound
+                    !groups[i].0.is_max_shard() && (groups[i].1.len() as u64) < mcfg.lower_bound
                 })
                 .collect();
             if !small.is_empty() {

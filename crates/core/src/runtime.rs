@@ -1,642 +1,15 @@
-//! The discrete-event block-production runtime.
+//! The discrete-event block-production runtime (compatibility facade).
 //!
-//! This is the stand-in for the paper's nine-server go-Ethereum testbed.
-//! Each shard runs an independent PoW chain; each miner finds blocks as a
-//! Poisson process (mean one per minute in the Sec. VI-B1 calibration) and
-//! fills them from the shard's unconfirmed queue according to a selection
-//! strategy:
-//!
-//! * [`SelectionStrategy::IdenticalGreedy`] — every miner picks the same
-//!   top-fee transactions (Sec. II-B). Progress serializes: a block found
-//!   within the propagation/template window of an accepted block confirms
-//!   the *same* set and is wasted ("stale"). This reproduces Table I's
-//!   plateau and is the Ethereum baseline of every comparison.
-//! * [`SelectionStrategy::Equilibrium`] — miners play Algorithm 2 per
-//!   epoch: the leader's unified parameters assign each miner a distinct
-//!   (at equilibrium) transaction set; disjoint blocks commute, so miners
-//!   of one shard confirm in parallel. Epochs advance when the previous
-//!   assignment is fully confirmed, matching the per-epoch broadcast of
-//!   parameter unification.
-//!
-//! A miner whose visible queue is empty still mines — for the block reward
-//! — producing the **empty blocks** that motivate inter-shard merging; they
-//! are counted within the configured measurement window (the paper counts
-//! over 212 s in Sec. VI-C1).
+//! The simulator itself lives in [`cshard_runtime`]: a typed [`Event`]
+//! vocabulary, the [`ProtocolDriver`] trait, the [`PropagationModel`]
+//! regimes and the two-phase [`Runtime`] harness. This module re-exports
+//! the pieces under their historical `cshard_core::runtime` paths so the
+//! bench harness, the long-run epochs and downstream users keep working;
+//! [`simulate`] and [`simulate_ethereum`] are the thin wrappers the
+//! refactor left behind (one driver per shard on the shared event loop —
+//! there is no separate Ethereum simulation loop anymore).
 
-use crate::metrics::{RunReport, ShardReport};
-use cshard_crypto::Prf;
-use cshard_games::selection::{best_reply_equilibrium, SelectionConfig};
-use cshard_primitives::{ShardId, SimTime};
-use cshard_sim::{EventQueue, Executor, SimRng};
-use std::time::{Duration, Instant};
-
-/// How miners of a shard pick transactions.
-#[derive(Clone, Debug)]
-pub enum SelectionStrategy {
-    /// Fee-greedy, identical at every miner (vanilla Ethereum, Sec. II-B).
-    IdenticalGreedy,
-    /// Best-reply congestion-game equilibrium per epoch (Algorithm 2).
-    Equilibrium {
-        /// The game's tunables (capacity is taken from the runtime's block
-        /// capacity).
-        max_rounds: usize,
-    },
-}
-
-/// One shard's inputs to a run.
-#[derive(Clone, Debug)]
-pub struct ShardSpec {
-    /// The shard id (labels the report).
-    pub shard: ShardId,
-    /// Fee of each transaction in the shard (local indices).
-    pub fees: Vec<u64>,
-    /// Miners assigned to this shard.
-    pub miners: usize,
-    /// Selection behaviour.
-    pub strategy: SelectionStrategy,
-}
-
-impl ShardSpec {
-    /// A single-miner greedy shard — the common sharded-run configuration
-    /// (the paper sets one miner per shard, Sec. VI-A).
-    pub fn solo_greedy(shard: ShardId, fees: Vec<u64>) -> Self {
-        ShardSpec {
-            shard,
-            fees,
-            miners: 1,
-            strategy: SelectionStrategy::IdenticalGreedy,
-        }
-    }
-}
-
-/// Global run parameters.
-#[derive(Clone, Debug)]
-pub struct RuntimeConfig {
-    /// Transactions per block (the paper's gas limit admits 10).
-    pub block_capacity: usize,
-    /// Mean block interval per miner (Sec. VI-B1: 60 s; Sec. VI-B2 unifies
-    /// confirmation at 76 tx/s instead).
-    pub mean_block_interval: SimTime,
-    /// The conflict window: a block found within this span of a competing
-    /// confirmation sees the pre-confirmation queue (propagation plus
-    /// template-refresh lag). Drives Table I's plateau; irrelevant for
-    /// one-miner shards.
-    pub conflict_window: SimTime,
-    /// Count empty blocks only up to this time (Sec. VI-C1 counts over a
-    /// fixed 212 s window). `None` counts until the run completes.
-    pub empty_block_window: Option<SimTime>,
-    /// RNG seed; identical seeds reproduce runs bit-for-bit.
-    pub seed: u64,
-    /// Worker threads for the per-shard executor: `1` runs shard tasks
-    /// inline (sequential), `0` uses one worker per available core, any
-    /// other value is an explicit pool size. Results are bit-identical
-    /// across all settings — each shard's randomness is derived from
-    /// `(seed, shard)` by a PRF, never from cross-shard draw order.
-    pub threads: usize,
-}
-
-impl Default for RuntimeConfig {
-    fn default() -> Self {
-        RuntimeConfig {
-            block_capacity: 10,
-            mean_block_interval: SimTime::from_secs(60),
-            // One block interval: after a confirmation, the network needs a
-            // full template round before non-duplicate work lands (the
-            // serialization the paper describes in Sec. II-B).
-            conflict_window: SimTime::from_secs(60),
-            empty_block_window: None,
-            seed: 0,
-            threads: 1,
-        }
-    }
-}
-
-struct ShardState {
-    spec: ShardSpec,
-    /// Confirmation time + author per local tx (None = unconfirmed).
-    confirmed: Vec<Option<(SimTime, usize)>>,
-    unconfirmed: usize,
-    /// Greedy order (fee desc, index asc) with a monotone scan cursor.
-    greedy_order: Vec<usize>,
-    cursor: usize,
-    /// Equilibrium epoch state.
-    epoch_assignments: Vec<Vec<usize>>,
-    epoch_unconfirmed: usize,
-    epoch_counter: u64,
-    /// Report accumulators.
-    blocks: usize,
-    empty_blocks: usize,
-    stale_blocks: usize,
-    last_confirmation: Option<SimTime>,
-    /// Per-shard RNG stream for epoch initial choices.
-    epoch_rng: SimRng,
-}
-
-impl ShardState {
-    fn new(spec: ShardSpec, epoch_rng: SimRng) -> Self {
-        let mut greedy_order: Vec<usize> = (0..spec.fees.len()).collect();
-        greedy_order.sort_by(|&a, &b| spec.fees[b].cmp(&spec.fees[a]).then(a.cmp(&b)));
-        let n = spec.fees.len();
-        ShardState {
-            confirmed: vec![None; n],
-            unconfirmed: n,
-            greedy_order,
-            cursor: 0,
-            epoch_assignments: Vec::new(),
-            epoch_unconfirmed: 0,
-            epoch_counter: 0,
-            blocks: 0,
-            empty_blocks: 0,
-            stale_blocks: 0,
-            last_confirmation: None,
-            epoch_rng,
-            spec,
-        }
-    }
-
-    /// Is `tx` part of what a miner at time `now` would still try to pack?
-    /// Unconfirmed, or confirmed so recently (within the window, by someone
-    /// else) that the miner has not seen it yet.
-    fn visible_unconfirmed(&self, tx: usize, now: SimTime, miner: usize, window: SimTime) -> bool {
-        match self.confirmed[tx] {
-            None => true,
-            Some((at, author)) => author != miner && now.saturating_since(at) < window,
-        }
-    }
-
-    /// Starts a new selection-game epoch over the currently unconfirmed
-    /// transactions (Algorithm 2 under unified parameters).
-    fn start_epoch(&mut self, capacity: usize, max_rounds: usize) {
-        let remaining: Vec<usize> = (0..self.spec.fees.len())
-            .filter(|&i| self.confirmed[i].is_none())
-            .collect();
-        self.epoch_counter += 1;
-        if remaining.is_empty() {
-            self.epoch_assignments = vec![Vec::new(); self.spec.miners];
-            self.epoch_unconfirmed = 0;
-            return;
-        }
-        let sub_fees: Vec<u64> = remaining.iter().map(|&i| self.spec.fees[i]).collect();
-        let t = sub_fees.len();
-        let cap = capacity.min(t);
-        // Unified initial choices: a seeded stride per miner.
-        let initial: Vec<Vec<usize>> = (0..self.spec.miners)
-            .map(|m| {
-                let offset = self.epoch_rng.below(t as u64) as usize;
-                (0..cap).map(|k| (offset + k * 7 + m) % t).collect()
-            })
-            .collect();
-        let outcome = best_reply_equilibrium(
-            &sub_fees,
-            &initial,
-            &SelectionConfig {
-                capacity: cap,
-                max_rounds,
-            },
-        );
-        // Map sub-indices back to local tx indices.
-        self.epoch_assignments = outcome
-            .assignments
-            .iter()
-            .map(|set| set.iter().map(|&j| remaining[j]).collect())
-            .collect();
-        // Union size = number of covered (distinct) remaining txs.
-        let mut covered = vec![false; t];
-        for set in &outcome.assignments {
-            for &j in set {
-                covered[j] = true;
-            }
-        }
-        self.epoch_unconfirmed = covered.iter().filter(|&&c| c).count();
-    }
-}
-
-/// Derives one shard task's root RNG stream as a pure function of
-/// `(master seed, shard id)`, via the keyed PRF. No draw order is
-/// involved, so shard tasks can be constructed and run in any order — or
-/// concurrently — with bit-identical results, and a shard's stream does
-/// not depend on which other shards share the run.
-fn shard_stream(seed: u64, shard: ShardId) -> SimRng {
-    let prf = Prf::new(seed.to_be_bytes());
-    SimRng::from_seed_bytes(*prf.eval("shard-task-v1", shard.0.to_be_bytes()).as_bytes())
-}
-
-/// One shard's independent simulation: its chain state, its own event
-/// queue, and its miners' private RNG streams. The task never reads
-/// another shard's state, which is what makes the executor safe.
-struct ShardTask {
-    st: ShardState,
-    queue: EventQueue<usize>,
-    miner_rngs: Vec<SimRng>,
-    events: usize,
-    wall: Duration,
-}
-
-impl ShardTask {
-    fn new(spec: &ShardSpec, config: &RuntimeConfig) -> ShardTask {
-        assert!(spec.miners > 0, "shard {} has no miners", spec.shard);
-        let mut root = shard_stream(config.seed, spec.shard);
-        let epoch_rng = root.fork(0x4550_4F43); // "EPOC"
-        let mut miner_rngs: Vec<SimRng> =
-            (0..spec.miners as u64).map(|m| root.fork(m)).collect();
-        let mut queue = EventQueue::new();
-        for (m, rng) in miner_rngs.iter_mut().enumerate() {
-            let dt = rng.exp_delay(config.mean_block_interval);
-            queue.schedule(dt, m);
-        }
-        ShardTask {
-            st: ShardState::new(spec.clone(), epoch_rng),
-            queue,
-            miner_rngs,
-            events: 0,
-            wall: Duration::ZERO,
-        }
-    }
-
-    /// Processes one block-found event: build the miner's candidate block,
-    /// classify it (useful / empty / stale), apply confirmations.
-    fn step(&mut self, now: SimTime, miner: usize, config: &RuntimeConfig, candidate: &mut Vec<usize>) {
-        let st = &mut self.st;
-        let window = config.conflict_window;
-        st.blocks += 1;
-
-        // Build the miner's candidate block.
-        candidate.clear();
-        let mut contended_stale = false;
-        match st.spec.strategy {
-            SelectionStrategy::IdenticalGreedy => {
-                // Identical selection serializes the network: after any
-                // confirmation, every in-flight template of a *contended*
-                // chain (more than one miner) references the just-confirmed
-                // set, so blocks found within the window are duplicates —
-                // "transactions with the highest transaction fees are likely
-                // to be confirmed first before the whole network moves on to
-                // the next set" (Sec. II-B). A solo miner refreshes its own
-                // template instantly and never self-conflicts.
-                contended_stale = st.spec.miners > 1
-                    && st.unconfirmed > 0
-                    && st
-                        .last_confirmation
-                        .is_some_and(|t0| now.saturating_since(t0) < window);
-                if !contended_stale {
-                    // Advance the cursor past confirmed txs — monotone scan.
-                    while st.cursor < st.greedy_order.len()
-                        && st.confirmed[st.greedy_order[st.cursor]].is_some()
-                    {
-                        st.cursor += 1;
-                    }
-                    let mut pos = st.cursor;
-                    while pos < st.greedy_order.len() && candidate.len() < config.block_capacity
-                    {
-                        let tx = st.greedy_order[pos];
-                        if st.confirmed[tx].is_none() {
-                            candidate.push(tx);
-                        }
-                        pos += 1;
-                    }
-                }
-            }
-            SelectionStrategy::Equilibrium { max_rounds } => {
-                if st.epoch_unconfirmed == 0 && st.unconfirmed > 0 {
-                    st.start_epoch(config.block_capacity, max_rounds);
-                }
-                if !st.epoch_assignments.is_empty() {
-                    for &tx in &st.epoch_assignments[miner] {
-                        if candidate.len() >= config.block_capacity {
-                            break;
-                        }
-                        if st.visible_unconfirmed(tx, now, miner, window) {
-                            candidate.push(tx);
-                        }
-                    }
-                }
-            }
-        }
-
-        // Classify the block and apply confirmations.
-        let mut newly = 0;
-        for &tx in candidate.iter() {
-            if st.confirmed[tx].is_none() {
-                st.confirmed[tx] = Some((now, miner));
-                st.unconfirmed -= 1;
-                st.last_confirmation = Some(now);
-                newly += 1;
-                if matches!(st.spec.strategy, SelectionStrategy::Equilibrium { .. }) {
-                    st.epoch_unconfirmed = st.epoch_unconfirmed.saturating_sub(1);
-                }
-            }
-        }
-        if contended_stale {
-            st.stale_blocks += 1;
-        } else if candidate.is_empty() {
-            let within = config.empty_block_window.is_none_or(|cap| now <= cap);
-            if within {
-                st.empty_blocks += 1;
-            }
-        } else if newly == 0 {
-            st.stale_blocks += 1;
-        }
-    }
-
-    /// Phase 1: run until every local transaction is confirmed. The shard
-    /// that finishes last determines the run's global completion time.
-    fn run_active(&mut self, config: &RuntimeConfig) {
-        let start = Instant::now();
-        let mut candidate: Vec<usize> = Vec::with_capacity(config.block_capacity);
-        while self.st.unconfirmed > 0 {
-            let Some((now, miner)) = self.queue.pop() else {
-                unreachable!("miners reschedule forever; queue cannot drain early");
-            };
-            self.events += 1;
-            self.step(now, miner, config, &mut candidate);
-            let dt = self.miner_rngs[miner].exp_delay(config.mean_block_interval);
-            self.queue.schedule_in(dt, miner);
-        }
-        self.wall += start.elapsed();
-    }
-
-    /// Phase 2: a locally-finished shard keeps mining (for the reward)
-    /// while slower shards still work — replay its events strictly before
-    /// the global completion time so empty/stale accounting matches a
-    /// fully serialized run.
-    fn drain_until(&mut self, t_end: SimTime, config: &RuntimeConfig) {
-        let start = Instant::now();
-        let mut candidate: Vec<usize> = Vec::with_capacity(config.block_capacity);
-        while self.queue.next_time().is_some_and(|t| t < t_end) {
-            let (now, miner) = self.queue.pop().expect("peeked event");
-            self.events += 1;
-            self.step(now, miner, config, &mut candidate);
-            let dt = self.miner_rngs[miner].exp_delay(config.mean_block_interval);
-            self.queue.schedule_in(dt, miner);
-        }
-        self.wall += start.elapsed();
-    }
-
-    fn into_report(self) -> ShardReport {
-        ShardReport {
-            shard: self.st.spec.shard,
-            txs: self.st.spec.fees.len(),
-            confirmed: self.st.spec.fees.len() - self.st.unconfirmed,
-            completion: self.st.last_confirmation,
-            blocks: self.st.blocks,
-            empty_blocks: self.st.empty_blocks,
-            stale_blocks: self.st.stale_blocks,
-            events_processed: self.events,
-            wall: self.wall,
-        }
-    }
-}
-
-/// Runs the simulation to completion (every injected transaction of every
-/// shard confirmed) and reports.
-///
-/// Shards are independent simulation tasks: each derives its randomness
-/// from `(config.seed, shard)` via a PRF and owns its event queue, so the
-/// executor may run them on any number of threads
-/// ([`RuntimeConfig::threads`]) and the report is bit-for-bit identical to
-/// a sequential run. The run has two phases — every shard first confirms
-/// its own transactions, then shards that finished early replay their idle
-/// mining up to the global completion time so empty-block accounting is
-/// exact.
-pub fn simulate(shards: &[ShardSpec], config: &RuntimeConfig) -> RunReport {
-    assert!(config.block_capacity > 0, "block capacity must be positive");
-    let run_start = Instant::now();
-    let executor = Executor::new(config.threads);
-
-    // Phase 1: each shard to local completion, concurrently.
-    let tasks: Vec<ShardTask> = executor.run(shards.iter().collect(), |_, spec| {
-        let mut task = ShardTask::new(spec, config);
-        task.run_active(config);
-        task
-    });
-
-    // Global completion = the last confirmation anywhere.
-    let completion = tasks
-        .iter()
-        .filter_map(|t| t.st.last_confirmation)
-        .max()
-        .unwrap_or(SimTime::ZERO);
-
-    // Phase 2: idle-drain early finishers up to the global completion.
-    let tasks: Vec<ShardTask> = executor.run(tasks, |_, mut task| {
-        task.drain_until(completion, config);
-        task
-    });
-
-    RunReport {
-        completion,
-        shards: tasks.into_iter().map(ShardTask::into_report).collect(),
-        wall: run_start.elapsed(),
-        threads_used: executor.threads(),
-    }
-}
-
-/// Convenience: the Ethereum baseline — all transactions on one chain,
-/// `miners` identical greedy miners (Sec. VI-A's benchmark).
-///
-/// Vanilla Ethereum is the degenerate sharding where nothing is separated,
-/// so the single chain is the [`ShardId::MAX_SHARD`]. Because RNG streams
-/// are keyed by `(seed, shard)`, this makes the benchmark bit-identical to
-/// a one-shard run of the full system under the same configuration.
-pub fn simulate_ethereum(fees: Vec<u64>, miners: usize, config: &RuntimeConfig) -> RunReport {
-    let spec = ShardSpec {
-        shard: ShardId::MAX_SHARD,
-        fees,
-        miners,
-        strategy: SelectionStrategy::IdenticalGreedy,
-    };
-    simulate(&[spec], config)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::metrics::throughput_improvement;
-
-    fn fees(n: usize) -> Vec<u64> {
-        (0..n as u64).map(|i| 1 + (i * 17) % 97).collect()
-    }
-
-    fn cfg(seed: u64) -> RuntimeConfig {
-        RuntimeConfig {
-            seed,
-            ..RuntimeConfig::default()
-        }
-    }
-
-    #[test]
-    fn single_miner_confirms_everything() {
-        let r = simulate_ethereum(fees(20), 1, &cfg(1));
-        assert_eq!(r.total_txs(), 20);
-        assert_eq!(r.shards[0].confirmed, 20);
-        assert!(r.completion > SimTime::ZERO);
-        // 20 txs at capacity 10 → exactly 2 useful blocks; no empty ones
-        // (the run stops at the last confirmation).
-        assert_eq!(r.shards[0].blocks - r.shards[0].stale_blocks - r.shards[0].empty_blocks, 2);
-    }
-
-    #[test]
-    fn runs_are_deterministic() {
-        let a = simulate_ethereum(fees(50), 3, &cfg(7));
-        let b = simulate_ethereum(fees(50), 3, &cfg(7));
-        assert_eq!(a.completion, b.completion);
-        assert_eq!(a.total_blocks(), b.total_blocks());
-        let c = simulate_ethereum(fees(50), 3, &cfg(8));
-        assert_ne!(a.completion, c.completion);
-    }
-
-    #[test]
-    fn table1_shape_more_miners_saturate() {
-        // Average completion over seeds for 20 txs: 2 miners much slower
-        // than 4; 4 → 7 roughly flat (the Table I plateau).
-        let avg = |miners: usize| -> f64 {
-            (0..200u64)
-                .map(|s| {
-                    simulate_ethereum(fees(20), miners, &cfg(s))
-                        .completion
-                        .as_secs_f64()
-                })
-                .sum::<f64>()
-                / 200.0
-        };
-        let t2 = avg(2);
-        let t4 = avg(4);
-        let t7 = avg(7);
-        assert!(t2 > t7, "t2={t2:.0} t7={t7:.0}: no initial gain");
-        let plateau = (t4 - t7).abs() / t4;
-        assert!(plateau < 0.20, "t4={t4:.0} t7={t7:.0} not a plateau");
-    }
-
-    #[test]
-    fn greedy_duplicates_become_stale_blocks() {
-        // Many fast miners on one queue: lots of duplicate selections.
-        let mut total_stale = 0;
-        for s in 0..10 {
-            total_stale += simulate_ethereum(fees(30), 8, &cfg(s)).total_stale_blocks();
-        }
-        assert!(total_stale > 0, "8 racing miners must waste some blocks");
-    }
-
-    #[test]
-    fn sharding_beats_single_chain() {
-        // 9 shards × 22 txs in parallel vs 198 txs on one chain.
-        let shard_specs: Vec<ShardSpec> = (0..9)
-            .map(|i| ShardSpec::solo_greedy(ShardId::new(i), fees(22)))
-            .collect();
-        let sharded = simulate(&shard_specs, &cfg(3));
-        // The Ethereum benchmark is the one-chain instance: the paper's
-        // improvement curve is anchored at 1.0 for a single shard, and
-        // Table I shows extra miners do not speed the single chain up.
-        let ethereum = simulate_ethereum(fees(198), 1, &cfg(3));
-        let imp = throughput_improvement(&ethereum, &sharded);
-        assert!(imp > 2.5, "improvement {imp:.2} too small");
-        assert_eq!(sharded.total_txs(), 198);
-        assert!(sharded.shards.iter().all(|s| s.confirmed == s.txs));
-    }
-
-    #[test]
-    fn idle_shard_mines_empty_blocks_until_completion() {
-        // A 2-tx shard next to a 60-tx shard idles for most of the run.
-        let specs = vec![
-            ShardSpec::solo_greedy(ShardId::new(0), fees(2)),
-            ShardSpec::solo_greedy(ShardId::new(1), fees(60)),
-        ];
-        let mut empties = 0;
-        for s in 0..10 {
-            empties += simulate(&specs, &cfg(s)).shards[0].empty_blocks;
-        }
-        assert!(empties > 10, "small shard produced only {empties} empties");
-    }
-
-    #[test]
-    fn empty_block_window_caps_counting() {
-        let specs = vec![
-            ShardSpec::solo_greedy(ShardId::new(0), fees(2)),
-            ShardSpec::solo_greedy(ShardId::new(1), fees(60)),
-        ];
-        let uncapped = simulate(&specs, &cfg(4));
-        let capped = simulate(
-            &specs,
-            &RuntimeConfig {
-                empty_block_window: Some(SimTime::from_secs(120)),
-                ..cfg(4)
-            },
-        );
-        assert!(capped.shards[0].empty_blocks <= uncapped.shards[0].empty_blocks);
-    }
-
-    #[test]
-    fn equilibrium_selection_outperforms_greedy_with_many_miners() {
-        // Fig. 3(h): 200 txs, one shard, 9 miners.
-        let f = fees(200);
-        let greedy = ShardSpec {
-            shard: ShardId::new(0),
-            fees: f.clone(),
-            miners: 9,
-            strategy: SelectionStrategy::IdenticalGreedy,
-        };
-        let eq = ShardSpec {
-            shard: ShardId::new(0),
-            fees: f,
-            miners: 9,
-            strategy: SelectionStrategy::Equilibrium { max_rounds: 1000 },
-        };
-        let mut imp_sum = 0.0;
-        for s in 0..6 {
-            let g = simulate(std::slice::from_ref(&greedy), &cfg(s));
-            let e = simulate(std::slice::from_ref(&eq), &cfg(s));
-            assert_eq!(e.shards[0].confirmed, 200);
-            imp_sum += throughput_improvement(&g, &e);
-        }
-        let avg = imp_sum / 6.0;
-        assert!(avg > 1.5, "equilibrium improvement only {avg:.2}x");
-    }
-
-    #[test]
-    fn equilibrium_with_one_miner_equals_greedy_scale() {
-        // One miner: both strategies confirm capacity per block; completion
-        // should be within noise of each other.
-        let f = fees(50);
-        let mk = |strategy| ShardSpec {
-            shard: ShardId::new(0),
-            fees: f.clone(),
-            miners: 1,
-            strategy,
-        };
-        let g = simulate(&[mk(SelectionStrategy::IdenticalGreedy)], &cfg(2));
-        let e = simulate(
-            &[mk(SelectionStrategy::Equilibrium { max_rounds: 100 })],
-            &cfg(2),
-        );
-        assert_eq!(g.shards[0].confirmed, 50);
-        assert_eq!(e.shards[0].confirmed, 50);
-        let useful_g = g.shards[0].blocks - g.shards[0].empty_blocks - g.shards[0].stale_blocks;
-        let useful_e = e.shards[0].blocks - e.shards[0].empty_blocks - e.shards[0].stale_blocks;
-        assert_eq!(useful_g, 5);
-        assert_eq!(useful_e, 5);
-    }
-
-    #[test]
-    fn empty_shard_contributes_nothing_but_is_reported() {
-        let specs = vec![
-            ShardSpec::solo_greedy(ShardId::new(0), vec![]),
-            ShardSpec::solo_greedy(ShardId::new(1), fees(5)),
-        ];
-        let r = simulate(&specs, &cfg(1));
-        assert_eq!(r.shards[0].txs, 0);
-        assert_eq!(r.shards[0].completion, None);
-        assert_eq!(r.total_txs(), 5);
-    }
-
-    #[test]
-    #[should_panic(expected = "has no miners")]
-    fn shard_without_miners_rejected() {
-        let spec = ShardSpec {
-            shard: ShardId::new(0),
-            fees: fees(5),
-            miners: 0,
-            strategy: SelectionStrategy::IdenticalGreedy,
-        };
-        simulate(&[spec], &cfg(0));
-    }
-}
+pub use cshard_runtime::{
+    shard_stream, simulate, simulate_ethereum, ContractShardDriver, Ctx, EthereumDriver, Event,
+    PropagationModel, ProtocolDriver, Runtime, RuntimeConfig, SelectionStrategy, ShardSpec,
+};

@@ -20,7 +20,7 @@
 
 use crate::formation::ShardPlan;
 use crate::metrics::RunReport;
-use crate::runtime::{simulate, RuntimeConfig, SelectionStrategy, ShardSpec};
+use crate::runtime::{simulate, PropagationModel, RuntimeConfig, SelectionStrategy, ShardSpec};
 use cshard_crypto::sha256;
 use cshard_games::{GameInputs, MergingConfig, UnifiedParameters};
 use cshard_ledger::CallGraph;
@@ -243,9 +243,17 @@ impl SystemBuilder {
         self
     }
 
-    /// The conflict window (default one block interval).
+    /// The conflict window (default one block interval). Sets the legacy
+    /// fixed-window propagation regime; use [`SystemBuilder::propagation`]
+    /// for the network-backed latency model.
     pub fn conflict_window(mut self, window: SimTime) -> Self {
-        self.config.runtime.conflict_window = window;
+        self.config.runtime.propagation = PropagationModel::Window(window);
+        self
+    }
+
+    /// The block-propagation model (window or network latency).
+    pub fn propagation(mut self, propagation: PropagationModel) -> Self {
+        self.config.runtime.propagation = propagation;
         self
     }
 
@@ -485,7 +493,10 @@ impl ShardingSystem {
                     });
                 }
                 proportional_split(
-                    &groups.iter().map(|(_, q)| q.len() as u64).collect::<Vec<_>>(),
+                    &groups
+                        .iter()
+                        .map(|(_, q)| q.len() as u64)
+                        .collect::<Vec<_>>(),
                     total,
                 )
             }
@@ -495,9 +506,7 @@ impl ShardingSystem {
             .zip(&per_shard_miners)
             .map(|((shard, queue), &miners)| {
                 let strategy = match self.config.selection {
-                    Some(max_rounds) if miners > 1 => {
-                        SelectionStrategy::Equilibrium { max_rounds }
-                    }
+                    Some(max_rounds) if miners > 1 => SelectionStrategy::Equilibrium { max_rounds },
                     _ => SelectionStrategy::IdenticalGreedy,
                 };
                 ShardSpec {
@@ -512,10 +521,7 @@ impl ShardingSystem {
         let run = simulate(&specs, &self.config.runtime);
         Ok(SystemReport {
             run,
-            shard_sizes: groups
-                .iter()
-                .map(|(s, q)| (*s, q.len() as u64))
-                .collect(),
+            shard_sizes: groups.iter().map(|(s, q)| (*s, q.len() as u64)).collect(),
             merge,
             comm,
         })
@@ -542,16 +548,14 @@ mod tests {
     #[test]
     fn testbed_run_confirms_everything() {
         let w = Workload::uniform_contracts(200, 8, FEES, 1);
-        let report = ShardingSystem::testbed(runtime(1)).run(&w).expect("valid config");
+        let report = ShardingSystem::testbed(runtime(1))
+            .run(&w)
+            .expect("valid config");
         assert_eq!(report.run.total_txs(), 200);
         assert_eq!(report.shard_sizes.len(), 9);
         assert!(report.merge.is_none());
         assert_eq!(report.comm.total(), 0, "no communication without merging");
-        assert!(report
-            .run
-            .shards
-            .iter()
-            .all(|s| s.confirmed == s.txs));
+        assert!(report.run.shards.iter().all(|s| s.confirmed == s.txs));
     }
 
     #[test]
@@ -563,12 +567,17 @@ mod tests {
             let mut imp_sum = 0.0;
             for seed in 0..5u64 {
                 let w = Workload::uniform_contracts(200, contracts, FEES, 2);
-                let sharded = ShardingSystem::testbed(runtime(seed)).run(&w).expect("valid config");
+                let sharded = ShardingSystem::testbed(runtime(seed))
+                    .run(&w)
+                    .expect("valid config");
                 let eth = simulate_ethereum(w.fees(), 1, &runtime(seed));
                 imp_sum += throughput_improvement(&eth, &sharded.run);
             }
             let imp = imp_sum / 5.0;
-            assert!(imp > prev * 0.8, "contracts={contracts}: {imp:.2} after {prev:.2}");
+            assert!(
+                imp > prev * 0.8,
+                "contracts={contracts}: {imp:.2} after {prev:.2}"
+            );
             prev = imp;
         }
         assert!(prev > 2.8, "9-shard improvement {prev:.2} too small");
@@ -582,13 +591,15 @@ mod tests {
         let base = SystemConfig {
             runtime: RuntimeConfig {
                 mean_block_interval: SimTime::from_millis(1500),
-                conflict_window: SimTime::from_millis(1500),
+                propagation: PropagationModel::Window(SimTime::from_millis(1500)),
                 seed: 3,
                 ..RuntimeConfig::default()
             },
             ..SystemConfig::default()
         };
-        let unmerged = ShardingSystem::new(base.clone()).run(&w).expect("valid config");
+        let unmerged = ShardingSystem::new(base.clone())
+            .run(&w)
+            .expect("valid config");
         let merged = ShardingSystem::new(SystemConfig {
             merging: Some(MergingConfig {
                 lower_bound: 16,
@@ -596,7 +607,8 @@ mod tests {
             }),
             ..base
         })
-        .run(&w).expect("valid config");
+        .run(&w)
+        .expect("valid config");
         let summary = merged.merge.clone().expect("merging ran");
         assert_eq!(summary.small_shards, 4);
         assert!(summary.new_shards >= 1, "no shard formed: {summary:?}");
@@ -623,7 +635,9 @@ mod tests {
             }),
             ..SystemConfig::default()
         };
-        let a = ShardingSystem::new(cfg.clone()).run(&w).expect("valid config");
+        let a = ShardingSystem::new(cfg.clone())
+            .run(&w)
+            .expect("valid config");
         let b = ShardingSystem::new(cfg).run(&w).expect("valid config");
         assert_eq!(a.run.completion, b.run.completion);
         assert_eq!(a.shard_sizes, b.shard_sizes);
@@ -640,12 +654,15 @@ mod tests {
                 allocation: MinerAllocation::PerShard(9),
                 ..SystemConfig::default()
             };
-            let with_game = ShardingSystem::new(cfg.clone()).run(&w).expect("valid config");
+            let with_game = ShardingSystem::new(cfg.clone())
+                .run(&w)
+                .expect("valid config");
             let without = ShardingSystem::new(SystemConfig {
                 selection: None,
                 ..cfg
             })
-            .run(&w).expect("valid config");
+            .run(&w)
+            .expect("valid config");
             imp_sum += throughput_improvement(&without.run, &with_game.run);
         }
         let imp = imp_sum / 6.0;
@@ -662,7 +679,8 @@ mod tests {
             allocation: MinerAllocation::Proportional { total: 20 },
             ..SystemConfig::default()
         })
-        .run(&w).expect("valid config");
+        .run(&w)
+        .expect("valid config");
         assert_eq!(report.run.total_txs(), 200);
         assert!(report.run.shards.iter().all(|s| s.confirmed == s.txs));
     }
@@ -709,8 +727,15 @@ mod tests {
         let cfg = system.config();
         assert_eq!(cfg.runtime.block_capacity, 12);
         assert_eq!(cfg.runtime.mean_block_interval, SimTime::from_secs(30));
-        assert_eq!(cfg.runtime.conflict_window, SimTime::from_secs(15));
-        assert_eq!(cfg.runtime.empty_block_window, Some(SimTime::from_secs(212)));
+        assert_eq!(
+            cfg.runtime.propagation,
+            PropagationModel::Window(SimTime::from_secs(15))
+        );
+        assert_eq!(cfg.runtime.conflict_window(), SimTime::from_secs(15));
+        assert_eq!(
+            cfg.runtime.empty_block_window,
+            Some(SimTime::from_secs(212))
+        );
         assert_eq!(cfg.runtime.seed, 42);
         assert_eq!(cfg.runtime.threads, 4);
         assert!(matches!(
@@ -821,7 +846,8 @@ mod tests {
             }),
             ..SystemConfig::default()
         })
-        .run(&w).expect("valid config");
+        .run(&w)
+        .expect("valid config");
         let total: u64 = report.shard_sizes.iter().map(|&(_, s)| s).sum();
         assert_eq!(total, 200);
         assert_eq!(report.run.total_txs(), 200);

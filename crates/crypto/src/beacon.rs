@@ -45,7 +45,9 @@ impl RandomnessBeacon {
 
     /// The group number `r ∈ 1..=100` assigned to a miner's public key.
     pub fn group_of(&self, pk: VrfPublicKey) -> u64 {
-        self.prf.eval_mod("randhound-group", pk.0.as_bytes(), GROUPS) + 1
+        self.prf
+            .eval_mod("randhound-group", pk.0.as_bytes(), GROUPS)
+            + 1
     }
 
     /// Verifies a claimed group assignment (Sec. III-B: "users can verify
@@ -74,8 +76,8 @@ impl RandomnessBeacon {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::vrf::Vrf;
     use crate::sha256::sha256;
+    use crate::vrf::Vrf;
 
     fn beacon() -> RandomnessBeacon {
         RandomnessBeacon::new(sha256(b"round-randomness"))

@@ -135,7 +135,9 @@ mod tests {
     use std::collections::HashMap;
 
     fn registry(vrfs: &[Vrf]) -> HashMap<VrfPublicKey, VrfSecretKey> {
-        vrfs.iter().map(|v| (v.public_key(), v.secret_key())).collect()
+        vrfs.iter()
+            .map(|v| (v.public_key(), v.secret_key()))
+            .collect()
     }
 
     #[test]
@@ -143,9 +145,13 @@ mod tests {
         let vrf = Vrf::from_seed(b"miner-0");
         let reg = registry(std::slice::from_ref(&vrf));
         let (out, proof) = vrf.evaluate(b"round-1");
-        assert!(Vrf::verify(vrf.public_key(), b"round-1", out, &proof, |pk| reg
-            .get(&pk)
-            .copied()));
+        assert!(Vrf::verify(
+            vrf.public_key(),
+            b"round-1",
+            out,
+            &proof,
+            |pk| reg.get(&pk).copied()
+        ));
     }
 
     #[test]
@@ -154,9 +160,13 @@ mod tests {
         let reg = registry(std::slice::from_ref(&vrf));
         let (_, proof) = vrf.evaluate(b"round-1");
         let forged = sha256_concat(&[b"forged"]);
-        assert!(!Vrf::verify(vrf.public_key(), b"round-1", forged, &proof, |pk| reg
-            .get(&pk)
-            .copied()));
+        assert!(!Vrf::verify(
+            vrf.public_key(),
+            b"round-1",
+            forged,
+            &proof,
+            |pk| reg.get(&pk).copied()
+        ));
     }
 
     #[test]
@@ -164,16 +174,26 @@ mod tests {
         let vrf = Vrf::from_seed(b"miner-0");
         let reg = registry(std::slice::from_ref(&vrf));
         let (out, proof) = vrf.evaluate(b"round-1");
-        assert!(!Vrf::verify(vrf.public_key(), b"round-2", out, &proof, |pk| reg
-            .get(&pk)
-            .copied()));
+        assert!(!Vrf::verify(
+            vrf.public_key(),
+            b"round-2",
+            out,
+            &proof,
+            |pk| reg.get(&pk).copied()
+        ));
     }
 
     #[test]
     fn verify_rejects_unregistered_key() {
         let vrf = Vrf::from_seed(b"miner-0");
         let (out, proof) = vrf.evaluate(b"round-1");
-        assert!(!Vrf::verify(vrf.public_key(), b"round-1", out, &proof, |_| None));
+        assert!(!Vrf::verify(
+            vrf.public_key(),
+            b"round-1",
+            out,
+            &proof,
+            |_| None
+        ));
     }
 
     #[test]
@@ -183,9 +203,13 @@ mod tests {
         let victim = Vrf::from_seed(b"miner-1");
         let reg = registry(&[honest.clone(), victim.clone()]);
         let (out, proof) = honest.evaluate(b"round-1");
-        assert!(!Vrf::verify(victim.public_key(), b"round-1", out, &proof, |pk| reg
-            .get(&pk)
-            .copied()));
+        assert!(!Vrf::verify(
+            victim.public_key(),
+            b"round-1",
+            out,
+            &proof,
+            |pk| reg.get(&pk).copied()
+        ));
     }
 
     #[test]
@@ -198,9 +222,7 @@ mod tests {
 
     #[test]
     fn leader_election_is_deterministic_and_covers_candidates() {
-        let vrfs: Vec<Vrf> = (0..8u64)
-            .map(|i| Vrf::from_seed(i.to_be_bytes()))
-            .collect();
+        let vrfs: Vec<Vrf> = (0..8u64).map(|i| Vrf::from_seed(i.to_be_bytes())).collect();
         let w1 = elect_leader(&vrfs, 7).unwrap();
         let w2 = elect_leader(&vrfs, 7).unwrap();
         assert_eq!(w1, w2);

@@ -30,7 +30,7 @@ pub fn satisfaction_probability(
 ) -> f64 {
     assert_eq!(sizes.len(), probs.len());
     let cap = lower_bound as usize; // sizes ≥ L are all equivalent
-    // dist[s] = P(total clamped at cap == s)
+                                    // dist[s] = P(total clamped at cap == s)
     let mut dist = vec![0.0f64; cap + 1];
     dist[0] = 1.0;
     for (j, (&size, &p)) in sizes.iter().zip(probs).enumerate() {
@@ -87,12 +87,7 @@ pub fn replicator_drift(sizes: &[u64], probs: &[f64], i: usize, config: &Merging
 /// satisfaction probability it causes, times the reward, minus the cost.
 /// Positive ⇒ the drift pushes `x_i` up; the mixed equilibrium sits where
 /// this crosses zero (`ẋ = 0`, Sec. V-B).
-pub fn participation_margin(
-    sizes: &[u64],
-    probs: &[f64],
-    i: usize,
-    config: &MergingConfig,
-) -> f64 {
+pub fn participation_margin(sizes: &[u64], probs: &[f64], i: usize, config: &MergingConfig) -> f64 {
     let with_me = satisfaction_probability(sizes, probs, config.lower_bound, Some(i), None);
     let without_me = satisfaction_probability(sizes, probs, config.lower_bound, None, Some(i));
     (with_me - without_me) * config.reward.as_f64() - config.cost.as_f64()
@@ -297,13 +292,7 @@ mod tests {
         // Sec. V-B: slots ~ O(log 1/E). Tighter tolerance must not need
         // fewer slots.
         let sizes = [5u64, 7, 3, 8];
-        let profile = convergence_profile(
-            &sizes,
-            &[0.5; 4],
-            &cfg(14),
-            &[2e-2, 5e-3, 1e-3],
-            9,
-        );
+        let profile = convergence_profile(&sizes, &[0.5; 4], &cfg(14), &[2e-2, 5e-3, 1e-3], 9);
         assert_eq!(profile.len(), 3);
         assert!(profile[0].1 <= profile[2].1 + 5, "{profile:?}");
     }

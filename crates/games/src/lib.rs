@@ -32,10 +32,10 @@ pub use analysis::{
     ess_check, participation_margin, replicator_drift, satisfaction_probability, EssVerdict,
 };
 pub use merging::{
-    IterativeMergeOutcome, MergingConfig, OneShotOutcome, iterative_merge, one_shot_merge,
+    iterative_merge, one_shot_merge, IterativeMergeOutcome, MergingConfig, OneShotOutcome,
 };
 pub use rewards::{apply_shard_rewards, Payout};
 pub use selection::{
-    SelectionConfig, SelectionOutcome, best_reply_equilibrium, greedy_assignment, potential,
+    best_reply_equilibrium, greedy_assignment, potential, SelectionConfig, SelectionOutcome,
 };
 pub use unification::{GameInputs, UnifiedParameters, VerificationError};

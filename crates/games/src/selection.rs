@@ -225,7 +225,9 @@ pub fn best_reply_equilibrium(
 /// a different set, bounded by how many disjoint capacity-sized sets exist.
 pub fn optimal_distinct_sets(tx_count: usize, miners: usize, capacity: usize) -> usize {
     assert!(capacity > 0);
-    miners.min(tx_count.div_ceil(capacity)).max(usize::from(tx_count > 0))
+    miners
+        .min(tx_count.div_ceil(capacity))
+        .max(usize::from(tx_count > 0))
 }
 
 #[cfg(test)]
@@ -243,7 +245,11 @@ mod tests {
     fn seq_initial(miners: usize, capacity: usize, t: usize) -> Vec<Vec<usize>> {
         // Staggered deterministic starts.
         (0..miners)
-            .map(|i| (0..capacity).map(|k| (i * capacity + k) % t.max(1)).collect())
+            .map(|i| {
+                (0..capacity)
+                    .map(|k| (i * capacity + k) % t.max(1))
+                    .collect()
+            })
             .collect()
     }
 
@@ -338,8 +344,7 @@ mod tests {
         let fees: Vec<u64> = (1..=200).collect();
         let mut prev = 0;
         for miners in 1..=9 {
-            let out =
-                best_reply_equilibrium(&fees, &seq_initial(miners, 10, 200), &cfg(10));
+            let out = best_reply_equilibrium(&fees, &seq_initial(miners, 10, 200), &cfg(10));
             let d = out.distinct_set_count();
             assert!(d >= prev, "miners={miners}: {d} < {prev}");
             prev = d;

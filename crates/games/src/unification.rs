@@ -206,8 +206,9 @@ impl UnifiedParameters {
                 }
                 // A deterministic stride sample: distinct per miner,
                 // uniform-ish over transactions.
-                let offset =
-                    beacon.derive_unit("select-init", m as u64).mul_add(t as f64, 0.0) as usize;
+                let offset = beacon
+                    .derive_unit("select-init", m as u64)
+                    .mul_add(t as f64, 0.0) as usize;
                 (0..capacity).map(|k| (offset + k * 7 + m) % t).collect()
             })
             .collect())
@@ -494,11 +495,14 @@ mod tests {
             assert_eq!(set.len(), 4);
             assert!(set.iter().all(|&j| j < 40));
         }
-        let distinct: std::collections::HashSet<Vec<usize>> =
-            sets.iter().cloned().map(|mut s| {
+        let distinct: std::collections::HashSet<Vec<usize>> = sets
+            .iter()
+            .cloned()
+            .map(|mut s| {
                 s.sort_unstable();
                 s
-            }).collect();
+            })
+            .collect();
         assert!(distinct.len() >= 3, "initial sets too uniform");
     }
 

@@ -333,7 +333,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -605,7 +609,10 @@ mod tests {
 
     #[test]
     fn compact_output_is_single_line() {
-        let v = ObjectBuilder::new().field("a", 1u64).field("b", vec![2u64]).build();
+        let v = ObjectBuilder::new()
+            .field("a", 1u64)
+            .field("b", vec![2u64])
+            .build();
         assert_eq!(v.to_string_compact(), r#"{"a":1,"b":[2]}"#);
     }
 
@@ -637,6 +644,9 @@ mod tests {
         let v = Value::from(2.0);
         let text = v.to_string_compact();
         assert_eq!(text, "2.0");
-        assert!(matches!(parse(&text).unwrap(), Value::Number(Number::F64(_))));
+        assert!(matches!(
+            parse(&text).unwrap(),
+            Value::Number(Number::F64(_))
+        ));
     }
 }

@@ -84,9 +84,7 @@ impl CallGraph {
             Some(p) if p.direct => SenderClass::Direct,
             Some(p) => match p.contracts.len() {
                 0 => SenderClass::Unknown,
-                1 => SenderClass::SingleContract(
-                    *p.contracts.iter().next().expect("len checked"),
-                ),
+                1 => SenderClass::SingleContract(*p.contracts.iter().next().expect("len checked")),
                 _ => SenderClass::MultiContract,
             },
         }
@@ -160,7 +158,10 @@ mod tests {
         let mut g = CallGraph::new();
         let t = call(1, 1);
         g.observe(&t);
-        assert_eq!(g.classify(Address::user(1)), SenderClass::SingleContract(ContractId::new(1)));
+        assert_eq!(
+            g.classify(Address::user(1)),
+            SenderClass::SingleContract(ContractId::new(1))
+        );
         assert_eq!(g.isolable_contract(&t), Some(ContractId::new(1)));
     }
 
@@ -218,7 +219,11 @@ mod tests {
         );
         g.observe(&t);
         for u in 1..=3 {
-            assert_eq!(g.classify(Address::user(u)), SenderClass::Direct, "user {u}");
+            assert_eq!(
+                g.classify(Address::user(u)),
+                SenderClass::Direct,
+                "user {u}"
+            );
         }
         // The recipient is not an input; untouched.
         assert_eq!(g.classify(Address::user(4)), SenderClass::Unknown);

@@ -136,10 +136,7 @@ impl Chain {
         let mut branch = Vec::new();
         let mut cursor = hash;
         while cursor != self.genesis_hash {
-            let block = self
-                .blocks
-                .get(&cursor)
-                .expect("state_at of unknown block");
+            let block = self.blocks.get(&cursor).expect("state_at of unknown block");
             branch.push(cursor);
             cursor = block.header.parent;
         }
@@ -258,7 +255,10 @@ mod tests {
         let wrong_height = make_block(Hash32::ZERO, 5, 0, vec![]);
         assert_eq!(
             c.accept_block(wrong_height).unwrap_err(),
-            LedgerError::BadHeight { got: 5, expected: 1 }
+            LedgerError::BadHeight {
+                got: 5,
+                expected: 1
+            }
         );
     }
 
@@ -292,7 +292,10 @@ mod tests {
         // Nonce 0 almost surely fails 16 bits.
         assert!(matches!(
             c.accept_block(b).unwrap_err(),
-            LedgerError::InsufficientWork { required_bits: 16, .. }
+            LedgerError::InsufficientWork {
+                required_bits: 16,
+                ..
+            }
         ));
     }
 

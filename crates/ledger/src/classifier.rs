@@ -142,7 +142,13 @@ mod tests {
     }
 
     fn direct(user: u64, to: u64) -> Transaction {
-        Transaction::direct(Address::user(user), 0, Address::user(to), Amount(100), Amount(1))
+        Transaction::direct(
+            Address::user(user),
+            0,
+            Address::user(to),
+            Amount(100),
+            Amount(1),
+        )
     }
 
     #[test]
@@ -204,8 +210,14 @@ mod tests {
     /// overriding, and so does the compact machine, so full equivalence
     /// should hold on any stream.
     fn arb_tx() -> impl Strategy<Value = Transaction> {
-        (0u64..12, 0u32..4, 0u64..12, prop::bool::ANY, prop::bool::ANY).prop_map(
-            |(user, contract, other, is_call, is_multi)| {
+        (
+            0u64..12,
+            0u32..4,
+            0u64..12,
+            prop::bool::ANY,
+            prop::bool::ANY,
+        )
+            .prop_map(|(user, contract, other, is_call, is_multi)| {
                 if is_call {
                     call(user, contract)
                 } else if is_multi {
@@ -220,8 +232,7 @@ mod tests {
                 } else {
                     direct(user, other)
                 }
-            },
-        )
+            })
     }
 
     proptest! {

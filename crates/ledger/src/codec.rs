@@ -333,7 +333,10 @@ mod tests {
         let tx = &sample_txs()[0];
         let mut bytes = tx_bytes(tx).to_vec();
         bytes.push(0xAB);
-        assert_eq!(tx_from_bytes(&bytes).unwrap_err(), CodecError::TrailingBytes(1));
+        assert_eq!(
+            tx_from_bytes(&bytes).unwrap_err(),
+            CodecError::TrailingBytes(1)
+        );
     }
 
     #[test]
@@ -341,7 +344,10 @@ mod tests {
         let tx = &sample_txs()[0];
         let mut bytes = tx_bytes(tx).to_vec();
         bytes[0] = 9;
-        assert_eq!(tx_from_bytes(&bytes).unwrap_err(), CodecError::BadVersion(9));
+        assert_eq!(
+            tx_from_bytes(&bytes).unwrap_err(),
+            CodecError::BadVersion(9)
+        );
         let mut bytes = tx_bytes(tx).to_vec();
         // kind tag sits after version(1)+sender(20)+nonce(8)+fee(8).
         bytes[37] = 7;
@@ -363,8 +369,14 @@ mod tests {
     }
 
     fn arb_tx() -> impl Strategy<Value = Transaction> {
-        let call = (any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>(), any::<u64>()).prop_map(
-            |(u, n, c, v, f)| Transaction {
+        let call = (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+        )
+            .prop_map(|(u, n, c, v, f)| Transaction {
                 sender: Address::user(u),
                 nonce: n,
                 fee: Amount::from_raw(f),
@@ -372,9 +384,14 @@ mod tests {
                     contract: ContractId::new(c),
                     value: Amount::from_raw(v),
                 },
-            },
-        );
-        let direct = (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+            });
+        let direct = (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        )
             .prop_map(|(u, n, t, v, f)| Transaction {
                 sender: Address::user(u),
                 nonce: n,

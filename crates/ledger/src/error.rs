@@ -72,7 +72,10 @@ impl fmt::Display for LedgerError {
                 sender,
                 got,
                 expected,
-            } => write!(f, "bad nonce for {sender:?}: got {got}, expected {expected}"),
+            } => write!(
+                f,
+                "bad nonce for {sender:?}: got {got}, expected {expected}"
+            ),
             LedgerError::InsufficientBalance {
                 sender,
                 needed,
@@ -138,9 +141,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(LedgerError::EmptyInputs, LedgerError::EmptyInputs);
-        assert_ne!(
-            LedgerError::EmptyInputs,
-            LedgerError::BadTxRoot
-        );
+        assert_ne!(LedgerError::EmptyInputs, LedgerError::BadTxRoot);
     }
 }

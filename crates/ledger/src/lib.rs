@@ -42,8 +42,8 @@ pub mod transaction;
 pub use account::{Account, AccountKind};
 pub use block::{Block, BlockHeader};
 pub use callgraph::{CallGraph, SenderClass};
-pub use classifier::CompactClassifier;
 pub use chain::Chain;
+pub use classifier::CompactClassifier;
 pub use contract::{Condition, SmartContract};
 pub use error::LedgerError;
 pub use light::{InclusionProof, LightClient, LightError};

@@ -19,7 +19,11 @@ fn leaf(id: &Hash32) -> Hash32 {
 }
 
 fn node(left: &Hash32, right: &Hash32) -> Hash32 {
-    sha256_concat(&[b"cshard-merkle-node".as_slice(), left.as_bytes(), right.as_bytes()])
+    sha256_concat(&[
+        b"cshard-merkle-node".as_slice(),
+        left.as_bytes(),
+        right.as_bytes(),
+    ])
 }
 
 /// Computes the Merkle root of a list of transaction ids.

@@ -324,8 +324,14 @@ mod tests {
         assert_eq!(restored.total_balance(), s.total_balance());
         assert_eq!(restored.minted(), s.minted());
         for u in 0..10 {
-            assert_eq!(restored.balance_of(Address::user(u)), s.balance_of(Address::user(u)));
-            assert_eq!(restored.nonce_of(Address::user(u)), s.nonce_of(Address::user(u)));
+            assert_eq!(
+                restored.balance_of(Address::user(u)),
+                s.balance_of(Address::user(u))
+            );
+            assert_eq!(
+                restored.nonce_of(Address::user(u)),
+                s.nonce_of(Address::user(u))
+            );
         }
         assert_eq!(
             restored.contract(ContractId::new(0)).unwrap().invocations,

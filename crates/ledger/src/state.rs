@@ -365,10 +365,7 @@ mod tests {
             FEE,
         );
         s.apply_transaction(&tx, COLLECTOR).unwrap();
-        assert_eq!(
-            s.balance_of(Address::user(1)),
-            Amount::from_coins(8) - FEE
-        );
+        assert_eq!(s.balance_of(Address::user(1)), Amount::from_coins(8) - FEE);
         assert_eq!(s.balance_of(Address::user(3)), Amount::from_coins(2));
         assert_eq!(s.balance_of(COLLECTOR), FEE);
         assert_eq!(s.nonce_of(Address::user(1)), 1);
@@ -387,7 +384,14 @@ mod tests {
         );
         s.apply_transaction(&tx, COLLECTOR).unwrap();
         let err = s.apply_transaction(&tx, COLLECTOR).unwrap_err();
-        assert!(matches!(err, LedgerError::BadNonce { got: 0, expected: 1, .. }));
+        assert!(matches!(
+            err,
+            LedgerError::BadNonce {
+                got: 0,
+                expected: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -403,7 +407,10 @@ mod tests {
         );
         let err = s.apply_transaction(&tx, COLLECTOR).unwrap_err();
         assert!(matches!(err, LedgerError::InsufficientBalance { .. }));
-        assert_eq!(s.balance_of(Address::user(1)), before.balance_of(Address::user(1)));
+        assert_eq!(
+            s.balance_of(Address::user(1)),
+            before.balance_of(Address::user(1))
+        );
         assert_eq!(s.nonce_of(Address::user(1)), 0);
     }
 
@@ -435,7 +442,7 @@ mod tests {
         let mut s = State::new();
         s.fund_user(Address::user(1), Amount::from_coins(10));
         s.fund_user(Address::user(2), Amount::from_coins(5)); // B: 5 coins
-        // "Transfer to B only if B's balance is below 1 coin."
+                                                              // "Transfer to B only if B's balance is below 1 coin."
         s.register_contract(SmartContract::conditional(
             ContractId::new(0),
             Address::user(2),

@@ -113,7 +113,12 @@ mod tests {
     use super::*;
 
     fn net(nodes: usize) -> GossipNet {
-        GossipNet::random(nodes, 3, LatencyModel::constant(SimTime::from_millis(100)), 7)
+        GossipNet::random(
+            nodes,
+            3,
+            LatencyModel::constant(SimTime::from_millis(100)),
+            7,
+        )
     }
 
     #[test]

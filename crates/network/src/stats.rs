@@ -74,12 +74,7 @@ impl CommStats {
 
     /// Rounds of a specific kind.
     pub fn for_kind(&self, kind: CommKind) -> u64 {
-        self.inner
-            .lock()
-            .per_kind
-            .get(&kind)
-            .copied()
-            .unwrap_or(0)
+        self.inner.lock().per_kind.get(&kind).copied().unwrap_or(0)
     }
 
     /// Average rounds per shard over `shard_count` shards — the y-axis of

@@ -159,15 +159,15 @@ mod tests {
 
     #[test]
     fn checked_ops() {
-        assert_eq!(
-            Amount::from_raw(1).checked_sub(Amount::from_raw(2)),
-            None
-        );
+        assert_eq!(Amount::from_raw(1).checked_sub(Amount::from_raw(2)), None);
         assert_eq!(
             Amount::from_raw(3).checked_sub(Amount::from_raw(2)),
             Some(Amount::from_raw(1))
         );
-        assert_eq!(Amount::from_raw(u64::MAX).checked_add(Amount::from_raw(1)), None);
+        assert_eq!(
+            Amount::from_raw(u64::MAX).checked_add(Amount::from_raw(1)),
+            None
+        );
         assert_eq!(
             Amount::from_raw(u64::MAX).saturating_add(Amount::from_raw(1)),
             Amount::from_raw(u64::MAX)

@@ -174,10 +174,7 @@ mod tests {
     #[test]
     fn display_and_debug_are_stable() {
         let h = Hash32::ZERO;
-        assert_eq!(
-            h.to_string(),
-            format!("0x{}", "00".repeat(32))
-        );
+        assert_eq!(h.to_string(), format!("0x{}", "00".repeat(32)));
         assert_eq!(format!("{h:?}"), "Hash32(0x00000000..)");
     }
 }

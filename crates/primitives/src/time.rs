@@ -16,6 +16,9 @@ impl SimTime {
     /// The simulation epoch (t = 0).
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The end of simulated time (`u64::MAX` milliseconds).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Builds a time from milliseconds.
     pub const fn from_millis(ms: u64) -> Self {
         SimTime(ms)
@@ -52,6 +55,11 @@ impl SimTime {
     /// Saturating difference `self - earlier`.
     pub fn saturating_since(&self, earlier: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating sum: clamps at [`SimTime::MAX`] instead of overflowing.
+    pub fn saturating_add(&self, delay: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(delay.0))
     }
 }
 
@@ -122,6 +130,8 @@ mod tests {
         assert_eq!(a - b, SimTime::from_millis(60));
         assert_eq!(b.saturating_since(a), SimTime::ZERO);
         assert_eq!(a.saturating_since(b), SimTime::from_millis(60));
+        assert_eq!(SimTime::MAX.saturating_add(a), SimTime::MAX);
+        assert_eq!(a.saturating_add(b), a + b);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! The `ProtocolDriver` trait and the context handed to its hooks.
+
+use crate::event::Event;
+use crate::report::ShardReport;
+use cshard_network::CommStats;
+use cshard_primitives::SimTime;
+use cshard_sim::EventQueue;
+use std::time::Duration;
+
+/// What a driver may do while handling an event: schedule further events
+/// on its own shard's queue and account cross-shard messaging.
+///
+/// The context deliberately exposes no clock control and no access to
+/// other shards — those constraints are what let the harness run one
+/// driver per thread with bit-identical results at any thread count.
+pub struct Ctx<'a> {
+    queue: &'a mut EventQueue<Event>,
+    comm: &'a CommStats,
+}
+
+impl<'a> Ctx<'a> {
+    /// Wraps a shard's queue and the run-wide communication counter.
+    pub fn new(queue: &'a mut EventQueue<Event>, comm: &'a CommStats) -> Self {
+        Ctx { queue, comm }
+    }
+
+    /// The current simulated time (timestamp of the event being handled).
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics when `at` is in the past — a simulation must never rewind.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        self.queue.schedule(at, event);
+    }
+
+    /// Schedules `event` after `delay`, saturating at the end of
+    /// representable time rather than overflowing.
+    pub fn schedule_in(&mut self, delay: SimTime, event: Event) {
+        self.queue.schedule_in(delay, event);
+    }
+
+    /// The run's cross-shard communication counter. Drivers record each
+    /// messaging round here *as it happens*, so Fig. 4's accounting is
+    /// emitted from inside the event loop rather than reconstructed
+    /// post-hoc.
+    pub fn comm(&self) -> &CommStats {
+        self.comm
+    }
+}
+
+/// One shard's protocol logic, driven by the shared event loop.
+///
+/// A driver is a deterministic state machine: its entire trajectory is a
+/// function of its construction parameters and the event stream. It must
+/// not read host wall-clock time, global state, or unseeded randomness —
+/// the harness owns all of those (and measures wall time around the
+/// hooks, behind the report layer).
+///
+/// # Writing a new driver
+///
+/// 1. Seed initial events in [`ProtocolDriver::on_start`] (first mining
+///    ticks, injection batches, an epoch kick-off).
+/// 2. React in [`ProtocolDriver::on_event`]; reschedule recurring events
+///    (a miner's next `BlockFound`) from inside the handler.
+/// 3. Report local progress through [`ProtocolDriver::done`] and
+///    [`ProtocolDriver::completion`]; the harness runs phase 1 until
+///    every driver is done, then replays idle events up to the global
+///    completion time so cross-shard accounting is exact.
+pub trait ProtocolDriver: Send {
+    /// Schedules the driver's initial events. Called once, at t = 0,
+    /// before any event fires.
+    fn on_start(&mut self, ctx: &mut Ctx);
+
+    /// Handles one event at simulated time `t`.
+    fn on_event(&mut self, t: SimTime, ev: Event, ctx: &mut Ctx);
+
+    /// True when the shard's own workload is complete (phase-1 exit).
+    /// After this returns true the harness only replays the driver for
+    /// idle accounting, up to the run's global completion time.
+    fn done(&self) -> bool;
+
+    /// When the shard confirmed its last transaction (`None` if it had
+    /// none). The maximum over drivers is the run's completion time.
+    fn completion(&self) -> Option<SimTime>;
+
+    /// The shard's final report. `events` and `wall` are supplied by the
+    /// harness: events popped for this driver and host time spent in its
+    /// hooks (diagnostic only, excluded from fingerprints).
+    fn report(&self, events: usize, wall: Duration) -> ShardReport;
+}
+
+impl<D: ProtocolDriver + ?Sized> ProtocolDriver for Box<D> {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        (**self).on_start(ctx)
+    }
+    fn on_event(&mut self, t: SimTime, ev: Event, ctx: &mut Ctx) {
+        (**self).on_event(t, ev, ctx)
+    }
+    fn done(&self) -> bool {
+        (**self).done()
+    }
+    fn completion(&self) -> Option<SimTime> {
+        (**self).completion()
+    }
+    fn report(&self, events: usize, wall: Duration) -> ShardReport {
+        (**self).report(events, wall)
+    }
+}

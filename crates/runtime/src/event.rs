@@ -1,0 +1,71 @@
+//! The typed event vocabulary shared by every protocol driver.
+
+/// One scheduled occurrence in a shard's simulation.
+///
+/// Every protocol in the repository — vanilla Ethereum, contract-centric
+/// sharding, ChainSpace-style random sharding — is a state machine over
+/// this one vocabulary. A driver only ever sees events it (or its
+/// harness) scheduled on its own queue; indices are local to the driver
+/// unless its documentation says otherwise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A transaction enters the shard's unconfirmed queue. The golden
+    /// experiment paths inject the whole workload at t = 0 without
+    /// events (matching the paper's setup, where injection precedes the
+    /// measured run); drivers that model staggered arrival — the
+    /// ChainSpace 2PC pipeline — schedule these explicitly.
+    TxInjected {
+        /// Driver-scoped transaction index.
+        tx: usize,
+    },
+    /// A miner of this shard solved a block (the Poisson process tick).
+    BlockFound {
+        /// Local miner index within the shard.
+        miner: usize,
+    },
+    /// A previously found block finished propagating: its confirmations
+    /// are now visible to every miner of the shard. Only scheduled under
+    /// [`crate::PropagationModel::Latency`]; the legacy
+    /// [`crate::PropagationModel::Window`] keeps visibility implicit in
+    /// the conflict-window rule and schedules no delivery events (which
+    /// is what keeps pre-refactor run fingerprints bit-identical).
+    BlockDelivered {
+        /// Local index of the miner whose block was delivered.
+        origin: usize,
+    },
+    /// An epoch boundary (parameter unification broadcast, batch
+    /// injection, …). The equilibrium selection game intentionally does
+    /// *not* use this on the golden paths — epochs start lazily inside
+    /// the `BlockFound` handler, as the pre-refactor simulator did.
+    EpochAdvance {
+        /// Monotone epoch counter.
+        epoch: u64,
+    },
+    /// One round of cross-shard 2PC validation for a cross-shard
+    /// transaction (S-BAC style: intra-shard consensus, then cross-shard
+    /// accept). Scheduled by the ChainSpace driver; each round books one
+    /// communication time into the run's `CommStats`.
+    ValidationRound {
+        /// Driver-scoped transaction index.
+        tx: usize,
+        /// 1-based round number, up to the protocol's round count.
+        round: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_comparable_and_copy() {
+        let a = Event::BlockFound { miner: 3 };
+        let b = a;
+        assert_eq!(a, b);
+        assert_ne!(a, Event::BlockFound { miner: 4 });
+        assert_ne!(
+            Event::ValidationRound { tx: 1, round: 1 },
+            Event::ValidationRound { tx: 1, round: 2 }
+        );
+    }
+}

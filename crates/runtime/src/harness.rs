@@ -1,0 +1,236 @@
+//! The two-phase run harness: one driver per shard on the executor.
+
+use crate::driver::{Ctx, ProtocolDriver};
+use crate::event::Event;
+use crate::report::RunReport;
+use cshard_network::CommStats;
+use cshard_primitives::SimTime;
+use cshard_sim::{EventQueue, Executor};
+use std::time::{Duration, Instant};
+
+/// One driver mid-run: its queue, its state, and the harness-side
+/// accounting the driver itself is not allowed to touch.
+struct DriverTask<D> {
+    driver: D,
+    queue: EventQueue<Event>,
+    events: usize,
+    wall: Duration,
+}
+
+/// Runs a set of [`ProtocolDriver`]s to completion and reports.
+///
+/// Drivers are independent simulation tasks: each owns its event queue
+/// and (by the driver contract) derives randomness from its own seeded
+/// streams, so the executor may run them on any number of threads with
+/// bit-identical results. The run has two phases, exactly as the
+/// pre-refactor simulator had:
+///
+/// 1. **Active** — each driver runs until [`ProtocolDriver::done`]; the
+///    driver finishing last sets the run's global completion time.
+/// 2. **Idle drain** — drivers that finished early replay their pending
+///    events strictly before the global completion time, so idle-mining
+///    (empty/stale block) accounting matches a fully serialized run.
+///
+/// All host wall-clock reads happen here, around the driver hooks —
+/// drivers themselves are replayable pure functions of their event
+/// streams, and `wall` feeds only the diagnostic fields of the report.
+pub struct Runtime {
+    executor: Executor,
+    comm: CommStats,
+}
+
+impl Runtime {
+    /// A runtime over `threads` workers (`0` = one per core, `1` =
+    /// inline/sequential) with a fresh communication counter.
+    pub fn new(threads: usize) -> Self {
+        Runtime {
+            executor: Executor::new(threads),
+            comm: CommStats::new(),
+        }
+    }
+
+    /// Uses an existing communication counter, so callers can read the
+    /// messaging a run emitted (Fig. 4(b)) or pool several runs.
+    pub fn with_comm(threads: usize, comm: CommStats) -> Self {
+        Runtime {
+            executor: Executor::new(threads),
+            comm,
+        }
+    }
+
+    /// The run-wide communication counter drivers record into.
+    pub fn comm(&self) -> &CommStats {
+        &self.comm
+    }
+
+    /// Runs every driver to completion (two phases) and reports. The
+    /// shard order of the report matches the driver order given here.
+    pub fn run<D: ProtocolDriver>(&self, drivers: Vec<D>) -> RunReport {
+        let run_start = Instant::now();
+        let comm = &self.comm;
+
+        // Phase 1: each driver to local completion, concurrently.
+        let tasks: Vec<DriverTask<D>> = self.executor.run(drivers, |_, mut driver| {
+            let start = Instant::now();
+            let mut queue = EventQueue::new();
+            driver.on_start(&mut Ctx::new(&mut queue, comm));
+            let mut events = 0;
+            while !driver.done() {
+                let Some((now, ev)) = queue.pop() else {
+                    panic!("driver reports !done() but scheduled no further events");
+                };
+                events += 1;
+                driver.on_event(now, ev, &mut Ctx::new(&mut queue, comm));
+            }
+            DriverTask {
+                driver,
+                queue,
+                events,
+                wall: start.elapsed(),
+            }
+        });
+
+        // Global completion = the last confirmation anywhere.
+        let completion = tasks
+            .iter()
+            .filter_map(|t| t.driver.completion())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+
+        // Phase 2: idle-drain early finishers up to the global completion.
+        let tasks: Vec<DriverTask<D>> = self.executor.run(tasks, |_, mut t| {
+            let start = Instant::now();
+            while t.queue.next_time().is_some_and(|at| at < completion) {
+                let (now, ev) = t.queue.pop().expect("peeked event");
+                t.events += 1;
+                t.driver
+                    .on_event(now, ev, &mut Ctx::new(&mut t.queue, comm));
+            }
+            t.wall += start.elapsed();
+            t
+        });
+
+        RunReport {
+            completion,
+            shards: tasks
+                .into_iter()
+                .map(|t| t.driver.report(t.events, t.wall))
+                .collect(),
+            wall: run_start.elapsed(),
+            threads_used: self.executor.threads(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ShardReport;
+    use cshard_primitives::ShardId;
+
+    /// A driver that confirms one "transaction" per tick, `n` ticks.
+    struct Ticker {
+        shard: ShardId,
+        remaining: usize,
+        total: usize,
+        last: Option<SimTime>,
+    }
+
+    impl ProtocolDriver for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            if self.remaining > 0 {
+                ctx.schedule(SimTime::from_millis(10), Event::BlockFound { miner: 0 });
+            }
+        }
+        fn on_event(&mut self, t: SimTime, ev: Event, ctx: &mut Ctx) {
+            assert_eq!(ev, Event::BlockFound { miner: 0 });
+            self.remaining -= 1;
+            self.last = Some(t);
+            if self.remaining > 0 {
+                ctx.schedule_in(SimTime::from_millis(10), ev);
+            }
+        }
+        fn done(&self) -> bool {
+            self.remaining == 0
+        }
+        fn completion(&self) -> Option<SimTime> {
+            self.last
+        }
+        fn report(&self, events: usize, wall: Duration) -> ShardReport {
+            ShardReport {
+                shard: self.shard,
+                txs: self.total,
+                confirmed: self.total - self.remaining,
+                completion: self.last,
+                blocks: events,
+                empty_blocks: 0,
+                stale_blocks: 0,
+                events_processed: events,
+                wall,
+            }
+        }
+    }
+
+    fn ticker(shard: u32, n: usize) -> Ticker {
+        Ticker {
+            shard: ShardId::new(shard),
+            remaining: n,
+            total: n,
+            last: None,
+        }
+    }
+
+    #[test]
+    fn runs_all_drivers_and_takes_max_completion() {
+        let rt = Runtime::new(1);
+        let r = rt.run(vec![ticker(0, 3), ticker(1, 7)]);
+        assert_eq!(r.completion, SimTime::from_millis(70));
+        assert_eq!(r.shards[0].confirmed, 3);
+        assert_eq!(r.shards[1].confirmed, 7);
+        assert_eq!(r.total_txs(), 10);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let mk = || vec![ticker(0, 5), ticker(1, 2), ticker(2, 9)];
+        let seq = Runtime::new(1).run(mk());
+        let par = Runtime::new(4).run(mk());
+        assert_eq!(seq.fingerprint(), par.fingerprint());
+    }
+
+    #[test]
+    fn driver_with_no_work_reports_empty() {
+        let r = Runtime::new(1).run(vec![ticker(0, 0)]);
+        assert_eq!(r.completion, SimTime::ZERO);
+        assert_eq!(r.shards[0].completion, None);
+        assert_eq!(r.shards[0].events_processed, 0);
+    }
+
+    #[test]
+    fn boxed_drivers_run_on_the_same_loop() {
+        let drivers: Vec<Box<dyn ProtocolDriver>> =
+            vec![Box::new(ticker(0, 2)), Box::new(ticker(1, 4))];
+        let r = Runtime::new(1).run(drivers);
+        assert_eq!(r.total_txs(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no further events")]
+    fn stalled_driver_is_a_bug() {
+        struct Stalled;
+        impl ProtocolDriver for Stalled {
+            fn on_start(&mut self, _: &mut Ctx) {}
+            fn on_event(&mut self, _: SimTime, _: Event, _: &mut Ctx) {}
+            fn done(&self) -> bool {
+                false
+            }
+            fn completion(&self) -> Option<SimTime> {
+                None
+            }
+            fn report(&self, _: usize, _: Duration) -> ShardReport {
+                unreachable!()
+            }
+        }
+        Runtime::new(1).run(vec![Stalled]);
+    }
+}

@@ -1,0 +1,71 @@
+//! How found blocks become visible to a shard's other miners.
+
+use cshard_network::{GossipNet, LatencyModel};
+use cshard_primitives::SimTime;
+
+/// The block-propagation regime of a run.
+///
+/// Table I's plateau comes from propagation: a block found before a
+/// competing confirmation has reached the whole shard duplicates that
+/// confirmation's selection and is wasted. The two variants model the
+/// "not yet everywhere" span differently:
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PropagationModel {
+    /// The legacy fixed conflict window: a block found within this span
+    /// of a competing confirmation sees the pre-confirmation queue. No
+    /// delivery events are scheduled — visibility is a pure time check —
+    /// so runs under this model are bit-identical to the pre-refactor
+    /// simulator (the golden fingerprints assert exactly that).
+    Window(SimTime),
+    /// Explicit network-backed propagation: each confirming block's
+    /// delivery delay is drawn from the latency model and materialized
+    /// as an [`crate::Event::BlockDelivered`] event; until it fires, the
+    /// other miners keep mining against the pre-confirmation queue.
+    Latency(LatencyModel),
+}
+
+impl PropagationModel {
+    /// The worst-case span during which a found block can conflict with
+    /// an earlier confirmation — the window itself, or the latency
+    /// model's maximum delivery delay.
+    pub fn conflict_window(&self) -> SimTime {
+        match self {
+            PropagationModel::Window(w) => *w,
+            PropagationModel::Latency(m) => m.max_delay(),
+        }
+    }
+
+    /// A window calibrated from a gossip overlay: the time a broadcast
+    /// needs to reach every node from `origin` (the ablation experiments
+    /// derive their sweep anchor this way).
+    pub fn from_gossip(net: &GossipNet, origin: usize, seed: u64) -> Self {
+        PropagationModel::Window(net.full_coverage_time(origin, seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_reports_itself() {
+        let w = PropagationModel::Window(SimTime::from_secs(60));
+        assert_eq!(w.conflict_window(), SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn latency_reports_max_delay() {
+        let m = PropagationModel::Latency(LatencyModel::wide_area());
+        assert_eq!(m.conflict_window(), LatencyModel::wide_area().max_delay());
+    }
+
+    #[test]
+    fn gossip_anchor_is_a_window() {
+        let net = GossipNet::random(20, 3, LatencyModel::wide_area(), 7);
+        let p = PropagationModel::from_gossip(&net, 0, 1);
+        match p {
+            PropagationModel::Window(w) => assert!(w > SimTime::ZERO),
+            PropagationModel::Latency(_) => panic!("expected a window"),
+        }
+    }
+}

@@ -121,9 +121,7 @@ mod tests {
         let p = 3.0 * 0.25f64.powi(2) * 0.75 + 0.25f64.powi(3);
         assert!((tx_corruption_probability(3, 0.25) - p).abs() < 1e-12);
         // More validators, harder to corrupt (f < ½).
-        assert!(
-            tx_corruption_probability(50, 0.25) < tx_corruption_probability(10, 0.25)
-        );
+        assert!(tx_corruption_probability(50, 0.25) < tx_corruption_probability(10, 0.25));
         assert_eq!(tx_corruption_probability(0, 0.25), 0.0);
     }
 

@@ -110,9 +110,9 @@ pub fn empirical_leader_factor(f: f64, max_rounds: u32, trials: u32, seed: u64) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::corruption::tx_corruption_probability;
     use crate::math::geometric_sum;
     use crate::shard_safety::shard_safety;
-    use crate::corruption::tx_corruption_probability;
 
     const TRIALS: u32 = 60_000;
 
@@ -132,8 +132,7 @@ mod tests {
     fn shard_safety_matches_analytics() {
         for &(n, f) in &[(10u64, 0.25), (30, 0.33), (60, 0.25)] {
             let analytic = shard_safety(n, f, CorruptionThreshold::Majority);
-            let empirical =
-                empirical_shard_safety(n, f, CorruptionThreshold::Majority, TRIALS, 1);
+            let empirical = empirical_shard_safety(n, f, CorruptionThreshold::Majority, TRIALS, 1);
             assert!(
                 (analytic - empirical).abs() < 0.01,
                 "n={n} f={f}: analytic {analytic:.4} vs empirical {empirical:.4}"

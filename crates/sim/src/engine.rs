@@ -81,12 +81,21 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { time: at, seq, event });
+        self.heap.push(ScheduledEvent {
+            time: at,
+            seq,
+            event,
+        });
     }
 
     /// Schedules `event` after a delay from the current time.
+    ///
+    /// The target time saturates at [`SimTime::MAX`] rather than
+    /// overflowing, so a pathological delay (e.g. an astronomically
+    /// unlucky exponential draw) schedules "at the end of time" instead
+    /// of panicking mid-run.
     pub fn schedule_in(&mut self, delay: SimTime, event: E) {
-        self.schedule(self.now + delay, event);
+        self.schedule(self.now.saturating_add(delay), event);
     }
 
     /// Pops the earliest event and advances the clock to it.

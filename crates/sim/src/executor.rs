@@ -122,7 +122,9 @@ mod tests {
     fn sequential_and_parallel_agree() {
         let work = |_: usize, x: u64| -> u64 {
             // A deterministic but non-trivial computation.
-            (0..1000).fold(x, |acc, k| acc.wrapping_mul(6364136223846793005).wrapping_add(k))
+            (0..1000).fold(x, |acc, k| {
+                acc.wrapping_mul(6364136223846793005).wrapping_add(k)
+            })
         };
         let seq = Executor::sequential().run((0..32).collect(), work);
         let par = Executor::new(8).run((0..32).collect(), work);

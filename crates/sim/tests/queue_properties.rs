@@ -1,0 +1,90 @@
+//! Property tests for the event queue: the two invariants the shared
+//! runtime harness leans on.
+//!
+//! * Events pop in nondecreasing time order, and events scheduled for the
+//!   **same** timestamp fire in insertion (FIFO) order — this is what makes
+//!   every run of a [`cshard_sim::EventQueue`]-driven simulation
+//!   deterministic regardless of heap internals.
+//! * `schedule_in` saturates at `SimTime::MAX` instead of overflowing, so
+//!   a pathological delay near the end of representable time schedules an
+//!   event "at the end of time" rather than panicking mid-run.
+
+use cshard_primitives::SimTime;
+use cshard_sim::EventQueue;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pops_are_time_ordered_and_same_time_is_fifo(
+        times in proptest::collection::vec(0u64..1_000, 1..64),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_millis(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for pair in popped.windows(2) {
+            let ((t0, i0), (t1, i1)) = (pair[0], pair[1]);
+            prop_assert!(t0 <= t1, "time went backwards: {t0} then {t1}");
+            if t0 == t1 {
+                // Same timestamp → insertion order (seq) breaks the tie.
+                prop_assert!(i0 < i1, "tie at {t0} fired {i0} after {i1}");
+            }
+        }
+        // The popped payloads are a permutation of the scheduled ones.
+        let mut ids: Vec<usize> = popped.iter().map(|&(_, i)| i).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_in_saturates_instead_of_overflowing(
+        start in 1u64..=u64::MAX,
+        delay in 1u64..=u64::MAX,
+    ) {
+        // Advance the clock to `start`…
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(start), "warp");
+        q.pop();
+        prop_assert_eq!(q.now(), SimTime::from_millis(start));
+        // …then ask for a delay that may shoot past u64::MAX.
+        q.schedule_in(SimTime::from_millis(delay), "later");
+        let (at, _) = q.pop().unwrap();
+        let expected = start.checked_add(delay).map_or(SimTime::MAX, SimTime::from_millis);
+        prop_assert_eq!(at, expected);
+        prop_assert!(at <= SimTime::MAX);
+    }
+
+    #[test]
+    fn interleaved_reschedules_stay_deterministic(
+        seedlings in proptest::collection::vec((0u64..500, 0u64..100), 1..16),
+    ) {
+        // Two queues driven by the same schedule/pop/reschedule script
+        // produce identical traces.
+        let run = || {
+            let mut q = EventQueue::new();
+            for (i, &(t, _)) in seedlings.iter().enumerate() {
+                q.schedule(SimTime::from_millis(t), i);
+            }
+            let mut trace = Vec::new();
+            while let Some((t, i)) = q.pop() {
+                trace.push((t.as_millis(), i));
+                if trace.len() < 256 {
+                    if let Some(&(_, redelay)) = seedlings.get(i) {
+                        if redelay > 0 && trace.len() % 3 == 0 {
+                            q.schedule_in(SimTime::from_millis(redelay), i);
+                        }
+                    }
+                }
+            }
+            trace
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -129,7 +129,10 @@ mod tests {
         assert!(fees.iter().all(|&f| (1..=100).contains(&f)));
         let ones = fees.iter().filter(|&&f| f == 1).count();
         let hundreds = fees.iter().filter(|&&f| f == 100).count();
-        assert!(ones > 20 * hundreds.max(1), "ones={ones} hundreds={hundreds}");
+        assert!(
+            ones > 20 * hundreds.max(1),
+            "ones={ones} hundreds={hundreds}"
+        );
     }
 
     #[test]

@@ -342,13 +342,10 @@ mod tests {
 
     #[test]
     fn small_shard_mix_validates_inputs() {
-        let r = std::panic::catch_unwind(|| {
-            Workload::with_small_shards(10, 2, 3, &[1, 1, 1], FEES, 0)
-        });
+        let r =
+            std::panic::catch_unwind(|| Workload::with_small_shards(10, 2, 3, &[1, 1, 1], FEES, 0));
         assert!(r.is_err(), "small > shards must panic");
-        let r = std::panic::catch_unwind(|| {
-            Workload::with_small_shards(5, 9, 2, &[9, 9], FEES, 0)
-        });
+        let r = std::panic::catch_unwind(|| Workload::with_small_shards(5, 9, 2, &[9, 9], FEES, 0));
         assert!(r.is_err(), "small total > total must panic");
     }
 
@@ -356,10 +353,7 @@ mod tests {
     fn three_input_transactions_have_k_inputs_and_validate() {
         let w = Workload::three_input(40, 3, FEES, 3);
         assert_eq!(w.transactions.len(), 40);
-        assert!(w
-            .transactions
-            .iter()
-            .all(|t| t.kind.input_count() == 3));
+        assert!(w.transactions.iter().all(|t| t.kind.input_count() == 3));
         assert_eq!(w.maxshard_tx_count(), 40);
         let mut state = w.genesis.clone();
         for tx in &w.transactions {
@@ -391,12 +385,7 @@ mod tests {
 
     #[test]
     fn fees_follow_requested_distribution() {
-        let w = Workload::uniform_contracts(
-            500,
-            4,
-            FeeDistribution::Constant(13),
-            6,
-        );
+        let w = Workload::uniform_contracts(500, 4, FeeDistribution::Constant(13), 6);
         assert!(w.fees().iter().all(|&f| f == 13));
     }
 }

@@ -292,9 +292,24 @@ mod tests {
         let trace = Trace {
             contracts: 1,
             records: vec![
-                TraceRecord { sender: 5, contract: Some(0), recipient: None, fee: 9 },
-                TraceRecord { sender: 5, contract: Some(0), recipient: None, fee: 7 },
-                TraceRecord { sender: 5, contract: Some(0), recipient: None, fee: 5 },
+                TraceRecord {
+                    sender: 5,
+                    contract: Some(0),
+                    recipient: None,
+                    fee: 9,
+                },
+                TraceRecord {
+                    sender: 5,
+                    contract: Some(0),
+                    recipient: None,
+                    fee: 7,
+                },
+                TraceRecord {
+                    sender: 5,
+                    contract: Some(0),
+                    recipient: None,
+                    fee: 5,
+                },
             ],
         };
         let w = trace.replay();
@@ -317,7 +332,12 @@ mod tests {
     fn out_of_range_contract_rejected_on_replay() {
         Trace {
             contracts: 1,
-            records: vec![TraceRecord { sender: 0, contract: Some(5), recipient: None, fee: 1 }],
+            records: vec![TraceRecord {
+                sender: 0,
+                contract: Some(5),
+                recipient: None,
+                fee: 1,
+            }],
         }
         .replay();
     }

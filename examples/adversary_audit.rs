@@ -9,9 +9,7 @@
 //! Run with: `cargo run --release --example adversary_audit`
 
 use contractshard::prelude::*;
-use contractshard::security::{
-    inter_shard_corruption_for_shard, selection_corruption,
-};
+use contractshard::security::{inter_shard_corruption_for_shard, selection_corruption};
 
 fn main() {
     // --- 1. How big must a shard be? -----------------------------------
@@ -19,7 +17,10 @@ fn main() {
     for f in [0.25, 0.33] {
         print!("  {:.0}% adversary:", f * 100.0);
         for n in [10u64, 30, 60, 100] {
-            print!("  n={n}: {:.5}", shard_safety(n, f, CorruptionThreshold::Majority));
+            print!(
+                "  n={n}: {:.5}",
+                shard_safety(n, f, CorruptionThreshold::Majority)
+            );
         }
         println!();
     }
@@ -68,7 +69,9 @@ fn main() {
                 .expect("selection inputs")
         })
         .collect();
-    assert!(outcomes.windows(2).all(|w| w[0].assignments == w[1].assignments));
+    assert!(outcomes
+        .windows(2)
+        .all(|w| w[0].assignments == w[1].assignments));
     println!(
         "\nparameter unification: 3 replicas replayed Algorithm 2 and \
          agreed on {} distinct transaction sets (zero in-game messages)",

@@ -73,15 +73,43 @@ fn main() {
 
     // --- Broadcast transactions; nodes route by call graph --------------
     let txs = vec![
-        Transaction::call(Address::user(1), 0, ContractId::new(0), Amount::from_coins(2), Amount::from_raw(30)),
-        Transaction::call(Address::user(2), 0, ContractId::new(0), Amount::from_coins(1), Amount::from_raw(50)),
-        Transaction::call(Address::user(3), 0, ContractId::new(1), Amount::from_coins(3), Amount::from_raw(20)),
-        Transaction::direct(Address::user(4), 0, Address::user(5), Amount::from_coins(1), Amount::from_raw(40)),
+        Transaction::call(
+            Address::user(1),
+            0,
+            ContractId::new(0),
+            Amount::from_coins(2),
+            Amount::from_raw(30),
+        ),
+        Transaction::call(
+            Address::user(2),
+            0,
+            ContractId::new(0),
+            Amount::from_coins(1),
+            Amount::from_raw(50),
+        ),
+        Transaction::call(
+            Address::user(3),
+            0,
+            ContractId::new(1),
+            Amount::from_coins(3),
+            Amount::from_raw(20),
+        ),
+        Transaction::direct(
+            Address::user(4),
+            0,
+            Address::user(5),
+            Amount::from_coins(1),
+            Amount::from_raw(40),
+        ),
     ];
     for tx in &txs {
         let takers: Vec<String> = nodes
             .iter_mut()
-            .filter_map(|n| n.submit_transaction(tx.clone()).ok().map(|_| n.shard().to_string()))
+            .filter_map(|n| {
+                n.submit_transaction(tx.clone())
+                    .ok()
+                    .map(|_| n.shard().to_string())
+            })
             .collect();
         println!("tx from {:?} pooled by: {takers:?}", tx.sender);
     }

@@ -7,12 +7,8 @@ use contractshard::prelude::*;
 fn main() {
     // The paper's testbed workload: 200 transactions spread uniformly over
     // 8 smart contracts plus the MaxShard (Sec. VI-B1).
-    let workload = Workload::uniform_contracts(
-        200,
-        8,
-        FeeDistribution::Uniform { lo: 1, hi: 100 },
-        42,
-    );
+    let workload =
+        Workload::uniform_contracts(200, 8, FeeDistribution::Uniform { lo: 1, hi: 100 }, 42);
 
     // How the transactions are classified (Sec. III-A): single-contract
     // senders are isolable; everything else goes to the MaxShard.

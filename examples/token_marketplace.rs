@@ -14,17 +14,15 @@ use contractshard::prelude::*;
 fn main() {
     // 600 transactions over 24 contracts with Zipf(1.2) popularity: the
     // top contract takes ~25%, the tail contracts a handful each.
-    let workload = Workload::heavy_tail(
-        600,
-        24,
-        1.2,
-        FeeDistribution::Exponential { mean: 40.0 },
-        7,
-    );
+    let workload =
+        Workload::heavy_tail(600, 24, 1.2, FeeDistribution::Exponential { mean: 40.0 }, 7);
     let plan = ShardPlan::build(&workload.transactions, &CallGraph::new());
     let sizes = plan.shard_sizes();
     let small = plan.small_shards(10).len();
-    println!("marketplace formation: {} active shards, {small} below 10 txs", sizes.len());
+    println!(
+        "marketplace formation: {} active shards, {small} below 10 txs",
+        sizes.len()
+    );
     let mut sorted: Vec<u64> = sizes.iter().map(|&(_, s)| s).collect();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     println!("  shard sizes (desc): {sorted:?}");

@@ -1,10 +1,18 @@
 # Development workflow for contractshard. `just verify` is the gate CI runs.
 
-# Build, test and lint the whole workspace.
+# Build, test, format-check and lint the whole workspace.
 verify:
+    cargo fmt --check
     cargo build --release --workspace
     cargo test -q --workspace
     cargo clippy --workspace --all-targets -- -D warnings
+
+# Quick-mode run of the golden experiments, diffed against results/golden.
+golden:
+    cargo run --release -p cshard-bench --bin experiments -- \
+        table1 fig3a --quick --json /tmp/golden-smoke
+    diff results/golden/table1.json /tmp/golden-smoke/table1.json
+    diff results/golden/fig3a.json /tmp/golden-smoke/fig3a.json
 
 # Fast feedback loop: tests only.
 test:

@@ -51,6 +51,7 @@
 //! | [`consensus`] | real PoW + the Poisson mining model |
 //! | [`network`] | latency model + cross-shard communication accounting |
 //! | [`sim`] | deterministic discrete-event engine |
+//! | [`runtime`] | typed events, the `ProtocolDriver` trait, propagation models, the shared run harness |
 //! | [`games`] | merging game (Alg. 1+3), selection game (Alg. 2), parameter unification |
 //! | [`security`] | Fig. 1(d) shard safety and the Eq. (3)–(6) corruption bounds |
 //! | [`workload`] | the Sec. VI injection generators |
@@ -67,13 +68,14 @@ pub use cshard_games as games;
 pub use cshard_ledger as ledger;
 pub use cshard_network as network;
 pub use cshard_primitives as primitives;
+pub use cshard_runtime as runtime;
 pub use cshard_security as security;
 pub use cshard_sim as sim;
 pub use cshard_workload as workload;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
-    pub use cshard_baselines::{random_merge, ChainspacePlacement};
+    pub use cshard_baselines::{random_merge, ChainspaceDriver, ChainspacePlacement};
     pub use cshard_core::metrics::throughput_improvement;
     pub use cshard_core::runtime::simulate_ethereum;
     pub use cshard_core::system::{MinerAllocation, SystemBuilder, SystemConfig};
@@ -81,7 +83,6 @@ pub mod prelude {
         simulate, MinerAssignment, RunReport, RuntimeConfig, SelectionStrategy, ShardPlan,
         ShardSpec, ShardingSystem, SystemReport,
     };
-    pub use cshard_primitives::Error;
     pub use cshard_crypto::{sha256, RandomnessBeacon, Vrf};
     pub use cshard_games::{
         best_reply_equilibrium, iterative_merge, GameInputs, MergingConfig, SelectionConfig,
@@ -90,7 +91,11 @@ pub mod prelude {
     pub use cshard_ledger::{
         Block, CallGraph, Chain, Condition, Mempool, SmartContract, State, Transaction,
     };
+    pub use cshard_primitives::Error;
     pub use cshard_primitives::{Address, Amount, ContractId, Hash32, MinerId, ShardId, SimTime};
+    pub use cshard_runtime::{
+        ContractShardDriver, Ctx, EthereumDriver, Event, PropagationModel, ProtocolDriver, Runtime,
+    };
     pub use cshard_security::{shard_safety, CorruptionThreshold};
     pub use cshard_workload::{FeeDistribution, Workload};
 }

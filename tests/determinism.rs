@@ -67,7 +67,9 @@ fn shard_streams_do_not_depend_on_peer_shards() {
     // set, so the same spec produces the same chain whether it runs next
     // to 8 peers or 99. Run the identical first 9 specs in both systems.
     let mk_spec = |s: u32| {
-        let fees: Vec<u64> = (0..20).map(|i| 1 + (s as u64 * 37 + i * 13) % 100).collect();
+        let fees: Vec<u64> = (0..20)
+            .map(|i| 1 + (s as u64 * 37 + i * 13) % 100)
+            .collect();
         ShardSpec::solo_greedy(ShardId::new(s), fees)
     };
     let cfg = RuntimeConfig {

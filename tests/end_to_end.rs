@@ -41,7 +41,8 @@ fn every_transaction_is_confirmed_exactly_once() {
         seed: 3,
         ..RuntimeConfig::default()
     })
-    .run(&w).expect("valid config");
+    .run(&w)
+    .expect("valid config");
     assert_eq!(report.run.total_txs(), 300);
     let confirmed: usize = report.run.shards.iter().map(|s| s.confirmed).sum();
     assert_eq!(confirmed, 300);
@@ -70,7 +71,8 @@ fn merging_and_selection_compose() {
         allocation: MinerAllocation::PerShard(4),
         epoch: 5,
     })
-    .run(&w).expect("valid config");
+    .run(&w)
+    .expect("valid config");
     let merge = report.merge.expect("merging enabled");
     assert_eq!(merge.small_shards, 5);
     assert!(report.run.shards.iter().all(|s| s.confirmed == s.txs));
@@ -154,7 +156,8 @@ fn unified_parameters_run_the_system_games_identically_across_replicas() {
             allocation: MinerAllocation::OnePerShard,
             epoch: 99,
         })
-        .run(&w).expect("valid config")
+        .run(&w)
+        .expect("valid config")
     };
     let a = mk();
     let b = mk();

@@ -4,10 +4,7 @@
 
 use cshard_bench::experiments;
 
-fn series<'a>(
-    r: &'a cshard_bench::ExperimentResult,
-    name: &str,
-) -> &'a cshard_bench::Series {
+fn series<'a>(r: &'a cshard_bench::ExperimentResult, name: &str) -> &'a cshard_bench::Series {
     r.series
         .iter()
         .find(|s| s.name.contains(name))

@@ -105,7 +105,11 @@ fn cross_shard_double_spend_is_impossible_by_construction() {
     assert_eq!(net.nodes[1].mempool_len(), 0);
     let block = net.nodes[0].mine_block(SimTime::from_secs(60));
     assert_eq!(block.transactions.len(), 1);
-    assert_eq!(block.transactions[0].fee, Amount::from_raw(9), "higher fee wins");
+    assert_eq!(
+        block.transactions[0].fee,
+        Amount::from_raw(9),
+        "higher fee wins"
+    );
     net.nodes[0].receive_block(block).unwrap();
     // The loser can never confirm anywhere: no other shard pools user 1.
     assert_eq!(

@@ -83,7 +83,7 @@ fn mainnet_shaped_workload_through_the_full_system() {
         runtime: RuntimeConfig {
             seed: 4,
             mean_block_interval: SimTime::from_millis(500),
-            conflict_window: SimTime::from_millis(500),
+            propagation: PropagationModel::Window(SimTime::from_millis(500)),
             ..RuntimeConfig::default()
         },
         merging: Some(MergingConfig {
@@ -94,7 +94,8 @@ fn mainnet_shaped_workload_through_the_full_system() {
         allocation: MinerAllocation::Proportional { total: 40 },
         epoch: 4,
     })
-    .run(&w).expect("valid config");
+    .run(&w)
+    .expect("valid config");
     assert_eq!(report.run.total_txs(), 1_000);
     assert!(report.run.shards.iter().all(|s| s.confirmed == s.txs));
     // The dominant contract shard exists and is the biggest.

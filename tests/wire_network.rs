@@ -90,8 +90,7 @@ fn block_gossips_as_bytes_and_every_node_accepts() {
     }
 
     // All replicas reached the same state.
-    let tips: std::collections::HashSet<Hash32> =
-        nodes.iter().map(|n| n.chain().tip()).collect();
+    let tips: std::collections::HashSet<Hash32> = nodes.iter().map(|n| n.chain().tip()).collect();
     assert_eq!(tips.len(), 1, "network converged on one tip");
 }
 

@@ -113,7 +113,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs a benchmark with no explicit input.
-    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         self.run(id.to_string(), f);
         self
     }
@@ -174,9 +178,15 @@ impl Criterion {
     }
 
     /// Convenience single-benchmark entry (criterion parity).
-    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let name = id.to_string();
-        self.benchmark_group(&name).sample_size(10).bench_function("run", f);
+        self.benchmark_group(&name)
+            .sample_size(10)
+            .bench_function("run", f);
         self
     }
 
