@@ -1,0 +1,42 @@
+//! `cshard-audit` — workspace determinism & safety lints.
+//!
+//! The paper's parameter-unification scheme (Sec. IV-C) requires every
+//! miner to replay Algorithms 1–3 and obtain byte-identical results, so
+//! any nondeterministic API reaching protocol code is a correctness bug.
+//! PR 1 and PR 2 made that contract real (PRF-seeded per-shard RNG
+//! streams, golden fingerprints, wall-clock reads confined to the
+//! `Runtime` harness); this crate enforces it at the source level, as a
+//! CI gate that fails with `file:line` diagnostics.
+//!
+//! The pass is a token-level static analysis: a hand-rolled lexer
+//! ([`lexer`]) feeds per-rule matchers ([`rules`]) configured by the
+//! `policy.toml` at the workspace root ([`policy`]); [`scan`] walks the
+//! crates the policy lists. There is no `syn` here on purpose — the
+//! workspace builds fully offline from an in-tree dependency set, and the
+//! six rules only need token structure, not a full AST.
+//!
+//! Rules (see DESIGN.md "Determinism invariants" for the full rationale):
+//!
+//! | id    | what it forbids                                             |
+//! |-------|-------------------------------------------------------------|
+//! | ND001 | wall-clock APIs (`Instant`, `SystemTime`) in protocol code  |
+//! | ND002 | ambient randomness (`thread_rng`, `from_entropy`, `OsRng`)  |
+//! | ND003 | iteration over `HashMap`/`HashSet` (unordered => replay-unsafe) |
+//! | PH001 | `unwrap`/`expect`/`panic!`-class exits in driver/event code |
+//! | FD001 | `==`/`!=` against float literals (tolerance helpers instead) |
+//! | AH001 | missing required lint headers in protocol crate roots       |
+//!
+//! `#[cfg(test)] mod` bodies are exempt everywhere; residual exceptions
+//! live in the policy's `allow` lists, each with a comment saying why.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+pub mod scan;
+
+pub use policy::{Policy, PolicyError};
+pub use rules::Finding;
+pub use scan::{scan_workspace, ScanReport};

@@ -1,0 +1,84 @@
+//! The `cshard-audit` binary: load `policy.toml`, scan, report, gate.
+//!
+//! Exit codes: `0` clean, `1` findings, `2` setup error (policy missing
+//! or unparseable). Run from anywhere inside the workspace (`just audit`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use cshard_audit::{scan_workspace, Policy};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: cshard-audit [--root <workspace-dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("cshard-audit: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("cshard-audit: no policy.toml found here or in any parent directory");
+            return ExitCode::from(2);
+        }
+    };
+    let policy_path = root.join("policy.toml");
+    let text = match std::fs::read_to_string(&policy_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cshard-audit: cannot read {}: {e}", policy_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let policy = match Policy::parse(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            // The parse error already carries `policy.toml:<line>`.
+            eprintln!("cshard-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = scan_workspace(&root, &policy);
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if report.findings.is_empty() {
+        println!(
+            "cshard-audit: clean — {} files across {} crates",
+            report.files_scanned,
+            policy.crates.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "cshard-audit: {} finding(s) in {} files scanned",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from the current directory to the first `policy.toml`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("policy.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

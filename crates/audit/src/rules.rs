@@ -1,0 +1,477 @@
+//! The audit rules, applied to a lexed token stream.
+//!
+//! Every rule is identified by a stable id (`ND001`, ...), is configured
+//! by an entry in `policy.toml`, and reports findings as `file:line`
+//! diagnostics. The rules are token-level heuristics — deliberately
+//! conservative, so a finding is near-certainly real; the `allow` lists in
+//! the policy handle the residue, each entry with a comment saying why.
+//! See DESIGN.md "Determinism invariants" for the rationale per rule.
+
+use crate::lexer::{Token, TokenKind};
+use crate::policy::RulePolicy;
+use std::fmt;
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`ND001`, `PH001`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Ids of every token-level rule, in reporting order. `AH001` is file-level
+/// (crate headers) and lives in [`crate::scan`].
+pub const TOKEN_RULES: [&str; 5] = ["ND001", "ND002", "ND003", "PH001", "FD001"];
+
+/// Token index spans (half-open) covered by `#[cfg(test)] mod ... { }`.
+///
+/// Rules skip these: tests may use wall clocks, `unwrap` and unordered
+/// iteration freely — the determinism contract binds protocol code only.
+pub fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Skip past this attribute and any further `#[...]` attributes,
+            // then expect `mod <name> {` and span to the matching brace.
+            let mut j = skip_attr(tokens, i);
+            while j < tokens.len() && tokens[j].is_punct("#") {
+                j = skip_attr(tokens, j);
+            }
+            if j + 2 < tokens.len()
+                && tokens[j].is_ident("mod")
+                && tokens[j + 1].kind == TokenKind::Ident
+                && tokens[j + 2].is_punct("{")
+            {
+                let open = j + 2;
+                let mut depth = 0usize;
+                let mut k = open;
+                while k < tokens.len() {
+                    if tokens[k].is_punct("{") {
+                        depth += 1;
+                    } else if tokens[k].is_punct("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                spans.push((i, k + 1));
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    // `#` `[` `cfg` `(` `test` `)` `]`
+    tokens.len() > i + 6
+        && tokens[i].is_punct("#")
+        && tokens[i + 1].is_punct("[")
+        && tokens[i + 2].is_ident("cfg")
+        && tokens[i + 3].is_punct("(")
+        && tokens[i + 4].is_ident("test")
+        && tokens[i + 5].is_punct(")")
+        && tokens[i + 6].is_punct("]")
+}
+
+/// Returns the token index just past the attribute starting at `i` (which
+/// must point at `#`).
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1; // at `[`
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].is_punct("[") {
+            depth += 1;
+        } else if tokens[j].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+fn in_spans(spans: &[(usize, usize)], i: usize) -> bool {
+    spans.iter().any(|&(a, b)| i >= a && i < b)
+}
+
+/// Applies one token rule to a file. `path` is workspace-relative; the
+/// caller has already checked the rule applies to this crate and that the
+/// path is not allowlisted.
+pub fn apply_token_rule(
+    rule: &'static str,
+    policy: &RulePolicy,
+    path: &str,
+    tokens: &[Token],
+) -> Vec<Finding> {
+    let spans = test_spans(tokens);
+    let mut findings = Vec::new();
+    let mut emit = |line: usize, message: String| {
+        findings.push(Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+        })
+    };
+    match rule {
+        "ND001" => {
+            for (i, t) in tokens.iter().enumerate() {
+                if in_spans(&spans, i) {
+                    continue;
+                }
+                if t.is_ident("Instant") || t.is_ident("SystemTime") {
+                    emit(
+                        t.line,
+                        format!(
+                            "wall-clock API `{}` in protocol code — {}",
+                            t.text, policy.description
+                        ),
+                    );
+                }
+            }
+        }
+        "ND002" => {
+            const BANNED: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+            for (i, t) in tokens.iter().enumerate() {
+                if in_spans(&spans, i) {
+                    continue;
+                }
+                if BANNED.iter().any(|b| t.is_ident(b)) {
+                    emit(
+                        t.line,
+                        format!("ambient randomness `{}` — {}", t.text, policy.description),
+                    );
+                }
+            }
+        }
+        "ND003" => {
+            let names = hash_typed_names(tokens);
+            const ITERS: [&str; 8] = [
+                "iter",
+                "iter_mut",
+                "keys",
+                "values",
+                "values_mut",
+                "drain",
+                "into_keys",
+                "into_values",
+            ];
+            for i in 0..tokens.len() {
+                if in_spans(&spans, i) {
+                    continue;
+                }
+                // `name . method (` where `name` has a hash-container type.
+                if i + 3 < tokens.len()
+                    && tokens[i].kind == TokenKind::Ident
+                    && tokens[i + 1].is_punct(".")
+                    && tokens[i + 2].kind == TokenKind::Ident
+                    && tokens[i + 3].is_punct("(")
+                    && names.iter().any(|n| n == &tokens[i].text)
+                    && ITERS.iter().any(|m| tokens[i + 2].is_ident(m))
+                {
+                    emit(
+                        tokens[i].line,
+                        format!(
+                            "iteration `.{}()` over hash container `{}` — {}",
+                            tokens[i + 2].text,
+                            tokens[i].text,
+                            policy.description
+                        ),
+                    );
+                }
+                // `for <pat> in [&][mut] name {` over a hash container.
+                if tokens[i].is_ident("for") {
+                    if let Some(j) = find_for_target(tokens, i) {
+                        if names.iter().any(|n| n == &tokens[j].text) {
+                            emit(
+                                tokens[j].line,
+                                format!(
+                                    "`for` loop over hash container `{}` — {}",
+                                    tokens[j].text, policy.description
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        "PH001" => {
+            for (i, t) in tokens.iter().enumerate() {
+                if in_spans(&spans, i) {
+                    continue;
+                }
+                let dotted = i > 0 && tokens[i - 1].is_punct(".");
+                let called = tokens.get(i + 1).is_some_and(|n| n.is_punct("("));
+                let banged = tokens.get(i + 1).is_some_and(|n| n.is_punct("!"));
+                if dotted && called && (t.is_ident("unwrap") || t.is_ident("expect")) {
+                    emit(
+                        t.line,
+                        format!("`.{}()` in protocol code — {}", t.text, policy.description),
+                    );
+                }
+                if banged
+                    && ["panic", "unreachable", "todo", "unimplemented"]
+                        .iter()
+                        .any(|m| t.is_ident(m))
+                {
+                    emit(
+                        t.line,
+                        format!("`{}!` in protocol code — {}", t.text, policy.description),
+                    );
+                }
+            }
+        }
+        "FD001" => {
+            for (i, t) in tokens.iter().enumerate() {
+                if in_spans(&spans, i) {
+                    continue;
+                }
+                if !(t.is_punct("==") || t.is_punct("!=")) {
+                    continue;
+                }
+                let prev_float = i > 0 && is_float_token(&tokens[i - 1]);
+                // Allow a unary minus before the literal on the right.
+                let next = if tokens.get(i + 1).is_some_and(|n| n.is_punct("-")) {
+                    tokens.get(i + 2)
+                } else {
+                    tokens.get(i + 1)
+                };
+                let next_float = next.is_some_and(is_float_token);
+                if prev_float || next_float {
+                    emit(
+                        t.line,
+                        format!("float compared with `{}` — {}", t.text, policy.description),
+                    );
+                }
+            }
+        }
+        other => return unreachable_rule(other),
+    }
+    findings
+}
+
+// A rule id outside TOKEN_RULES is a programming error in the scanner, not
+// a data error — but the audit must never panic, so surface it as text.
+fn unreachable_rule(rule: &str) -> Vec<Finding> {
+    vec![Finding {
+        rule: "AUDIT",
+        path: String::new(),
+        line: 0,
+        message: format!("internal error: unknown token rule id `{rule}`"),
+    }]
+}
+
+fn is_float_token(t: &Token) -> bool {
+    matches!(t.kind, TokenKind::Number { is_float: true })
+}
+
+/// Collects identifiers declared (as `let` bindings, fields or parameters)
+/// with a `HashMap`/`HashSet` type, plus `HashMap::new()`-style bindings.
+fn hash_typed_names(tokens: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut push = |s: &str| {
+        if !names.iter().any(|n| n == s) {
+            names.push(s.to_string());
+        }
+    };
+    for i in 0..tokens.len() {
+        // `name : [path ::] HashMap/HashSet` — fields, params, ascriptions.
+        if tokens[i].kind == TokenKind::Ident && tokens.get(i + 1).is_some_and(|t| t.is_punct(":"))
+        {
+            let mut j = i + 2;
+            let mut hops = 0;
+            while j < tokens.len() && hops < 8 {
+                if tokens[j].is_ident("HashMap") || tokens[j].is_ident("HashSet") {
+                    push(&tokens[i].text);
+                    break;
+                }
+                // Only walk through path segments (`std :: collections ::`).
+                if tokens[j].kind == TokenKind::Ident || tokens[j].is_punct("::") {
+                    j += 1;
+                    hops += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        // `let [mut] name = ... HashMap/HashSet ... ;` (constructor calls).
+        if tokens[i].is_ident("let") {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = tokens.get(j) else { continue };
+            if name.kind != TokenKind::Ident {
+                continue;
+            }
+            if !tokens.get(j + 1).is_some_and(|t| t.is_punct("=")) {
+                continue; // typed `let` handled by the `:` pattern above
+            }
+            let mut k = j + 2;
+            while k < tokens.len() && !tokens[k].is_punct(";") {
+                if tokens[k].is_ident("HashMap") || tokens[k].is_ident("HashSet") {
+                    push(&name.text);
+                    break;
+                }
+                k += 1;
+            }
+        }
+    }
+    names
+}
+
+/// For a `for` token at `i`, finds the index of the loop-target identifier
+/// when the target is a plain (possibly borrowed) name: `for p in &name {`.
+fn find_for_target(tokens: &[Token], i: usize) -> Option<usize> {
+    // Find `in` within a short window (patterns are usually small).
+    let mut j = i + 1;
+    let mut hops = 0;
+    while j < tokens.len() && hops < 12 {
+        if tokens[j].is_ident("in") {
+            let mut k = j + 1;
+            while k < tokens.len() && (tokens[k].is_punct("&") || tokens[k].is_ident("mut")) {
+                k += 1;
+            }
+            let name = tokens.get(k)?;
+            // Must be a bare name followed by `{` — method calls and
+            // ranges are someone else's business.
+            if name.kind == TokenKind::Ident && tokens.get(k + 1).is_some_and(|t| t.is_punct("{")) {
+                return Some(k);
+            }
+            return None;
+        }
+        j += 1;
+        hops += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::policy::RulePolicy;
+
+    fn rule(desc: &str) -> RulePolicy {
+        RulePolicy {
+            description: desc.to_string(),
+            ..RulePolicy::default()
+        }
+    }
+
+    fn run(id: &'static str, src: &str) -> Vec<Finding> {
+        apply_token_rule(id, &rule("policy says no"), "x.rs", &lex(src))
+    }
+
+    #[test]
+    fn nd001_flags_instant_but_not_in_tests_or_strings() {
+        let src = r#"
+            use std::time::Instant;
+            fn f() { let s = "Instant"; }
+            #[cfg(test)]
+            mod tests {
+                use std::time::Instant;
+            }
+        "#;
+        let f = run("ND001", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn nd002_flags_thread_rng() {
+        let f = run("ND002", "fn f() { let mut r = rand::thread_rng(); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("thread_rng"));
+    }
+
+    #[test]
+    fn nd003_needs_a_hash_typed_name() {
+        let src = "
+            struct S { m: HashMap<u32, u32>, v: Vec<u32> }
+            fn f(s: &S) {
+                for x in s.v.iter() {}
+                let total: u32 = s.m.values().sum();
+            }
+        ";
+        let f = run("ND003", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("values"));
+    }
+
+    #[test]
+    fn nd003_flags_for_loops_over_hash_sets() {
+        let src = "
+            fn f() {
+                let mut seen = std::collections::HashSet::new();
+                for s in &seen {}
+                let v = vec![1];
+                for s in &v {}
+            }
+        ";
+        let f = run("ND003", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("seen"));
+    }
+
+    #[test]
+    fn ph001_flags_unwrap_and_macros_outside_tests() {
+        let src = "
+            fn f(x: Option<u32>) -> u32 { x.unwrap() }
+            fn g() { panic!(\"boom\"); }
+            #[cfg(test)]
+            mod tests {
+                fn h(x: Option<u32>) -> u32 { x.expect(\"fine in tests\") }
+            }
+        ";
+        let f = run("PH001", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn ph001_ignores_idents_that_merely_resemble() {
+        // `unwrap_or` is fine; a field named `expect` without a call is fine.
+        let f = run("PH001", "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn fd001_flags_float_literal_comparison() {
+        let f = run("FD001", "fn f(x: f64) -> bool { x == 0.5 || x != -1.5 }");
+        assert_eq!(f.len(), 2, "{f:?}");
+        let g = run("FD001", "fn f(x: u64) -> bool { x == 5 }");
+        assert!(g.is_empty(), "{g:?}");
+    }
+
+    #[test]
+    fn test_spans_cover_nested_braces() {
+        let toks = lex("#[cfg(test)] mod t { fn a() { if x { } } } fn tail() {}");
+        let spans = test_spans(&toks);
+        assert_eq!(spans.len(), 1);
+        let tail_idx = toks.iter().position(|t| t.is_ident("tail")).unwrap();
+        assert!(!in_spans(&spans, tail_idx));
+    }
+}

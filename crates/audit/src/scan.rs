@@ -1,0 +1,154 @@
+//! Walking the workspace and applying the policy.
+
+use crate::lexer::lex;
+use crate::policy::Policy;
+use crate::rules::{apply_token_rule, Finding, TOKEN_RULES};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The outcome of a workspace scan.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// All findings, sorted by `(path, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Scans every policy-listed crate under `root` and returns the findings.
+///
+/// IO errors (an unreadable file, a crate directory missing) are reported
+/// as findings under the synthetic `AUDIT` rule rather than aborting: the
+/// gate's job is to fail loudly with diagnostics, not to crash.
+pub fn scan_workspace(root: &Path, policy: &Policy) -> ScanReport {
+    let mut report = ScanReport::default();
+    for krate in &policy.crates {
+        let src_dir = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files, &mut report.findings);
+        files.sort();
+        for file in files {
+            scan_file(root, krate, &file, policy, &mut report);
+        }
+        check_crate_headers(root, krate, policy, &mut report.findings);
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report
+}
+
+fn scan_file(root: &Path, krate: &str, file: &Path, policy: &Policy, report: &mut ScanReport) {
+    let rel = workspace_relative(root, file);
+    let source = match fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            report.findings.push(io_finding(&rel, e));
+            return;
+        }
+    };
+    report.files_scanned += 1;
+    let tokens = lex(&source);
+    for rule in TOKEN_RULES {
+        let Some(rp) = policy.rules.get(rule) else {
+            continue; // a rule absent from the policy is switched off
+        };
+        if !rp.applies_to(krate, &policy.crates) || rp.is_allowed(&rel) {
+            continue;
+        }
+        report
+            .findings
+            .extend(apply_token_rule(rule, rp, &rel, &tokens));
+    }
+}
+
+/// AH001: every protocol crate's `src/lib.rs` must carry the lint headers
+/// the policy requires (`required`, plus `required_<crate>` extras), so
+/// attribute hygiene cannot silently drift.
+fn check_crate_headers(root: &Path, krate: &str, policy: &Policy, findings: &mut Vec<Finding>) {
+    let Some(rp) = policy.rules.get("AH001") else {
+        return;
+    };
+    if !rp.applies_to(krate, &policy.crates) {
+        return;
+    }
+    let lib = root.join("crates").join(krate).join("src").join("lib.rs");
+    let rel = workspace_relative(root, &lib);
+    if rp.is_allowed(&rel) {
+        return;
+    }
+    let source = match fs::read_to_string(&lib) {
+        Ok(s) => s,
+        Err(e) => {
+            findings.push(io_finding(&rel, e));
+            return;
+        }
+    };
+    let mut required: Vec<&String> = rp.lists.get("required").into_iter().flatten().collect();
+    if let Some(extra) = rp
+        .lists
+        .get(&format!("required_{}", krate.replace('-', "_")))
+    {
+        required.extend(extra);
+    }
+    for header in required {
+        if !source.contains(header.as_str()) {
+            findings.push(Finding {
+                rule: "AH001",
+                path: rel.clone(),
+                line: 1,
+                message: format!(
+                    "missing required crate header `{header}` — {}",
+                    rp.description
+                ),
+            });
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>, findings: &mut Vec<Finding>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            findings.push(io_finding(&dir.display().to_string(), e));
+            return;
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out, findings);
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn io_finding(path: &str, e: std::io::Error) -> Finding {
+    Finding {
+        rule: "AUDIT",
+        path: path.to_string(),
+        line: 0,
+        message: format!("io error: {e}"),
+    }
+}
+
+fn workspace_relative(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_crate_directory_is_a_finding_not_a_crash() {
+        let policy = Policy::parse("[audit]\ncrates = [\"no-such-crate\"]\n").unwrap();
+        let report = scan_workspace(Path::new("/nonexistent-root"), &policy);
+        assert_eq!(report.files_scanned, 0);
+        assert!(report.findings.iter().any(|f| f.rule == "AUDIT"));
+    }
+}

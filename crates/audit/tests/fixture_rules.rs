@@ -1,0 +1,161 @@
+//! Every rule id has a pass and a fail fixture under `tests/fixtures/`.
+//!
+//! The fail fixture must produce at least one finding of exactly that rule
+//! with a real line number; the pass fixture must produce none. A further
+//! end-to-end test builds a miniature workspace in the cargo temp dir and
+//! checks the acceptance criterion from the issue: seeding a `thread_rng()`
+//! call into a protocol crate fails the audit with a `file:line` diagnostic
+//! naming the rule.
+
+use cshard_audit::lexer::lex;
+use cshard_audit::rules::{apply_token_rule, TOKEN_RULES};
+use cshard_audit::{scan_workspace, Policy};
+use std::fs;
+use std::path::Path;
+
+fn fixture(kind: &str, name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(kind)
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn policy_for(rule: &str) -> Policy {
+    let text =
+        format!("[audit]\ncrates = [\"core\"]\n[rules.{rule}]\ndescription = \"fixture policy\"\n");
+    Policy::parse(&text).expect("fixture policy parses")
+}
+
+#[test]
+fn every_token_rule_has_a_failing_and_passing_fixture() {
+    for rule in TOKEN_RULES {
+        let file = format!("{}.rs", rule.to_lowercase());
+        let policy = policy_for(rule);
+        let rp = &policy.rules[rule];
+
+        let fail = apply_token_rule(rule, rp, &file, &lex(&fixture("fail", &file)));
+        assert!(
+            !fail.is_empty(),
+            "{rule}: fail fixture produced no findings"
+        );
+        for f in &fail {
+            assert_eq!(f.rule, rule);
+            assert!(f.line > 0, "{rule}: finding without a line: {f}");
+            // The diagnostic format is `file:line: RULE message`.
+            let rendered = f.to_string();
+            assert!(
+                rendered.starts_with(&format!("{}:{}: {}", file, f.line, rule)),
+                "{rule}: unexpected diagnostic format: {rendered}"
+            );
+        }
+
+        let pass = apply_token_rule(rule, rp, &file, &lex(&fixture("pass", &file)));
+        assert!(pass.is_empty(), "{rule}: pass fixture flagged: {pass:?}");
+    }
+}
+
+/// Builds `<tmp>/<name>/crates/core/src/lib.rs` with the given source and
+/// returns the workspace root.
+fn mini_workspace(name: &str, lib_rs: &str) -> std::path::PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let src = root.join("crates/core/src");
+    fs::create_dir_all(&src).expect("mkdir fixture workspace");
+    fs::write(src.join("lib.rs"), lib_rs).expect("write fixture lib.rs");
+    root
+}
+
+#[test]
+fn seeded_thread_rng_in_core_fails_with_file_and_line() {
+    let root = mini_workspace(
+        "audit-nd002",
+        "//! doc\npub fn roll() -> u64 {\n    let mut r = rand::thread_rng();\n    0\n}\n",
+    );
+    let policy = Policy::parse(
+        "[audit]\ncrates = [\"core\"]\n[rules.ND002]\ndescription = \"no ambient entropy\"\n",
+    )
+    .expect("parses");
+    let report = scan_workspace(&root, &policy);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "ND002");
+    assert_eq!(f.path, "crates/core/src/lib.rs");
+    assert_eq!(f.line, 3, "thread_rng call is on line 3");
+    assert!(f.to_string().contains("crates/core/src/lib.rs:3: ND002"));
+}
+
+#[test]
+fn ah001_checks_crate_headers_end_to_end() {
+    let policy_text = "[audit]\ncrates = [\"core\"]\n[rules.AH001]\n\
+                       description = \"headers\"\n\
+                       required = [\"#![warn(missing_docs)]\", \"#![forbid(unsafe_code)]\"]\n";
+    let policy = Policy::parse(policy_text).expect("parses");
+
+    let bad = mini_workspace("audit-ah001-fail", &fixture("fail", "ah001_lib.rs"));
+    let report = scan_workspace(&bad, &policy);
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    assert!(report.findings.iter().all(|f| f.rule == "AH001"));
+    assert!(report.findings[0]
+        .to_string()
+        .contains("crates/core/src/lib.rs"));
+
+    let good = mini_workspace("audit-ah001-pass", &fixture("pass", "ah001_lib.rs"));
+    let report = scan_workspace(&good, &policy);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn allowlisted_file_is_exempt() {
+    let root = mini_workspace(
+        "audit-allow",
+        "//! doc\nuse std::time::Instant;\npub fn t() -> Instant { Instant::now() }\n",
+    );
+    let strict = Policy::parse(
+        "[audit]\ncrates = [\"core\"]\n[rules.ND001]\ndescription = \"no wall clock\"\n",
+    )
+    .expect("parses");
+    assert!(!scan_workspace(&root, &strict).findings.is_empty());
+
+    let lenient = Policy::parse(
+        "[audit]\ncrates = [\"core\"]\n[rules.ND001]\ndescription = \"no wall clock\"\n\
+         allow = [\"crates/core/src/lib.rs\"]  # fixture: sanctioned wall-clock site\n",
+    )
+    .expect("parses");
+    assert!(scan_workspace(&root, &lenient).findings.is_empty());
+}
+
+#[test]
+fn policy_parse_error_is_a_diagnostic_not_a_panic() {
+    let err = Policy::parse("[audit]\ncrates = [\"core\"]\n[rules.X]\nnot a toml line\n")
+        .expect_err("malformed policy must be rejected");
+    assert_eq!(err.line, 4);
+    let rendered = err.to_string();
+    assert!(rendered.starts_with("policy.toml:4:"), "{rendered}");
+}
+
+/// The real workspace policy must parse and keep covering the real crates —
+/// a drifted `policy.toml` fails here before it fails in CI.
+#[test]
+fn workspace_policy_parses_and_names_existing_crates() {
+    let ws_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let text = fs::read_to_string(ws_root.join("policy.toml")).expect("policy.toml exists");
+    let policy = Policy::parse(&text).expect("workspace policy parses");
+    for krate in &policy.crates {
+        assert!(
+            ws_root
+                .join("crates")
+                .join(krate)
+                .join("src/lib.rs")
+                .is_file(),
+            "policy names missing crate `{krate}`"
+        );
+    }
+    // Every token rule plus the header rule is configured.
+    for rule in TOKEN_RULES {
+        assert!(policy.rules.contains_key(rule), "missing [rules.{rule}]");
+    }
+    assert!(policy.rules.contains_key("AH001"), "missing [rules.AH001]");
+}

@@ -1,0 +1,3 @@
+//! AH001 fail fixture: a crate root missing the required lint headers.
+
+pub fn noop() {}

@@ -1,0 +1,8 @@
+// FD001 fail fixture: float equality against literals.
+pub fn is_unit(p: f64) -> bool {
+    p == 1.0
+}
+
+pub fn not_negative_half(p: f64) -> bool {
+    p != -0.5
+}

@@ -1,0 +1,11 @@
+// ND001 fail fixture: wall-clock reads in protocol code.
+use std::time::Instant;
+
+pub fn elapsed_ms() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_millis()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,11 @@
+// ND002 fail fixture: ambient entropy in protocol code.
+pub fn roll() -> u64 {
+    use rand::Rng;
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn reseed() -> rand_chacha::ChaCha8Rng {
+    use rand::SeedableRng;
+    rand_chacha::ChaCha8Rng::from_entropy()
+}

@@ -1,0 +1,20 @@
+// ND003 fail fixture: iterating a hash container in protocol code.
+use std::collections::{HashMap, HashSet};
+
+pub struct Pool {
+    txs: HashMap<u64, u64>,
+}
+
+impl Pool {
+    pub fn total(&self) -> u64 {
+        self.txs.values().sum()
+    }
+}
+
+pub fn visit_all(seen: &HashSet<u64>) -> u64 {
+    let mut acc = 0;
+    for s in seen {
+        acc += s;
+    }
+    acc
+}

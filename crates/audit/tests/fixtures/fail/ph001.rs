@@ -1,0 +1,15 @@
+// PH001 fail fixture: panics in protocol code.
+pub fn on_event(ev: Option<u32>) -> u32 {
+    ev.unwrap()
+}
+
+pub fn lookup(v: &[u32]) -> u32 {
+    *v.first().expect("non-empty")
+}
+
+pub fn reject(kind: u32) {
+    match kind {
+        0 => {}
+        _ => unreachable!("driver never schedules this"),
+    }
+}

@@ -1,0 +1,6 @@
+//! AH001 pass fixture: a crate root carrying the required lint headers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

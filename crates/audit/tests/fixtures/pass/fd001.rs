@@ -1,0 +1,8 @@
+// FD001 pass fixture: integer equality and explicit tolerances.
+pub fn is_five(x: u64) -> bool {
+    x == 5
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}

@@ -1,0 +1,20 @@
+// ND001 pass fixture: simulated time only; wall clocks confined to tests
+// and string literals.
+pub fn next_tick(now: u64, step: u64) -> u64 {
+    now.saturating_add(step)
+}
+
+pub fn describe() -> &'static str {
+    "drivers never read Instant or SystemTime"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_time_themselves() {
+        let t = Instant::now();
+        assert!(t.elapsed().as_secs() < 1);
+    }
+}

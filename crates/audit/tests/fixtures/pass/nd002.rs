@@ -1,0 +1,7 @@
+// ND002 pass fixture: all randomness derives from explicit run seeds.
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+pub fn stream(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}

@@ -1,0 +1,17 @@
+// ND003 pass fixture: ordered containers iterate deterministically, and
+// hash containers used for membership only are fine.
+use std::collections::{BTreeMap, HashSet};
+
+pub struct Pool {
+    txs: BTreeMap<u64, u64>,
+}
+
+impl Pool {
+    pub fn total(&self) -> u64 {
+        self.txs.values().sum()
+    }
+}
+
+pub fn contains(seen: &HashSet<u64>, x: u64) -> bool {
+    seen.contains(&x)
+}

@@ -1,0 +1,19 @@
+// PH001 pass fixture: typed errors on every path; tests may still unwrap.
+#[derive(Debug)]
+pub struct UnexpectedEvent;
+
+pub fn on_event(ev: Option<u32>) -> Result<u32, UnexpectedEvent> {
+    ev.ok_or(UnexpectedEvent)
+}
+
+pub fn lookup(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::on_event(Some(3)).unwrap(), 3);
+    }
+}

@@ -18,7 +18,7 @@
 use cshard_crypto::Prf;
 use cshard_ledger::Transaction;
 use cshard_network::{CommKind, CommStats, LatencyModel};
-use cshard_primitives::{ShardId, SimTime};
+use cshard_primitives::{Error, ShardId, SimTime};
 use cshard_runtime::{
     ContractShardDriver, Ctx, Event, ProtocolDriver, RuntimeConfig, ShardReport, ShardSpec,
 };
@@ -229,7 +229,7 @@ impl ProtocolDriver for ChainspaceDriver {
         }
     }
 
-    fn on_event(&mut self, now: SimTime, ev: Event, ctx: &mut Ctx) {
+    fn on_event(&mut self, now: SimTime, ev: Event, ctx: &mut Ctx) -> Result<(), Error> {
         match ev {
             Event::EpochAdvance { .. } => {
                 self.outstanding -= 1;
@@ -267,9 +267,10 @@ impl ProtocolDriver for ChainspaceDriver {
                 }
             }
             mining_ev @ (Event::BlockFound { .. } | Event::BlockDelivered { .. }) => {
-                self.mining.on_event(now, mining_ev, ctx);
+                self.mining.on_event(now, mining_ev, ctx)?;
             }
         }
+        Ok(())
     }
 
     fn done(&self) -> bool {
@@ -382,7 +383,9 @@ mod tests {
         };
         let rt = Runtime::with_comm(1, CommStats::new());
         let fees = w.fees();
-        let report = rt.run(p.drivers(&fees, &cfg, LatencyModel::wide_area()));
+        let report = rt
+            .run(p.drivers(&fees, &cfg, LatencyModel::wide_area()))
+            .expect("well-formed");
         // Mining still confirms the whole workload under the driver.
         assert_eq!(report.total_txs(), count);
         assert!(report.shards.iter().all(|s| s.confirmed == s.txs));
@@ -432,7 +435,9 @@ mod tests {
         };
         let fees = w.fees();
         let rt = Runtime::new(1);
-        let driven = rt.run(p.drivers(&fees, &cfg, LatencyModel::wide_area()));
+        let driven = rt
+            .run(p.drivers(&fees, &cfg, LatencyModel::wide_area()))
+            .expect("well-formed");
         let specs: Vec<ShardSpec> = p
             .shard_tx_indices()
             .into_iter()
@@ -444,7 +449,7 @@ mod tests {
                 )
             })
             .collect();
-        let plain = cshard_runtime::simulate(&specs, &cfg);
+        let plain = cshard_runtime::simulate(&specs, &cfg).expect("valid test config");
         assert_eq!(driven.completion, plain.completion);
         for (d, q) in driven.shards.iter().zip(&plain.shards) {
             assert_eq!(d.completion, q.completion);
@@ -464,7 +469,9 @@ mod tests {
             };
             let fees = w.fees();
             let rt = Runtime::with_comm(threads, CommStats::new());
-            let report = rt.run(p.drivers(&fees, &cfg, LatencyModel::wide_area()));
+            let report = rt
+                .run(p.drivers(&fees, &cfg, LatencyModel::wide_area()))
+                .expect("well-formed");
             (report.fingerprint(), rt.comm().total())
         };
         assert_eq!(mk(1), mk(4));

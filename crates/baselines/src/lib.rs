@@ -20,6 +20,7 @@
 //! the core runtime, run on a single shard.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod chainspace;
 pub mod optimal;

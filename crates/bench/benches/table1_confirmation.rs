@@ -21,7 +21,11 @@ fn bench(c: &mut Criterion) {
                     seed,
                     ..RuntimeConfig::default()
                 };
-                black_box(simulate_ethereum(fees.clone(), m, &cfg).completion)
+                black_box(
+                    simulate_ethereum(fees.clone(), m, &cfg)
+                        .expect("valid config")
+                        .completion,
+                )
             });
         });
     }

@@ -80,7 +80,7 @@ pub fn run_window(quick: bool) -> ExperimentResult {
             let sharded = ShardingSystem::testbed(cfg.clone())
                 .run(&wl)
                 .expect("valid config");
-            let eth = simulate_ethereum(wl.fees(), 9, &cfg);
+            let eth = simulate_ethereum(wl.fees(), 9, &cfg).expect("valid config");
             imp += throughput_improvement(&eth, &sharded.run);
         }
         pts.push((w as f64, imp / repeats as f64));
@@ -244,7 +244,7 @@ pub fn run_alloc(quick: bool) -> ExperimentResult {
                 seed,
                 ..RuntimeConfig::default()
             };
-            let eth = simulate_ethereum(wl.fees(), 1, &rt);
+            let eth = simulate_ethereum(wl.fees(), 1, &rt).expect("valid config");
             let total_miners = 18;
             let shard_count = {
                 use cshard_core::ShardPlan;

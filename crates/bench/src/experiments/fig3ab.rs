@@ -33,7 +33,7 @@ fn measure(shards: usize, repeats: u64) -> Point {
         let sharded = ShardingSystem::testbed(cfg.clone())
             .run(&w)
             .expect("valid config");
-        let ethereum = simulate_ethereum(w.fees(), 1, &cfg);
+        let ethereum = simulate_ethereum(w.fees(), 1, &cfg).expect("valid config");
         imp += throughput_improvement(&ethereum, &sharded.run);
         se += sharded.run.empty_blocks_per_shard();
         ee += ethereum.empty_blocks_per_shard();

@@ -113,7 +113,10 @@ fn run_randomized(w: &Workload, cfg: &RuntimeConfig, seed: u64) -> (RunReport, u
         .into_iter()
         .map(|(shard, queue)| ShardSpec::solo_greedy(shard, queue))
         .collect();
-    (simulate(&specs, cfg), outcome.new_shard_count())
+    (
+        simulate(&specs, cfg).expect("valid config"),
+        outcome.new_shard_count(),
+    )
 }
 
 /// Empty blocks of the shards the merge acts on: the original small shards
@@ -143,7 +146,7 @@ fn measure(small_count: usize, repeats: u64) -> Avg {
             empty_block_window: Some(SimTime::from_secs(212)),
             ..RuntimeConfig::default()
         };
-        let ethereum = simulate_ethereum(w.fees(), 1, &rt);
+        let ethereum = simulate_ethereum(w.fees(), 1, &rt).expect("valid config");
 
         let before: SystemReport = ShardingSystem::testbed(rt.clone())
             .run(&w)

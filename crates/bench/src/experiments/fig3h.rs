@@ -36,7 +36,8 @@ pub fn run(quick: bool) -> ExperimentResult {
             let greedy = simulate(
                 &[spec(w.fees(), miners, SelectionStrategy::IdenticalGreedy)],
                 &cfg,
-            );
+            )
+            .expect("valid config");
             let equilibrium = simulate(
                 &[spec(
                     w.fees(),
@@ -44,7 +45,8 @@ pub fn run(quick: bool) -> ExperimentResult {
                     SelectionStrategy::Equilibrium { max_rounds: 2000 },
                 )],
                 &cfg,
-            );
+            )
+            .expect("valid config");
             imp += throughput_improvement(&greedy, &equilibrium);
         }
         points.push((miners as f64, imp / repeats as f64));

@@ -50,7 +50,7 @@ pub fn run_a(quick: bool) -> ExperimentResult {
         for seed in 0..repeats {
             let cfg = chainspace_runtime(seed, 10);
             let w = Workload::uniform_contracts(total, shards - 1, default_fees(), seed);
-            let ethereum = simulate_ethereum(w.fees(), 1, &cfg);
+            let ethereum = simulate_ethereum(w.fees(), 1, &cfg).expect("valid config");
 
             // Ours: contract-centric formation.
             let sharded = ShardingSystem::testbed(cfg.clone())
@@ -65,11 +65,9 @@ pub fn run_a(quick: bool) -> ExperimentResult {
             // plain sharded run of the same placement).
             let placement = ChainspacePlacement::place(&w.transactions, shards, seed);
             let fees = w.fees();
-            let cs_run = Runtime::new(cfg.threads).run(placement.drivers(
-                &fees,
-                &cfg,
-                LatencyModel::wide_area(),
-            ));
+            let cs_run = Runtime::new(cfg.threads)
+                .run(placement.drivers(&fees, &cfg, LatencyModel::wide_area()))
+                .expect("well-formed drivers");
             cs_imp += throughput_improvement(&ethereum, &cs_run);
         }
         ours_pts.push((shards as f64, ours_imp / repeats as f64));
@@ -115,7 +113,8 @@ pub fn run_b(quick: bool) -> ExperimentResult {
             let cfg = chainspace_runtime(seed, 10);
             let fees = w.fees();
             let rt = Runtime::with_comm(1, CommStats::new());
-            rt.run(placement.drivers(&fees, &cfg, LatencyModel::wide_area()));
+            rt.run(placement.drivers(&fees, &cfg, LatencyModel::wide_area()))
+                .expect("well-formed drivers");
 
             // Ours: every 3-input tx is MaxShard-internal → zero rounds.
             let sharded = ShardingSystem::testbed(chainspace_runtime(seed, 10));

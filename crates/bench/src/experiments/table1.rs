@@ -34,6 +34,7 @@ pub fn run(quick: bool) -> ExperimentResult {
                 ..RuntimeConfig::default()
             };
             total += simulate_ethereum(w.fees(), miners, &cfg)
+                .expect("valid config")
                 .completion
                 .as_secs_f64();
         }

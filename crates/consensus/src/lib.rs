@@ -13,6 +13,7 @@
 //!   c5.large; we calibrate to the same rates, see [`difficulty`]).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod difficulty;
 pub mod pow;

@@ -92,7 +92,9 @@ impl EpochManager {
 
         // Leader election: lowest VRF output on the epoch tag wins.
         let vrfs: Vec<Vrf> = self.miners.iter().map(|m| m.vrf.clone()).collect();
-        let winner = elect_leader(&vrfs, epoch).expect("non-empty enrolment");
+        // `vrfs` is never empty: the constructor asserts at least one miner,
+        // so a `None` here is unreachable and 0 is a safe fallback (PH001).
+        let winner = elect_leader(&vrfs, epoch).unwrap_or(0);
         let leader = self.miners[winner].id;
         let (randomness, _proof) = self.miners[winner].vrf.evaluate(epoch.to_be_bytes());
 

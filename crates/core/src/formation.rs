@@ -110,8 +110,7 @@ impl ShardPlan {
         order.sort_by(|&a, &b| {
             entries[b]
                 .2
-                .partial_cmp(&entries[a].2)
-                .expect("finite fractions")
+                .total_cmp(&entries[a].2)
                 .then(entries[a].0.cmp(&entries[b].0))
         });
         for idx in order {

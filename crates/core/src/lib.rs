@@ -26,6 +26,7 @@
 //!   statistical model.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod assignment;
 pub mod epoch;

@@ -14,7 +14,7 @@ use crate::runtime::{simulate, simulate_ethereum, RuntimeConfig, SelectionStrate
 use cshard_games::{GameInputs, MergingConfig, UnifiedParameters};
 use cshard_ledger::Transaction;
 use cshard_network::CommStats;
-use cshard_primitives::{MinerId, ShardId};
+use cshard_primitives::{Error, MinerId, ShardId};
 
 /// Per-epoch aggregate results.
 #[derive(Clone, Debug)]
@@ -85,8 +85,16 @@ impl LongRun {
 
     /// Drives one epoch over `batch` (the epoch's injected transactions
     /// with their fees) and records its report.
-    pub fn run_epoch(&mut self, batch: &[Transaction]) -> &EpochReport {
-        assert!(!batch.is_empty(), "an epoch needs transactions");
+    ///
+    /// Errors on an empty batch, on merge-game misuse, or when the epoch's
+    /// simulation run is rejected — the long run never panics on input.
+    pub fn run_epoch(&mut self, batch: &[Transaction]) -> Result<EpochReport, Error> {
+        if batch.is_empty() {
+            return Err(Error::Config {
+                field: "batch",
+                reason: "an epoch needs transactions".into(),
+            });
+        }
         let fees: Vec<u64> = batch.iter().map(|t| t.fee.raw()).collect();
         let outcome = self.epochs.run_epoch(batch);
         let epoch = outcome.epoch;
@@ -128,12 +136,16 @@ impl LongRun {
                     },
                 );
                 params.record_communication(&comm);
-                let merge = params.merge_outcome().expect("merge inputs");
+                let merge = params.merge_outcome()?;
                 let mut consumed: Vec<usize> = Vec::new();
                 let mut fused: Vec<(ShardId, Vec<u64>)> = Vec::new();
                 for players in &merge.new_shards {
                     let members: Vec<usize> = players.iter().map(|&p| small[p]).collect();
-                    let id = members.iter().map(|&g| groups[g].0).min().expect("members");
+                    // The merge game never emits an empty group; skip
+                    // rather than panic if one ever appears (rule PH001).
+                    let Some(id) = members.iter().map(|&g| groups[g].0).min() else {
+                        continue;
+                    };
                     let mut queue = Vec::new();
                     for &g in &members {
                         queue.extend_from_slice(&groups[g].1);
@@ -165,10 +177,10 @@ impl LongRun {
                 strategy: SelectionStrategy::IdenticalGreedy,
             })
             .collect();
-        let run = simulate(&specs, &runtime);
-        let ethereum = simulate_ethereum(fees, 1, &runtime);
+        let run = simulate(&specs, &runtime)?;
+        let ethereum = simulate_ethereum(fees, 1, &runtime)?;
 
-        self.reports.push(EpochReport {
+        let report = EpochReport {
             epoch,
             leader: outcome.leader,
             shards: groups.len(),
@@ -176,8 +188,9 @@ impl LongRun {
             improvement: throughput_improvement(&ethereum, &run),
             empty_blocks: run.total_empty_blocks(),
             comm_rounds: comm.total(),
-        });
-        self.reports.last().expect("just pushed")
+        };
+        self.reports.push(report.clone());
+        Ok(report)
     }
 
     /// Mean throughput improvement over all completed epochs.
@@ -216,7 +229,7 @@ mod tests {
     fn epochs_accumulate_reports() {
         let mut lr = LongRun::new(LongRunConfig::default());
         for e in 0..4 {
-            let report = lr.run_epoch(&batch(e, 5)).clone();
+            let report = lr.run_epoch(&batch(e, 5)).expect("valid batch");
             assert_eq!(report.epoch, e);
             assert!(report.improvement > 1.0, "epoch {e}: {report:?}");
             assert!(report.shards >= 2);
@@ -236,7 +249,7 @@ mod tests {
         });
         // A batch with deliberate small shards.
         let w = Workload::with_small_shards(160, 8, 3, &[4, 5, 6], FEES, 7);
-        let report = lr.run_epoch(&w.transactions).clone();
+        let report = lr.run_epoch(&w.transactions).expect("valid batch");
         assert_eq!(report.comm_rounds, 6, "2 per small shard");
     }
 
@@ -250,7 +263,10 @@ mod tests {
         });
         // Epoch 0: users 0..160 call contract set A.
         let w0 = Workload::uniform_contracts(160, 4, FEES, 42);
-        let r0 = lr.run_epoch(&w0.transactions).maxshard_fraction;
+        let r0 = lr
+            .run_epoch(&w0.transactions)
+            .expect("valid batch")
+            .maxshard_fraction;
         // Epoch 1: THE SAME senders now call a different contract each —
         // multi-contract history forces them into the MaxShard.
         let mut w1 = Vec::new();
@@ -267,7 +283,7 @@ mod tests {
                 ));
             }
         }
-        let r1 = lr.run_epoch(&w1).maxshard_fraction;
+        let r1 = lr.run_epoch(&w1).expect("valid batch").maxshard_fraction;
         assert!(r1 > r0 + 0.5, "drift not visible: {r0:.2} -> {r1:.2}");
     }
 
@@ -275,16 +291,18 @@ mod tests {
     fn deterministic_across_replays() {
         let run = || {
             let mut lr = LongRun::new(LongRunConfig::default());
-            lr.run_epoch(&batch(0, 5));
-            lr.run_epoch(&batch(1, 6));
+            lr.run_epoch(&batch(0, 5)).expect("valid batch");
+            lr.run_epoch(&batch(1, 6)).expect("valid batch");
             (lr.reports()[0].improvement, lr.reports()[1].improvement)
         };
         assert_eq!(run(), run());
     }
 
     #[test]
-    #[should_panic(expected = "needs transactions")]
     fn empty_batch_rejected() {
-        LongRun::new(LongRunConfig::default()).run_epoch(&[]);
+        let err = LongRun::new(LongRunConfig::default())
+            .run_epoch(&[])
+            .unwrap_err();
+        assert!(err.to_string().contains("needs transactions"));
     }
 }

@@ -38,6 +38,12 @@ pub enum NodeError {
     NotOurShard(ShardId),
     /// The transaction does not belong to this node's shard.
     TxNotOurShard,
+    /// The PoW search exhausted its iteration budget without finding a
+    /// nonce — the difficulty is set beyond what the node can mine.
+    PowExhausted {
+        /// The difficulty the block asked for.
+        difficulty_bits: u32,
+    },
     /// The underlying ledger rejected the block.
     Ledger(LedgerError),
 }
@@ -144,8 +150,9 @@ impl Node {
     /// Mines one block: greedy fee selection from the mempool, sequential
     /// validation against the tip state, real PoW search. Returns the block
     /// (possibly empty — block rewards make empty blocks worthwhile,
-    /// Sec. III-D).
-    pub fn mine_block(&mut self, timestamp: SimTime) -> Block {
+    /// Sec. III-D), or [`NodeError::PowExhausted`] when the difficulty is
+    /// set beyond the search's iteration budget.
+    pub fn mine_block(&mut self, timestamp: SimTime) -> Result<Block, NodeError> {
         // Greedy selection, dropping anything that no longer validates in
         // sequence (e.g. a second spend racing the first).
         let mut state = self.chain.state().clone();
@@ -168,8 +175,12 @@ impl Node {
             self.difficulty_bits,
             chosen,
         );
-        pow::mine(&mut block).expect("difficulty is test-scale");
-        block
+        if pow::mine(&mut block).is_none() {
+            return Err(NodeError::PowExhausted {
+                difficulty_bits: self.difficulty_bits,
+            });
+        }
+        Ok(block)
     }
 
     /// Receives a block from the network, performing the two Sec. III-C
@@ -318,7 +329,9 @@ mod tests {
         let mut net = build_net(1);
         net.nodes[0].submit_transaction(call_tx(1, 0, 5)).unwrap();
         net.nodes[0].submit_transaction(call_tx(2, 0, 9)).unwrap();
-        let block = net.nodes[0].mine_block(SimTime::from_secs(60));
+        let block = net.nodes[0]
+            .mine_block(SimTime::from_secs(60))
+            .expect("test-scale difficulty");
         assert_eq!(block.transactions.len(), 2);
         assert!(block.header.has_valid_pow());
         // Highest fee first (greedy order).
@@ -335,7 +348,9 @@ mod tests {
     fn foreign_shard_blocks_are_not_recorded() {
         let mut net = build_net(2);
         net.nodes[0].submit_transaction(call_tx(1, 0, 5)).unwrap();
-        let block = net.nodes[0].mine_block(SimTime::from_secs(60));
+        let block = net.nodes[0]
+            .mine_block(SimTime::from_secs(60))
+            .expect("test-scale difficulty");
         let err = net.nodes[1].receive_block(block).unwrap_err();
         assert_eq!(err, NodeError::NotOurShard(net.nodes[0].shard()));
         assert_eq!(net.nodes[1].chain().height(), 0);
@@ -348,7 +363,9 @@ mod tests {
         // not belong there.
         let mut net = build_net(2);
         net.nodes[0].submit_transaction(call_tx(1, 0, 5)).unwrap();
-        let mut block = net.nodes[0].mine_block(SimTime::from_secs(60));
+        let mut block = net.nodes[0]
+            .mine_block(SimTime::from_secs(60))
+            .expect("test-scale difficulty");
         let victim_shard = net.nodes[1].shard();
         block.header.shard = victim_shard;
         pow::mine(&mut block); // re-grind after tampering
@@ -365,7 +382,9 @@ mod tests {
     #[test]
     fn unknown_packer_rejected() {
         let mut net = build_net(1);
-        let mut block = net.nodes[0].mine_block(SimTime::from_secs(60));
+        let mut block = net.nodes[0]
+            .mine_block(SimTime::from_secs(60))
+            .expect("test-scale difficulty");
         block.header.miner = MinerId::new(99);
         pow::mine(&mut block);
         assert_eq!(
@@ -377,7 +396,9 @@ mod tests {
     #[test]
     fn empty_block_is_minable_and_acceptable() {
         let mut net = build_net(1);
-        let block = net.nodes[0].mine_block(SimTime::from_secs(60));
+        let block = net.nodes[0]
+            .mine_block(SimTime::from_secs(60))
+            .expect("test-scale difficulty");
         assert!(block.is_empty());
         net.nodes[0].receive_block(block).unwrap();
         assert_eq!(net.nodes[0].chain().height(), 1);
@@ -387,7 +408,9 @@ mod tests {
     #[test]
     fn invalid_ledger_blocks_surface_ledger_errors() {
         let mut net = build_net(1);
-        let mut block = net.nodes[0].mine_block(SimTime::from_secs(60));
+        let mut block = net.nodes[0]
+            .mine_block(SimTime::from_secs(60))
+            .expect("test-scale difficulty");
         block.header.height = 5; // breaks linkage
         pow::mine(&mut block);
         assert!(matches!(
@@ -409,7 +432,9 @@ mod tests {
         };
         net.nodes[0].submit_transaction(a).unwrap();
         net.nodes[0].submit_transaction(b).unwrap();
-        let block = net.nodes[0].mine_block(SimTime::from_secs(60));
+        let block = net.nodes[0]
+            .mine_block(SimTime::from_secs(60))
+            .expect("test-scale difficulty");
         assert_eq!(block.transactions.len(), 1, "double spend filtered");
         assert_eq!(block.transactions[0].fee, Amount::from_raw(9));
     }

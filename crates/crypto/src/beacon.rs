@@ -84,6 +84,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "500 VRF derivations are too slow under the interpreter"
+    )]
     fn groups_are_in_1_to_100() {
         let b = beacon();
         for i in 0..500u64 {
@@ -94,6 +98,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "10k VRF derivations are too slow under the interpreter"
+    )]
     fn groups_are_roughly_even() {
         // Sec. III-B: "miners are separated to 100 groups evenly".
         let b = beacon();
@@ -145,6 +153,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "2000 beacon draws are too slow under the interpreter")]
     fn derive_unit_is_uniformish() {
         let b = beacon();
         let n = 2000;

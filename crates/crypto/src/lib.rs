@@ -13,6 +13,7 @@
 //!   the interface Sec. III-B consumes.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod beacon;
 pub mod prf;

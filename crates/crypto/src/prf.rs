@@ -88,6 +88,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "1000 hash draws are too slow under the interpreter")]
     fn eval_mod_covers_range() {
         // With 1000 draws over 10 buckets every bucket should be hit.
         let prf = Prf::new(b"coverage");
@@ -99,6 +100,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "2000 hash draws are too slow under the interpreter")]
     fn eval_unit_in_unit_interval_and_roughly_uniform() {
         let prf = Prf::new(b"unit");
         let mut sum = 0.0;

@@ -221,6 +221,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "64 election rounds are too slow under the interpreter")]
     fn leader_election_is_deterministic_and_covers_candidates() {
         let vrfs: Vec<Vrf> = (0..8u64).map(|i| Vrf::from_seed(i.to_be_bytes())).collect();
         let w1 = elect_leader(&vrfs, 7).unwrap();

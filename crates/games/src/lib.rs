@@ -21,6 +21,7 @@
 //!   Fig. 4(c).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod analysis;
 pub mod merging;

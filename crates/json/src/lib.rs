@@ -12,6 +12,7 @@
 //!   errors carry a byte offset.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::fmt;
 

@@ -10,7 +10,7 @@
 
 use crate::transaction::{Transaction, TxKind};
 use cshard_primitives::{Address, ContractId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How a sender participates in the system — the three cases of Fig. 1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,14 +31,14 @@ pub enum SenderClass {
 /// Per-sender participation record.
 #[derive(Clone, Debug, Default)]
 struct Participation {
-    contracts: HashSet<ContractId>,
+    contracts: BTreeSet<ContractId>,
     direct: bool,
 }
 
 /// The call graph.
 #[derive(Clone, Debug, Default)]
 pub struct CallGraph {
-    senders: HashMap<Address, Participation>,
+    senders: BTreeMap<Address, Participation>,
 }
 
 impl CallGraph {
@@ -84,7 +84,11 @@ impl CallGraph {
             Some(p) if p.direct => SenderClass::Direct,
             Some(p) => match p.contracts.len() {
                 0 => SenderClass::Unknown,
-                1 => SenderClass::SingleContract(*p.contracts.iter().next().expect("len checked")),
+                1 => p
+                    .contracts
+                    .first()
+                    .map(|c| SenderClass::SingleContract(*c))
+                    .unwrap_or(SenderClass::Unknown),
                 _ => SenderClass::MultiContract,
             },
         }
@@ -115,15 +119,13 @@ impl CallGraph {
         self.senders.len()
     }
 
-    /// All contracts a sender participates in.
+    /// All contracts a sender participates in, in ascending id order
+    /// (`BTreeSet` iteration is already sorted).
     pub fn contracts_of(&self, sender: Address) -> Vec<ContractId> {
-        let mut v: Vec<ContractId> = self
-            .senders
+        self.senders
             .get(&sender)
             .map(|p| p.contracts.iter().copied().collect())
-            .unwrap_or_default();
-        v.sort();
-        v
+            .unwrap_or_default()
     }
 }
 

@@ -10,7 +10,7 @@ use crate::block::Block;
 use crate::error::LedgerError;
 use crate::state::State;
 use cshard_primitives::{BlockHeight, Hash32, ShardId, TxId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A shard-local blockchain.
 #[derive(Clone, Debug)]
@@ -20,8 +20,8 @@ pub struct Chain {
     difficulty_bits: u32,
     genesis_hash: Hash32,
     genesis_state: State,
-    blocks: HashMap<Hash32, Block>,
-    heights: HashMap<Hash32, BlockHeight>,
+    blocks: BTreeMap<Hash32, Block>,
+    heights: BTreeMap<Hash32, BlockHeight>,
     tip: Hash32,
     /// World state at the canonical tip (cached).
     tip_state: State,
@@ -31,7 +31,7 @@ impl Chain {
     /// Creates a chain for `shard` rooted at an implicit genesis "block"
     /// with hash `Hash32::ZERO`, height 0 and the given genesis state.
     pub fn new(shard: ShardId, difficulty_bits: u32, genesis_state: State) -> Self {
-        let mut heights = HashMap::new();
+        let mut heights = BTreeMap::new();
         heights.insert(Hash32::ZERO, 0);
         Chain {
             shard,
@@ -40,7 +40,7 @@ impl Chain {
             tip: Hash32::ZERO,
             tip_state: genesis_state.clone(),
             genesis_state,
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             heights,
         }
     }
@@ -164,7 +164,7 @@ impl Chain {
     }
 
     /// Ids of every transaction confirmed on the canonical chain.
-    pub fn confirmed_tx_ids(&self) -> HashSet<TxId> {
+    pub fn confirmed_tx_ids(&self) -> BTreeSet<TxId> {
         self.canonical_blocks()
             .iter()
             .flat_map(|b| b.transactions.iter().map(|t| t.id()))

@@ -23,6 +23,7 @@
 //!   classify senders (Sec. III-C's "more elegant way").
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod account;
 pub mod block;

@@ -7,12 +7,12 @@
 
 use crate::transaction::Transaction;
 use cshard_primitives::{Amount, TxId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A pool of pending transactions with fee-ordered selection.
 #[derive(Clone, Debug, Default)]
 pub struct Mempool {
-    txs: HashMap<TxId, Transaction>,
+    txs: BTreeMap<TxId, Transaction>,
 }
 
 impl Mempool {
@@ -55,7 +55,9 @@ impl Mempool {
         self.txs.contains_key(id)
     }
 
-    /// Iterates over pending transactions (unordered).
+    /// Iterates over pending transactions in transaction-id order (the
+    /// map is a `BTreeMap`, so iteration is deterministic — audit rule
+    /// ND003).
     pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
         self.txs.values()
     }

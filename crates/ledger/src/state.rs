@@ -12,7 +12,7 @@ use crate::contract::SmartContract;
 use crate::error::LedgerError;
 use crate::transaction::{Transaction, TxKind};
 use cshard_primitives::{Address, Amount, ContractId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Reward minted for every block, empty or not (Sec. III-D: "even if the
 /// block does not contain any transactions, that miner can still get the
@@ -23,7 +23,7 @@ pub const BLOCK_REWARD: Amount = Amount(2_000_000_000);
 /// The account/contract world state.
 #[derive(Clone, Debug, Default)]
 pub struct State {
-    accounts: HashMap<Address, Account>,
+    accounts: BTreeMap<Address, Account>,
     contracts: Vec<SmartContract>,
     /// Total value minted by rewards since genesis — lets tests assert
     /// conservation: Σ balances == Σ genesis + minted.
@@ -97,7 +97,8 @@ impl State {
         self.minted
     }
 
-    /// Iterates over all accounts (unordered) — snapshot capture.
+    /// Iterates over all accounts in address order (`BTreeMap`, so the
+    /// order is deterministic — audit rule ND003) — snapshot capture.
     pub fn accounts_iter(&self) -> impl Iterator<Item = (&Address, &Account)> {
         self.accounts.iter()
     }

@@ -9,6 +9,7 @@
 //! all schemes report into, so the comparison is apples-to-apples.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod gossip;
 pub mod latency;

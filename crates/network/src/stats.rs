@@ -2,11 +2,11 @@
 
 use cshard_primitives::ShardId;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// What a communication round was for — lets experiments slice the totals.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CommKind {
     /// Cross-shard transaction validation (ChainSpace-style consensus).
     CrossShardValidation,
@@ -21,8 +21,8 @@ pub enum CommKind {
 
 #[derive(Debug, Default)]
 struct Inner {
-    per_shard: HashMap<ShardId, u64>,
-    per_kind: HashMap<CommKind, u64>,
+    per_shard: BTreeMap<ShardId, u64>,
+    per_kind: BTreeMap<CommKind, u64>,
     total: u64,
 }
 

@@ -43,6 +43,23 @@ pub enum Error {
         /// The variant actually carried by the broadcast.
         got: &'static str,
     },
+    /// A protocol driver reported work outstanding but scheduled no
+    /// further events — its event stream can never complete, so the run
+    /// is aborted instead of spinning or panicking.
+    StalledDriver {
+        /// Index of the stalled driver in the order handed to the runtime
+        /// (the report's shard order).
+        index: usize,
+    },
+    /// A driver was handed an event it never schedules — a malformed
+    /// event stream (the typed replacement for an `unreachable!` exit in
+    /// an `on_event` path).
+    UnexpectedEvent {
+        /// The driver type that rejected the event.
+        driver: &'static str,
+        /// Debug rendering of the offending event.
+        event: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -59,6 +76,13 @@ impl fmt::Display for Error {
                 expected,
                 got,
             } => write!(f, "{operation} requires {expected} inputs, got {got}"),
+            Error::StalledDriver { index } => write!(
+                f,
+                "driver {index} reports unfinished work but scheduled no further events"
+            ),
+            Error::UnexpectedEvent { driver, event } => {
+                write!(f, "{driver} received an event it never schedules: {event}")
+            }
         }
     }
 }
@@ -103,6 +127,15 @@ mod tests {
         }
         .to_string()
         .contains("merge_outcome"));
+        assert!(Error::StalledDriver { index: 3 }
+            .to_string()
+            .contains("driver 3"));
+        assert!(Error::UnexpectedEvent {
+            driver: "ContractShardDriver",
+            event: "EpochAdvance".into()
+        }
+        .to_string()
+        .contains("never schedules"));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! ordering/hashing traits needed to be used as map keys.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod address;
 pub mod amount;

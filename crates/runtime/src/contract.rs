@@ -36,7 +36,7 @@ use crate::propagation::PropagationModel;
 use crate::report::{RunReport, ShardReport};
 use cshard_crypto::Prf;
 use cshard_games::selection::{best_reply_equilibrium, SelectionConfig};
-use cshard_primitives::{ShardId, SimTime};
+use cshard_primitives::{Error, ShardId, SimTime};
 use cshard_sim::SimRng;
 use std::time::Duration;
 
@@ -413,12 +413,13 @@ impl ProtocolDriver for ContractShardDriver {
         }
     }
 
-    fn on_event(&mut self, now: SimTime, ev: Event, ctx: &mut Ctx) {
+    fn on_event(&mut self, now: SimTime, ev: Event, ctx: &mut Ctx) -> Result<(), Error> {
         match ev {
             Event::BlockFound { miner } => {
                 self.on_block_found(now, miner, ctx);
                 let dt = self.miner_rngs[miner].exp_delay(self.config.mean_block_interval);
                 ctx.schedule_in(dt, Event::BlockFound { miner });
+                Ok(())
             }
             Event::BlockDelivered { .. } => {
                 // Visibility is time-keyed; once the latest delivery has
@@ -426,8 +427,12 @@ impl ProtocolDriver for ContractShardDriver {
                 if self.st.latest_visible.is_some_and(|v| v <= now) {
                     self.st.latest_visible = None;
                 }
+                Ok(())
             }
-            other => unreachable!("contract shard driver never schedules {other:?}"),
+            other => Err(Error::UnexpectedEvent {
+                driver: "ContractShardDriver",
+                event: format!("{other:?}"),
+            }),
         }
     }
 
@@ -484,7 +489,7 @@ impl ProtocolDriver for EthereumDriver {
     fn on_start(&mut self, ctx: &mut Ctx) {
         self.inner.on_start(ctx)
     }
-    fn on_event(&mut self, now: SimTime, ev: Event, ctx: &mut Ctx) {
+    fn on_event(&mut self, now: SimTime, ev: Event, ctx: &mut Ctx) -> Result<(), Error> {
         self.inner.on_event(now, ev, ctx)
     }
     fn done(&self) -> bool {
@@ -507,8 +512,19 @@ impl ProtocolDriver for EthereumDriver {
 /// queue, so the harness may run them on any number of threads
 /// ([`RuntimeConfig::threads`]) and the report is bit-for-bit identical to
 /// a sequential run.
-pub fn simulate(shards: &[ShardSpec], config: &RuntimeConfig) -> RunReport {
-    assert!(config.block_capacity > 0, "block capacity must be positive");
+///
+/// Errors on an invalid configuration (zero [`RuntimeConfig::block_capacity`],
+/// a minerless spec) or a malformed event stream, instead of panicking.
+pub fn simulate(shards: &[ShardSpec], config: &RuntimeConfig) -> Result<RunReport, Error> {
+    if config.block_capacity == 0 {
+        return Err(Error::Config {
+            field: "block_capacity",
+            reason: "must be positive".into(),
+        });
+    }
+    if let Some(spec) = shards.iter().find(|s| s.miners == 0) {
+        return Err(Error::NoMiners { shard: spec.shard });
+    }
     let drivers: Vec<ContractShardDriver> = shards
         .iter()
         .map(|spec| ContractShardDriver::new(spec, config))
@@ -519,8 +535,17 @@ pub fn simulate(shards: &[ShardSpec], config: &RuntimeConfig) -> RunReport {
 /// Convenience: the Ethereum baseline — all transactions on one chain,
 /// `miners` identical greedy miners (Sec. VI-A's benchmark). Thin wrapper
 /// over [`EthereumDriver`] on the shared [`Runtime`].
-pub fn simulate_ethereum(fees: Vec<u64>, miners: usize, config: &RuntimeConfig) -> RunReport {
-    assert!(config.block_capacity > 0, "block capacity must be positive");
+pub fn simulate_ethereum(
+    fees: Vec<u64>,
+    miners: usize,
+    config: &RuntimeConfig,
+) -> Result<RunReport, Error> {
+    if config.block_capacity == 0 {
+        return Err(Error::Config {
+            field: "block_capacity",
+            reason: "must be positive".into(),
+        });
+    }
     let driver = EthereumDriver::new(fees, miners, config);
     Runtime::new(config.threads).run(vec![driver])
 }
@@ -530,6 +555,16 @@ mod tests {
     use super::*;
     use crate::report::throughput_improvement;
     use cshard_network::LatencyModel;
+
+    // Shadow the fallible entry points: every config in this module is
+    // well-formed, so the tests read as before the `Result` change.
+    fn simulate(shards: &[ShardSpec], config: &RuntimeConfig) -> RunReport {
+        super::simulate(shards, config).expect("valid test config")
+    }
+
+    fn simulate_ethereum(fees: Vec<u64>, miners: usize, config: &RuntimeConfig) -> RunReport {
+        super::simulate_ethereum(fees, miners, config).expect("valid test config")
+    }
 
     fn fees(n: usize) -> Vec<u64> {
         (0..n as u64).map(|i| 1 + (i * 17) % 97).collect()
@@ -710,7 +745,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "has no miners")]
     fn shard_without_miners_rejected() {
         let spec = ShardSpec {
             shard: ShardId::new(0),
@@ -718,7 +752,29 @@ mod tests {
             miners: 0,
             strategy: SelectionStrategy::IdenticalGreedy,
         };
-        simulate(&[spec], &cfg(0));
+        let err = super::simulate(&[spec], &cfg(0)).unwrap_err();
+        assert_eq!(
+            err,
+            Error::NoMiners {
+                shard: ShardId::new(0)
+            }
+        );
+    }
+
+    #[test]
+    fn zero_block_capacity_rejected() {
+        let bad = RuntimeConfig {
+            block_capacity: 0,
+            ..cfg(0)
+        };
+        let err = super::simulate_ethereum(fees(5), 1, &bad).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Config {
+                field: "block_capacity",
+                ..
+            }
+        ));
     }
 
     // ---- latency propagation (new in the unified runtime) ----

@@ -3,7 +3,7 @@
 use crate::event::Event;
 use crate::report::ShardReport;
 use cshard_network::CommStats;
-use cshard_primitives::SimTime;
+use cshard_primitives::{Error, SimTime};
 use cshard_sim::EventQueue;
 use std::time::Duration;
 
@@ -65,7 +65,10 @@ impl<'a> Ctx<'a> {
 /// 1. Seed initial events in [`ProtocolDriver::on_start`] (first mining
 ///    ticks, injection batches, an epoch kick-off).
 /// 2. React in [`ProtocolDriver::on_event`]; reschedule recurring events
-///    (a miner's next `BlockFound`) from inside the handler.
+///    (a miner's next `BlockFound`) from inside the handler. Handlers
+///    return `Err` (typed [`cshard_primitives::Error`]) for a malformed
+///    event stream — e.g. an event this driver never schedules — instead
+///    of panicking; the harness aborts the run and surfaces the error.
 /// 3. Report local progress through [`ProtocolDriver::done`] and
 ///    [`ProtocolDriver::completion`]; the harness runs phase 1 until
 ///    every driver is done, then replays idle events up to the global
@@ -75,8 +78,11 @@ pub trait ProtocolDriver: Send {
     /// before any event fires.
     fn on_start(&mut self, ctx: &mut Ctx);
 
-    /// Handles one event at simulated time `t`.
-    fn on_event(&mut self, t: SimTime, ev: Event, ctx: &mut Ctx);
+    /// Handles one event at simulated time `t`. Returns `Err` on a
+    /// malformed stream (an event this driver never scheduled); the
+    /// harness stops the run and propagates the error — `on_event` paths
+    /// must not panic.
+    fn on_event(&mut self, t: SimTime, ev: Event, ctx: &mut Ctx) -> Result<(), Error>;
 
     /// True when the shard's own workload is complete (phase-1 exit).
     /// After this returns true the harness only replays the driver for
@@ -97,7 +103,7 @@ impl<D: ProtocolDriver + ?Sized> ProtocolDriver for Box<D> {
     fn on_start(&mut self, ctx: &mut Ctx) {
         (**self).on_start(ctx)
     }
-    fn on_event(&mut self, t: SimTime, ev: Event, ctx: &mut Ctx) {
+    fn on_event(&mut self, t: SimTime, ev: Event, ctx: &mut Ctx) -> Result<(), Error> {
         (**self).on_event(t, ev, ctx)
     }
     fn done(&self) -> bool {

@@ -4,8 +4,11 @@ use crate::driver::{Ctx, ProtocolDriver};
 use crate::event::Event;
 use crate::report::RunReport;
 use cshard_network::CommStats;
-use cshard_primitives::SimTime;
+use cshard_primitives::{Error, SimTime};
 use cshard_sim::{EventQueue, Executor};
+// Wall-clock reads are confined to this harness by design (audit rule
+// ND001 allowlists exactly this file): `wall` feeds only the diagnostic
+// fields of the report, never the simulation.
 use std::time::{Duration, Instant};
 
 /// One driver mid-run: its queue, its state, and the harness-side
@@ -65,30 +68,37 @@ impl Runtime {
 
     /// Runs every driver to completion (two phases) and reports. The
     /// shard order of the report matches the driver order given here.
-    pub fn run<D: ProtocolDriver>(&self, drivers: Vec<D>) -> RunReport {
+    ///
+    /// Errors when a driver's event stream is malformed: the driver
+    /// reports unfinished work with an empty queue
+    /// ([`Error::StalledDriver`]) or an `on_event` hook rejects an event
+    /// ([`Error::UnexpectedEvent`]). The event loop itself never panics.
+    pub fn run<D: ProtocolDriver>(&self, drivers: Vec<D>) -> Result<RunReport, Error> {
         let run_start = Instant::now();
         let comm = &self.comm;
 
         // Phase 1: each driver to local completion, concurrently.
-        let tasks: Vec<DriverTask<D>> = self.executor.run(drivers, |_, mut driver| {
-            let start = Instant::now();
-            let mut queue = EventQueue::new();
-            driver.on_start(&mut Ctx::new(&mut queue, comm));
-            let mut events = 0;
-            while !driver.done() {
-                let Some((now, ev)) = queue.pop() else {
-                    panic!("driver reports !done() but scheduled no further events");
-                };
-                events += 1;
-                driver.on_event(now, ev, &mut Ctx::new(&mut queue, comm));
-            }
-            DriverTask {
-                driver,
-                queue,
-                events,
-                wall: start.elapsed(),
-            }
-        });
+        let tasks: Vec<Result<DriverTask<D>, Error>> =
+            self.executor.run(drivers, |index, mut driver| {
+                let start = Instant::now();
+                let mut queue = EventQueue::new();
+                driver.on_start(&mut Ctx::new(&mut queue, comm));
+                let mut events = 0;
+                while !driver.done() {
+                    let Some((now, ev)) = queue.pop() else {
+                        return Err(Error::StalledDriver { index });
+                    };
+                    events += 1;
+                    driver.on_event(now, ev, &mut Ctx::new(&mut queue, comm))?;
+                }
+                Ok(DriverTask {
+                    driver,
+                    queue,
+                    events,
+                    wall: start.elapsed(),
+                })
+            });
+        let tasks: Vec<DriverTask<D>> = tasks.into_iter().collect::<Result<_, _>>()?;
 
         // Global completion = the last confirmation anywhere.
         let completion = tasks
@@ -98,19 +108,22 @@ impl Runtime {
             .unwrap_or(SimTime::ZERO);
 
         // Phase 2: idle-drain early finishers up to the global completion.
-        let tasks: Vec<DriverTask<D>> = self.executor.run(tasks, |_, mut t| {
+        let tasks: Vec<Result<DriverTask<D>, Error>> = self.executor.run(tasks, |_, mut t| {
             let start = Instant::now();
             while t.queue.next_time().is_some_and(|at| at < completion) {
-                let (now, ev) = t.queue.pop().expect("peeked event");
+                let Some((now, ev)) = t.queue.pop() else {
+                    break; // next_time() said Some; drained means done
+                };
                 t.events += 1;
                 t.driver
-                    .on_event(now, ev, &mut Ctx::new(&mut t.queue, comm));
+                    .on_event(now, ev, &mut Ctx::new(&mut t.queue, comm))?;
             }
             t.wall += start.elapsed();
-            t
+            Ok(t)
         });
+        let tasks: Vec<DriverTask<D>> = tasks.into_iter().collect::<Result<_, _>>()?;
 
-        RunReport {
+        Ok(RunReport {
             completion,
             shards: tasks
                 .into_iter()
@@ -118,7 +131,7 @@ impl Runtime {
                 .collect(),
             wall: run_start.elapsed(),
             threads_used: self.executor.threads(),
-        }
+        })
     }
 }
 
@@ -142,13 +155,14 @@ mod tests {
                 ctx.schedule(SimTime::from_millis(10), Event::BlockFound { miner: 0 });
             }
         }
-        fn on_event(&mut self, t: SimTime, ev: Event, ctx: &mut Ctx) {
+        fn on_event(&mut self, t: SimTime, ev: Event, ctx: &mut Ctx) -> Result<(), Error> {
             assert_eq!(ev, Event::BlockFound { miner: 0 });
             self.remaining -= 1;
             self.last = Some(t);
             if self.remaining > 0 {
                 ctx.schedule_in(SimTime::from_millis(10), ev);
             }
+            Ok(())
         }
         fn done(&self) -> bool {
             self.remaining == 0
@@ -183,7 +197,9 @@ mod tests {
     #[test]
     fn runs_all_drivers_and_takes_max_completion() {
         let rt = Runtime::new(1);
-        let r = rt.run(vec![ticker(0, 3), ticker(1, 7)]);
+        let r = rt
+            .run(vec![ticker(0, 3), ticker(1, 7)])
+            .expect("well-formed");
         assert_eq!(r.completion, SimTime::from_millis(70));
         assert_eq!(r.shards[0].confirmed, 3);
         assert_eq!(r.shards[1].confirmed, 7);
@@ -193,14 +209,16 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_results() {
         let mk = || vec![ticker(0, 5), ticker(1, 2), ticker(2, 9)];
-        let seq = Runtime::new(1).run(mk());
-        let par = Runtime::new(4).run(mk());
+        let seq = Runtime::new(1).run(mk()).expect("well-formed");
+        let par = Runtime::new(4).run(mk()).expect("well-formed");
         assert_eq!(seq.fingerprint(), par.fingerprint());
     }
 
     #[test]
     fn driver_with_no_work_reports_empty() {
-        let r = Runtime::new(1).run(vec![ticker(0, 0)]);
+        let r = Runtime::new(1)
+            .run(vec![ticker(0, 0)])
+            .expect("well-formed");
         assert_eq!(r.completion, SimTime::ZERO);
         assert_eq!(r.shards[0].completion, None);
         assert_eq!(r.shards[0].events_processed, 0);
@@ -210,17 +228,20 @@ mod tests {
     fn boxed_drivers_run_on_the_same_loop() {
         let drivers: Vec<Box<dyn ProtocolDriver>> =
             vec![Box::new(ticker(0, 2)), Box::new(ticker(1, 4))];
-        let r = Runtime::new(1).run(drivers);
+        let r = Runtime::new(1).run(drivers).expect("well-formed");
         assert_eq!(r.total_txs(), 6);
     }
 
+    /// Regression: a malformed event stream (driver claims unfinished
+    /// work but schedules nothing) is a typed `Err`, not a panic.
     #[test]
-    #[should_panic(expected = "no further events")]
-    fn stalled_driver_is_a_bug() {
+    fn stalled_driver_returns_err() {
         struct Stalled;
         impl ProtocolDriver for Stalled {
             fn on_start(&mut self, _: &mut Ctx) {}
-            fn on_event(&mut self, _: SimTime, _: Event, _: &mut Ctx) {}
+            fn on_event(&mut self, _: SimTime, _: Event, _: &mut Ctx) -> Result<(), Error> {
+                Ok(())
+            }
             fn done(&self) -> bool {
                 false
             }
@@ -228,9 +249,51 @@ mod tests {
                 None
             }
             fn report(&self, _: usize, _: Duration) -> ShardReport {
-                unreachable!()
+                unreachable!("a stalled driver never reports")
             }
         }
-        Runtime::new(1).run(vec![Stalled]);
+        let err = Runtime::new(1).run(vec![Stalled]).unwrap_err();
+        assert_eq!(err, Error::StalledDriver { index: 0 });
+        assert!(err.to_string().contains("no further events"));
+    }
+
+    /// Regression: a driver rejecting an event it never schedules aborts
+    /// the run with `Error::UnexpectedEvent` instead of panicking.
+    #[test]
+    fn rejected_event_propagates_as_err() {
+        struct Rejects {
+            fired: bool,
+        }
+        impl ProtocolDriver for Rejects {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.schedule(SimTime::from_millis(1), Event::EpochAdvance { epoch: 7 });
+            }
+            fn on_event(&mut self, _: SimTime, ev: Event, _: &mut Ctx) -> Result<(), Error> {
+                self.fired = true;
+                Err(Error::UnexpectedEvent {
+                    driver: "Rejects",
+                    event: format!("{ev:?}"),
+                })
+            }
+            fn done(&self) -> bool {
+                self.fired
+            }
+            fn completion(&self) -> Option<SimTime> {
+                None
+            }
+            fn report(&self, _: usize, _: Duration) -> ShardReport {
+                unreachable!("an erroring driver never reports")
+            }
+        }
+        let err = Runtime::new(1)
+            .run(vec![Rejects { fired: false }])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::UnexpectedEvent {
+                driver: "Rejects",
+                ..
+            }
+        ));
     }
 }

@@ -33,6 +33,9 @@
 //! top.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Event-loop/driver code must use typed errors, not panics (PH001).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod contract;
 pub mod driver;

@@ -14,6 +14,7 @@
 //!   adversary).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod corruption;
 pub mod math;

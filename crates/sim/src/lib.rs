@@ -6,6 +6,7 @@
 //! the parameter-unification scheme (Sec. IV-C) also relies on.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod engine;
 pub mod executor;

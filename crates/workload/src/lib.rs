@@ -21,6 +21,7 @@
 //! binomial (the Sec. IV-D security assumption), exponential and Zipf.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod fees;
 pub mod generator;

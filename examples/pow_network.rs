@@ -118,7 +118,10 @@ fn main() {
     println!("\nmining one block per shard at {POW_BITS}-bit difficulty…");
     let blocks: Vec<Block> = nodes
         .iter_mut()
-        .map(|n| n.mine_block(SimTime::from_secs(60)))
+        .map(|n| {
+            n.mine_block(SimTime::from_secs(60))
+                .expect("example difficulty is minable")
+        })
         .collect();
     for (n, b) in nodes.iter().zip(&blocks) {
         println!(

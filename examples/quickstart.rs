@@ -31,7 +31,8 @@ fn main() {
     let sharded = system.run(&workload).expect("valid config");
 
     // The Ethereum baseline: the same transactions on one serialized chain.
-    let ethereum = simulate_ethereum(workload.fees(), 1, &RuntimeConfig::default());
+    let ethereum = simulate_ethereum(workload.fees(), 1, &RuntimeConfig::default())
+        .expect("valid runtime configuration");
 
     println!("\nresults:");
     println!(

@@ -52,7 +52,8 @@ fn main() {
         empty_block_window: Some(SimTime::from_secs(600)),
         ..RuntimeConfig::default()
     };
-    let ethereum = simulate_ethereum(workload.fees(), 1, &runtime);
+    let ethereum =
+        simulate_ethereum(workload.fees(), 1, &runtime).expect("valid runtime configuration");
     let merge = after.merge.as_ref().expect("merging ran");
 
     println!("\nmerging game outcome:");

@@ -7,6 +7,11 @@ verify:
     cargo test -q --workspace
     cargo clippy --workspace --all-targets -- -D warnings
 
+# Determinism & safety lint over every workspace crate (policy.toml is the
+# policy table; exit 1 on findings, each printed as `file:line: RULE message`).
+audit:
+    cargo run --release -p cshard-audit
+
 # Quick-mode run of the golden experiments, diffed against results/golden.
 golden:
     cargo run --release -p cshard-bench --bin experiments -- \
@@ -17,6 +22,11 @@ golden:
 # Fast feedback loop: tests only.
 test:
     cargo test -q --workspace
+
+# Undefined-behaviour check on the leaf crates (requires nightly + miri
+# component; heavy statistical tests are gated off under the interpreter).
+miri:
+    cargo +nightly miri test -p cshard-primitives -p cshard-crypto
 
 # Regenerate every paper figure/table (quick mode; drop --quick for full scale).
 experiments:

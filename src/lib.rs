@@ -36,7 +36,7 @@
 //!
 //! // …and compare with the single-chain Ethereum baseline.
 //! let baseline = RuntimeConfig { seed: 42, ..RuntimeConfig::default() };
-//! let ethereum = simulate_ethereum(workload.fees(), 1, &baseline);
+//! let ethereum = simulate_ethereum(workload.fees(), 1, &baseline).expect("valid config");
 //! let improvement = throughput_improvement(&ethereum, &report.run);
 //! assert!(improvement > 2.0);
 //! ```

@@ -79,8 +79,8 @@ fn shard_streams_do_not_depend_on_peer_shards() {
     };
     let small: Vec<ShardSpec> = (0..9).map(mk_spec).collect();
     let large: Vec<ShardSpec> = (0..100).map(mk_spec).collect();
-    let small_run = simulate(&small, &cfg);
-    let large_run = simulate(&large, &cfg);
+    let small_run = simulate(&small, &cfg).expect("valid config");
+    let large_run = simulate(&large, &cfg).expect("valid config");
     // Block totals include the idle-drain phase, which runs until the
     // *global* completion and so legitimately differs between the two
     // systems; the confirmation trajectory itself must not.

@@ -77,7 +77,7 @@ fn merging_and_selection_compose() {
     assert_eq!(merge.small_shards, 5);
     assert!(report.run.shards.iter().all(|s| s.confirmed == s.txs));
 
-    let ethereum = simulate_ethereum(w.fees(), 1, &runtime);
+    let ethereum = simulate_ethereum(w.fees(), 1, &runtime).expect("valid config");
     let imp = throughput_improvement(&ethereum, &report.run);
     assert!(imp > 2.0, "combined system improvement {imp:.2}");
 }

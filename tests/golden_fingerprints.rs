@@ -35,6 +35,7 @@ fn battery(threads: usize) -> Vec<(&'static str, String)> {
     out.push((
         "ethereum_solo",
         simulate_ethereum(fees(60, 11), 1, &cfg)
+            .expect("valid config")
             .fingerprint()
             .to_string(),
     ));
@@ -48,6 +49,7 @@ fn battery(threads: usize) -> Vec<(&'static str, String)> {
     out.push((
         "ethereum_contended",
         simulate_ethereum(fees(40, 12), 5, &cfg)
+            .expect("valid config")
             .fingerprint()
             .to_string(),
     ));
@@ -63,7 +65,10 @@ fn battery(threads: usize) -> Vec<(&'static str, String)> {
         .collect();
     out.push((
         "sharded_greedy",
-        simulate(&specs, &cfg).fingerprint().to_string(),
+        simulate(&specs, &cfg)
+            .expect("valid config")
+            .fingerprint()
+            .to_string(),
     ));
 
     // Equilibrium selection with competing miners (Alg. 2 path).
@@ -82,7 +87,10 @@ fn battery(threads: usize) -> Vec<(&'static str, String)> {
         .collect();
     out.push((
         "equilibrium",
-        simulate(&specs, &cfg).fingerprint().to_string(),
+        simulate(&specs, &cfg)
+            .expect("valid config")
+            .fingerprint()
+            .to_string(),
     ));
 
     // The end-to-end system: formation + allocation + runtime.

@@ -103,7 +103,9 @@ fn cross_shard_double_spend_is_impossible_by_construction() {
     // block contains exactly one.
     assert_eq!(net.nodes[0].mempool_len(), 2);
     assert_eq!(net.nodes[1].mempool_len(), 0);
-    let block = net.nodes[0].mine_block(SimTime::from_secs(60));
+    let block = net.nodes[0]
+        .mine_block(SimTime::from_secs(60))
+        .expect("test-scale difficulty");
     assert_eq!(block.transactions.len(), 1);
     assert_eq!(
         block.transactions[0].fee,
@@ -130,7 +132,9 @@ fn forged_shard_id_rejected_by_every_receiver() {
             Amount::from_raw(5),
         ))
         .unwrap();
-    let mut forged = net.nodes[0].mine_block(SimTime::from_secs(60));
+    let mut forged = net.nodes[0]
+        .mine_block(SimTime::from_secs(60))
+        .expect("test-scale difficulty");
     forged.header.shard = ShardId::new(1);
     pow::mine(&mut forged).unwrap();
     for node in net.nodes.iter_mut() {
@@ -146,7 +150,9 @@ fn forged_shard_id_rejected_by_every_receiver() {
 #[test]
 fn insufficient_pow_rejected() {
     let mut net = build(1);
-    let mut block = net.nodes[0].mine_block(SimTime::from_secs(60));
+    let mut block = net.nodes[0]
+        .mine_block(SimTime::from_secs(60))
+        .expect("test-scale difficulty");
     // Tamper after mining: hash no longer meets the difficulty.
     block.header.timestamp = SimTime::from_secs(61);
     let err = net.nodes[0].receive_block(block).unwrap_err();
@@ -170,7 +176,9 @@ fn replayed_transaction_rejected_across_blocks() {
         Amount::from_raw(5),
     );
     net.nodes[0].submit_transaction(tx.clone()).unwrap();
-    let b1 = net.nodes[0].mine_block(SimTime::from_secs(60));
+    let b1 = net.nodes[0]
+        .mine_block(SimTime::from_secs(60))
+        .expect("test-scale difficulty");
     net.nodes[0].receive_block(b1.clone()).unwrap();
 
     // An attacker re-broadcasts the same transaction in a hand-built block.

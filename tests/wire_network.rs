@@ -70,7 +70,9 @@ fn block_gossips_as_bytes_and_every_node_accepts() {
             ))
             .unwrap();
     }
-    let block = nodes[0].mine_block(SimTime::from_secs(60));
+    let block = nodes[0]
+        .mine_block(SimTime::from_secs(60))
+        .expect("test-scale difficulty");
     assert_eq!(block.transactions.len(), 5);
 
     // Serialize once; gossip the bytes; every node decodes and validates.
@@ -109,7 +111,9 @@ fn corrupted_wire_bytes_never_panic_and_never_apply() {
             Amount::from_raw(9),
         ))
         .unwrap();
-    let block = nodes[0].mine_block(SimTime::from_secs(60));
+    let block = nodes[0]
+        .mine_block(SimTime::from_secs(60))
+        .expect("test-scale difficulty");
     let bytes = codec::encode_block(&block).to_vec();
 
     // Flip every byte one at a time: decode either fails cleanly or the
@@ -166,7 +170,9 @@ fn chain_of_blocks_transported_over_the_wire() {
                 ));
             }
         }
-        let block = nodes[miner_idx].mine_block(SimTime::from_secs(60 * (round + 1)));
+        let block = nodes[miner_idx]
+            .mine_block(SimTime::from_secs(60 * (round + 1)))
+            .expect("test-scale difficulty");
         let bytes = codec::encode_block(&block);
         for node in nodes.iter_mut() {
             node.receive_block(codec::decode_block(&bytes).unwrap())
