@@ -39,4 +39,4 @@ pub mod scan;
 
 pub use policy::{Policy, PolicyError};
 pub use rules::Finding;
-pub use scan::{scan_workspace, ScanReport};
+pub use scan::{scan_workspace, uncovered_crates, ScanReport};

@@ -1,12 +1,14 @@
 //! The `cshard-audit` binary: load `policy.toml`, scan, report, gate.
 //!
-//! Exit codes: `0` clean, `1` findings, `2` setup error (policy missing
-//! or unparseable). Run from anywhere inside the workspace (`just audit`).
+//! Exit codes: `0` clean, `1` findings, `2` setup error (policy missing,
+//! unparseable, or a workspace crate covered by neither `[audit] crates`
+//! nor `[audit] exempt`). Run from anywhere inside the workspace
+//! (`just audit`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use cshard_audit::{scan_workspace, Policy};
+use cshard_audit::{scan_workspace, uncovered_crates, Policy};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -49,6 +51,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let uncovered = uncovered_crates(&root, &policy);
+    if !uncovered.is_empty() {
+        for krate in &uncovered {
+            eprintln!(
+                "cshard-audit: crate `crates/{krate}` is in neither [audit] crates nor \
+                 [audit] exempt — add it to policy.toml (scanned, or exempt with a reason)"
+            );
+        }
+        return ExitCode::from(2);
+    }
     let report = scan_workspace(&root, &policy);
     for finding in &report.findings {
         println!("{finding}");

@@ -90,6 +90,11 @@ impl RulePolicy {
 pub struct Policy {
     /// Crates scanned by default (directory names under `crates/`).
     pub crates: Vec<String>,
+    /// Crates deliberately outside the determinism contract (directory
+    /// names under `crates/`). Every workspace crate must appear in
+    /// exactly one of `crates` or `exempt`; a crate in neither is a
+    /// coverage gap and the audit binary refuses to run.
+    pub exempt: Vec<String>,
     /// Per-rule entries, keyed by rule id (`ND001`, ...).
     pub rules: BTreeMap<String, RulePolicy>,
 }
@@ -156,6 +161,11 @@ impl Policy {
                     Ok(())
                 }
                 ("crates", _) => Err(err(lineno, "`crates` must be an array of strings")),
+                ("exempt", Value::Array(v)) => {
+                    self.exempt = v;
+                    Ok(())
+                }
+                ("exempt", _) => Err(err(lineno, "`exempt` must be an array of strings")),
                 (other, _) => Err(err(lineno, format!("unknown key `{other}` in [audit]"))),
             },
             Some(t) if t.starts_with("rules.") => {
@@ -191,6 +201,12 @@ impl Policy {
     fn validate(&self) -> Result<(), PolicyError> {
         if self.crates.is_empty() {
             return Err(err(0, "[audit] crates list is missing or empty"));
+        }
+        if let Some(both) = self.exempt.iter().find(|e| self.crates.contains(e)) {
+            return Err(err(
+                0,
+                format!("crate `{both}` is both scanned ([audit] crates) and exempt"),
+            ));
         }
         for (id, rule) in &self.rules {
             for c in &rule.crates {
@@ -358,6 +374,19 @@ required = ["#![warn(missing_docs)]"]
         let e = Policy::parse("[audit]\ncrates = [\"a\"]\n[rules.X]\ncrates = [\"zzz\"]\n")
             .unwrap_err();
         assert!(e.message.contains("zzz"), "{e}");
+    }
+
+    #[test]
+    fn exempt_list_parses() {
+        let p =
+            Policy::parse("[audit]\ncrates = [\"a\"]\nexempt = [\"tools\", \"bench\"]\n").unwrap();
+        assert_eq!(p.exempt, vec!["tools", "bench"]);
+    }
+
+    #[test]
+    fn crate_cannot_be_both_scanned_and_exempt() {
+        let e = Policy::parse("[audit]\ncrates = [\"a\", \"b\"]\nexempt = [\"b\"]\n").unwrap_err();
+        assert!(e.message.contains("both scanned"), "{e}");
     }
 
     #[test]

@@ -38,6 +38,31 @@ pub fn scan_workspace(root: &Path, policy: &Policy) -> ScanReport {
     report
 }
 
+/// Workspace crates the policy covers in neither `[audit] crates` nor
+/// `[audit] exempt`: directories under `crates/` that contain a
+/// `Cargo.toml`. A non-empty result is a coverage gap — a new crate was
+/// added without deciding whether the determinism contract binds it — and
+/// the audit binary treats it as a setup error (exit 2).
+pub fn uncovered_crates(root: &Path, policy: &Policy) -> Vec<String> {
+    let Ok(entries) = fs::read_dir(root.join("crates")) else {
+        return Vec::new();
+    };
+    let mut uncovered: Vec<String> = entries
+        .flatten()
+        .filter_map(|entry| {
+            let path = entry.path();
+            if !path.is_dir() || !path.join("Cargo.toml").is_file() {
+                return None;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let covered = policy.crates.contains(&name) || policy.exempt.contains(&name);
+            (!covered).then_some(name)
+        })
+        .collect();
+    uncovered.sort();
+    uncovered
+}
+
 fn scan_file(root: &Path, krate: &str, file: &Path, policy: &Policy, report: &mut ScanReport) {
     let rel = workspace_relative(root, file);
     let source = match fs::read_to_string(file) {

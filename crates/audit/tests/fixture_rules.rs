@@ -9,7 +9,7 @@
 
 use cshard_audit::lexer::lex;
 use cshard_audit::rules::{apply_token_rule, TOKEN_RULES};
-use cshard_audit::{scan_workspace, Policy};
+use cshard_audit::{scan_workspace, uncovered_crates, Policy};
 use std::fs;
 use std::path::Path;
 
@@ -133,6 +133,34 @@ fn policy_parse_error_is_a_diagnostic_not_a_panic() {
     assert!(rendered.starts_with("policy.toml:4:"), "{rendered}");
 }
 
+/// A workspace crate (a `crates/<name>/Cargo.toml`) named by neither
+/// `[audit] crates` nor `[audit] exempt` is a coverage gap: the scan must
+/// report it so the binary can refuse to run (exit 2).
+#[test]
+fn uncovered_crate_with_manifest_is_detected_and_exempt_clears_it() {
+    // The tmp workspace persists across runs; drop the manifest this test
+    // writes below so the no-manifest assertion holds on reruns.
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("audit-coverage");
+    let _ = fs::remove_dir_all(&root);
+    let root = mini_workspace("audit-coverage", "//! covered crate\n");
+    // `core` has a src/ but no manifest yet — not a crate, not a gap.
+    let policy = Policy::parse("[audit]\ncrates = [\"other\"]\n").expect("parses");
+    assert!(uncovered_crates(&root, &policy).is_empty());
+    // Give it a manifest: now it is an uncovered workspace crate.
+    fs::write(
+        root.join("crates/core/Cargo.toml"),
+        "[package]\nname = \"core\"\n",
+    )
+    .expect("write manifest");
+    assert_eq!(uncovered_crates(&root, &policy), vec!["core".to_string()]);
+    // Listing it as scanned or exempt both clear the gap.
+    let scanned = Policy::parse("[audit]\ncrates = [\"core\"]\n").expect("parses");
+    assert!(uncovered_crates(&root, &scanned).is_empty());
+    let exempt = Policy::parse("[audit]\ncrates = [\"other\"]\nexempt = [\"core\"] # fixture\n")
+        .expect("parses");
+    assert!(uncovered_crates(&root, &exempt).is_empty());
+}
+
 /// The real workspace policy must parse and keep covering the real crates —
 /// a drifted `policy.toml` fails here before it fails in CI.
 #[test]
@@ -158,4 +186,8 @@ fn workspace_policy_parses_and_names_existing_crates() {
         assert!(policy.rules.contains_key(rule), "missing [rules.{rule}]");
     }
     assert!(policy.rules.contains_key("AH001"), "missing [rules.AH001]");
+    // The real workspace has no coverage gap: every crate is scanned or
+    // exempt (with a reason) — the audit binary exits 2 otherwise.
+    let gaps = uncovered_crates(ws_root, &policy);
+    assert!(gaps.is_empty(), "uncovered workspace crates: {gaps:?}");
 }

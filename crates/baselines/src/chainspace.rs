@@ -269,6 +269,12 @@ impl ProtocolDriver for ChainspaceDriver {
             mining_ev @ (Event::BlockFound { .. } | Event::BlockDelivered { .. }) => {
                 self.mining.on_event(now, mining_ev, ctx)?;
             }
+            other @ Event::Fault { .. } => {
+                return Err(Error::UnexpectedEvent {
+                    driver: "ChainspaceDriver",
+                    event: format!("{other:?}"),
+                })
+            }
         }
         Ok(())
     }

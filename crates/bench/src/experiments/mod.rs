@@ -1,6 +1,7 @@
 //! One module per paper artefact. See DESIGN.md §3 for the full index.
 
 pub mod ablations;
+pub mod faults;
 pub mod fig1d;
 pub mod fig3ab;
 pub mod fig3cg;
@@ -33,7 +34,7 @@ pub fn grid_executor() -> Executor {
 /// All experiment ids, in paper order.
 pub const ALL: &[&str] = &[
     "table1", "fig1d", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig3g", "fig3h",
-    "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "sec4d",
+    "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "sec4d", "faults",
 ];
 
 /// The ablation studies of DESIGN.md §8 (run with `experiments ablations`
@@ -67,6 +68,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentResult> {
         "fig5a" => fig5::run_a(quick),
         "fig5b" => fig5::run_b(quick),
         "sec4d" => sec4d::run(),
+        "faults" => faults::run(quick),
         "abl-eta" => ablations::run_eta(quick),
         "abl-window" => ablations::run_window(quick),
         "abl-fees" => ablations::run_fees(quick),

@@ -11,10 +11,10 @@
 
 use crate::assignment::MinerAssignment;
 use crate::formation::ShardPlan;
-use cshard_crypto::{elect_leader, Vrf, VrfPublicKey};
+use cshard_crypto::{elect_leader, rank_leaders, Vrf, VrfPublicKey};
 use cshard_ledger::{CallGraph, Transaction};
-use cshard_primitives::{MinerId, ShardId};
-use std::collections::BTreeMap;
+use cshard_primitives::{Error, MinerId, ShardId};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A registered miner: id plus VRF key pair.
 #[derive(Clone, Debug)]
@@ -31,8 +31,13 @@ pub struct EnrolledMiner {
 pub struct EpochOutcome {
     /// Epoch number.
     pub epoch: u64,
-    /// The VRF-elected leader.
+    /// The VRF-elected leader (after any failover).
     pub leader: MinerId,
+    /// How many ranked leaders were skipped before a live one took over:
+    /// `0` means the primary lottery winner led; `k > 0` means the first
+    /// `k` entries of the VRF failover ranking were down and rank `k`
+    /// produced the epoch's parameters instead.
+    pub failover_depth: usize,
     /// The shard plan of the epoch's transaction batch.
     pub plan: ShardPlan,
     /// The public assignment rule (randomness + fractions).
@@ -95,6 +100,76 @@ impl EpochManager {
         // `vrfs` is never empty: the constructor asserts at least one miner,
         // so a `None` here is unreachable and 0 is a safe fallback (PH001).
         let winner = elect_leader(&vrfs, epoch).unwrap_or(0);
+        self.complete_epoch(epoch, winner, 0, batch)
+    }
+
+    /// Runs one epoch like [`EpochManager::run_epoch`], but with a set of
+    /// miners known to be down (crashed, or caught equivocating by the
+    /// fault detector). The VRF failover ranking is walked in order and
+    /// the first live entry leads; the skipped count is recorded as the
+    /// outcome's `failover_depth`. Every honest miner replays this same
+    /// walk locally, so the fallback is agreed without extra rounds.
+    ///
+    /// Fails with [`Error::NoLiveLeader`] — without consuming the epoch
+    /// number or absorbing the batch — when every candidate is down.
+    pub fn run_epoch_with_downs(
+        &mut self,
+        batch: &[Transaction],
+        down: &BTreeSet<MinerId>,
+    ) -> Result<EpochOutcome, Error> {
+        let epoch = self.epoch;
+        let vrfs: Vec<Vrf> = self.miners.iter().map(|m| m.vrf.clone()).collect();
+        let ranking = rank_leaders(&vrfs, epoch);
+        let live = ranking
+            .iter()
+            .enumerate()
+            .find(|(_, &i)| !down.contains(&self.miners[i].id));
+        let Some((depth, &winner)) = live else {
+            return Err(Error::NoLiveLeader { epoch });
+        };
+        self.epoch += 1;
+        Ok(self.complete_epoch(epoch, winner, depth, batch))
+    }
+
+    /// The epoch's full VRF failover schedule: rank 0 is the lottery
+    /// winner ([`elect_leader`] over the same enrolment), rank 1 takes
+    /// over if rank 0 misses the broadcast timeout, and so on.
+    pub fn leader_ranking(&self, epoch: u64) -> Vec<MinerId> {
+        let vrfs: Vec<Vrf> = self.miners.iter().map(|m| m.vrf.clone()).collect();
+        rank_leaders(&vrfs, epoch)
+            .into_iter()
+            .map(|i| self.miners[i].id)
+            .collect()
+    }
+
+    /// Verifies a failover claim: given the miners known to be down this
+    /// epoch, is `claimed` exactly the first live entry of the ranking?
+    /// Any miner can replay this check from public data, which is what
+    /// makes the takeover deterministic rather than negotiated.
+    pub fn verify_failover(&self, epoch: u64, down: &BTreeSet<MinerId>, claimed: MinerId) -> bool {
+        self.leader_ranking(epoch)
+            .into_iter()
+            .find(|id| !down.contains(id))
+            == Some(claimed)
+    }
+
+    /// The enrolled miners, in registration order (the fault subsystem
+    /// uses this to reconstruct leader broadcasts for equivocation
+    /// checks).
+    pub fn enrolled(&self) -> &[EnrolledMiner] {
+        &self.miners
+    }
+
+    /// Shared epoch body: the elected (or failed-over) `winner` derives
+    /// the randomness, shards are formed against accumulated history, and
+    /// every miner is reassigned. The batch is then absorbed.
+    fn complete_epoch(
+        &mut self,
+        epoch: u64,
+        winner: usize,
+        failover_depth: usize,
+        batch: &[Transaction],
+    ) -> EpochOutcome {
         let leader = self.miners[winner].id;
         let (randomness, _proof) = self.miners[winner].vrf.evaluate(epoch.to_be_bytes());
 
@@ -113,6 +188,7 @@ impl EpochManager {
         EpochOutcome {
             epoch,
             leader,
+            failover_depth,
             plan,
             assignment,
             shard_of,
@@ -218,5 +294,72 @@ mod tests {
     #[should_panic(expected = "at least one miner")]
     fn empty_enrolment_rejected() {
         EpochManager::new(vec![]);
+    }
+
+    #[test]
+    fn empty_down_set_matches_plain_run_epoch() {
+        let mut plain = EpochManager::with_miner_count(15);
+        let mut faulty = EpochManager::with_miner_count(15);
+        for e in 0..4 {
+            let a = plain.run_epoch(&batch(e));
+            let b = faulty
+                .run_epoch_with_downs(&batch(e), &BTreeSet::new())
+                .expect("a live leader always exists with no downs");
+            assert_eq!(a.leader, b.leader);
+            assert_eq!(a.failover_depth, 0);
+            assert_eq!(b.failover_depth, 0);
+            assert_eq!(a.shard_of, b.shard_of);
+        }
+    }
+
+    #[test]
+    fn failover_skips_down_leaders_in_rank_order() {
+        let mut mgr = EpochManager::with_miner_count(12);
+        let ranking = mgr.leader_ranking(0);
+        // Knock out the first two ranked leaders: rank 2 must take over.
+        let down: BTreeSet<MinerId> = ranking.iter().take(2).copied().collect();
+        let out = mgr.run_epoch_with_downs(&batch(0), &down).unwrap();
+        assert_eq!(out.leader, ranking[2]);
+        assert_eq!(out.failover_depth, 2);
+        // The fallback changes the epoch randomness (different leader VRF),
+        // so assignments differ from the no-fault run.
+        let mut plain = EpochManager::with_miner_count(12);
+        let base = plain.run_epoch(&batch(0));
+        assert_ne!(base.leader, out.leader);
+    }
+
+    #[test]
+    fn verify_failover_replays_the_ranking() {
+        let mgr = EpochManager::with_miner_count(10);
+        let ranking = mgr.leader_ranking(5);
+        let down: BTreeSet<MinerId> = ranking.iter().take(1).copied().collect();
+        assert!(mgr.verify_failover(5, &down, ranking[1]));
+        assert!(!mgr.verify_failover(5, &down, ranking[0]), "down leader");
+        assert!(
+            !mgr.verify_failover(5, &down, ranking[2]),
+            "skipped a live rank"
+        );
+    }
+
+    #[test]
+    fn all_down_is_a_typed_error_and_preserves_state() {
+        let mut mgr = EpochManager::with_miner_count(3);
+        let down: BTreeSet<MinerId> = (0..3).map(MinerId::new).collect();
+        let err = mgr.run_epoch_with_downs(&batch(0), &down).unwrap_err();
+        assert_eq!(err, cshard_primitives::Error::NoLiveLeader { epoch: 0 });
+        // The failed attempt consumed nothing: the next epoch is still 0.
+        assert_eq!(mgr.epoch(), 0);
+        let out = mgr.run_epoch(&batch(0));
+        assert_eq!(out.epoch, 0);
+    }
+
+    #[test]
+    fn ranking_head_is_the_lottery_winner() {
+        let mut mgr = EpochManager::with_miner_count(16);
+        for e in 0..6 {
+            let head = mgr.leader_ranking(mgr.epoch())[0];
+            let out = mgr.run_epoch(&batch(e));
+            assert_eq!(out.leader, head);
+        }
     }
 }

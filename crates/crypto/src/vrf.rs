@@ -129,6 +129,25 @@ pub fn elect_leader(candidates: &[Vrf], round: u64) -> Option<usize> {
         .map(|(_, i)| i)
 }
 
+/// Ranks every candidate for a round by the same `(output, index)` order the
+/// lottery uses: `rank_leaders(c, r)[0]` is exactly `elect_leader(c, r)`, the
+/// next entry is the first fallback, and so on.
+///
+/// This is the failover schedule for leader crashes: when the rank-0 leader
+/// fails to broadcast the unified parameters within the timeout, every miner
+/// advances to the next rank — all of them replay this same deterministic
+/// ordering, so they agree on the fallback without any extra communication.
+pub fn rank_leaders(candidates: &[Vrf], round: u64) -> Vec<usize> {
+    let tag = round.to_be_bytes();
+    let mut ranked: Vec<(Hash32, usize)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, vrf)| (vrf.evaluate(tag).0, i))
+        .collect();
+    ranked.sort();
+    ranked.into_iter().map(|(_, i)| i).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +257,19 @@ mod tests {
     #[test]
     fn empty_candidate_set_has_no_leader() {
         assert_eq!(elect_leader(&[], 0), None);
+        assert!(rank_leaders(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn ranking_head_matches_the_lottery_winner() {
+        let vrfs: Vec<Vrf> = (0..9u64).map(|i| Vrf::from_seed(i.to_be_bytes())).collect();
+        for round in 0..16 {
+            let ranking = rank_leaders(&vrfs, round);
+            assert_eq!(Some(ranking[0]), elect_leader(&vrfs, round));
+            // Every candidate appears exactly once.
+            let mut sorted = ranking.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..vrfs.len()).collect::<Vec<_>>());
+        }
     }
 }

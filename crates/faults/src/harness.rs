@@ -1,0 +1,223 @@
+//! Running the contract-centric simulator under a fault plan.
+
+use crate::driver::FaultyDriver;
+use crate::plan::FaultPlan;
+use crate::report::FaultReport;
+use cshard_network::{LatencyModel, PartitionModel, PartitionWindow};
+use cshard_primitives::Error;
+use cshard_runtime::{
+    ContractShardDriver, PropagationModel, RunReport, Runtime, RuntimeConfig, ShardSpec,
+};
+
+/// A faulted run: the ordinary run report plus the fault accounting.
+#[derive(Clone, Debug)]
+pub struct FaultRun {
+    /// The standard run report — same fingerprinted surface as
+    /// `cshard_runtime::simulate`.
+    pub run: RunReport,
+    /// What the injected faults did.
+    pub faults: FaultReport,
+}
+
+impl FaultRun {
+    /// Empty-block rate over the whole run (empty blocks / all blocks),
+    /// `0.0` when no block was mined. Crashes and partitions show up
+    /// here: idle shards spin empties.
+    pub fn empty_block_rate(&self) -> f64 {
+        let blocks: usize = self.run.shards.iter().map(|s| s.blocks).sum();
+        if blocks == 0 {
+            return 0.0;
+        }
+        let empties: usize = self.run.shards.iter().map(|s| s.empty_blocks).sum();
+        empties as f64 / blocks as f64
+    }
+
+    /// Fraction of transactions left unconfirmed (nonzero only when the
+    /// plan deadline cut the run short).
+    pub fn unconfirmed_fraction(&self) -> f64 {
+        let txs: usize = self.run.shards.iter().map(|s| s.txs).sum();
+        if txs == 0 {
+            return 0.0;
+        }
+        let confirmed: usize = self.run.shards.iter().map(|s| s.confirmed).sum();
+        (txs - confirmed) as f64 / txs as f64
+    }
+}
+
+/// Rewrites a shard's propagation model to impose the plan's partition
+/// windows. A latency model keeps its link behaviour as the partition
+/// base; the legacy window model (which schedules no delivery events)
+/// switches to delivery-based visibility over instantaneous links — the
+/// partition itself is then the only delay source. An existing partition
+/// model gains the plan's windows on top of its own.
+fn partitioned(
+    propagation: &PropagationModel,
+    windows: Vec<(cshard_primitives::SimTime, cshard_primitives::SimTime)>,
+) -> Result<PropagationModel, Error> {
+    let to_windows = |ws: Vec<(cshard_primitives::SimTime, cshard_primitives::SimTime)>| {
+        ws.into_iter()
+            .map(|(from, until)| PartitionWindow { from, until })
+            .collect::<Vec<_>>()
+    };
+    let model = match propagation {
+        PropagationModel::Window(_) => {
+            PartitionModel::new(LatencyModel::INSTANT, to_windows(windows))?
+        }
+        PropagationModel::Latency(base) => PartitionModel::new(*base, to_windows(windows))?,
+        PropagationModel::Partition(existing) => {
+            let mut all: Vec<PartitionWindow> = existing.windows().to_vec();
+            all.extend(to_windows(windows));
+            PartitionModel::new(existing.base, all)?
+        }
+    };
+    Ok(PropagationModel::Partition(model))
+}
+
+/// `cshard_runtime::simulate` under a [`FaultPlan`].
+///
+/// Builds one [`ContractShardDriver`] per spec (partitioned shards get
+/// their propagation model rewritten first), wraps each in a
+/// [`FaultyDriver`], runs the standard two-phase harness, and reads the
+/// fault accounting back out of the wrappers.
+///
+/// Determinism: the result is a pure function of `(shards, config, plan)`
+/// — bit-identical at any `config.threads`, with runtime randomness keyed
+/// by `config.seed` and fault randomness keyed by `plan.seed`. Under
+/// `FaultPlan::none(..)` the report fingerprint equals the unwrapped
+/// `simulate`'s exactly.
+pub fn run_with_faults(
+    shards: &[ShardSpec],
+    config: &RuntimeConfig,
+    plan: &FaultPlan,
+) -> Result<FaultRun, Error> {
+    plan.validate()?;
+    if config.block_capacity == 0 {
+        return Err(Error::Config {
+            field: "block_capacity",
+            reason: "must be positive".into(),
+        });
+    }
+    if let Some(spec) = shards.iter().find(|s| s.miners == 0) {
+        return Err(Error::NoMiners { shard: spec.shard });
+    }
+    let mut drivers = Vec::with_capacity(shards.len());
+    for spec in shards {
+        let windows = plan.partitions_for(spec.shard);
+        let driver = if windows.is_empty() {
+            ContractShardDriver::new(spec, config)
+        } else {
+            let mut shard_config = config.clone();
+            shard_config.propagation = partitioned(&config.propagation, windows)?;
+            ContractShardDriver::new(spec, &shard_config)
+        };
+        drivers.push(FaultyDriver::new(driver, spec.shard, plan));
+    }
+    let (run, finished) = Runtime::new(config.threads).run_drivers(drivers)?;
+    let faults = FaultReport {
+        shards: finished.iter().map(|d| d.stats().clone()).collect(),
+    };
+    Ok(FaultRun { run, faults })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cshard_primitives::{ShardId, SimTime};
+    use cshard_runtime::{simulate, SelectionStrategy};
+
+    fn specs() -> Vec<ShardSpec> {
+        (0..4u32)
+            .map(|i| ShardSpec {
+                shard: ShardId::new(i),
+                fees: (1..=50u64 + i as u64).collect(),
+                miners: 1,
+                strategy: SelectionStrategy::IdenticalGreedy,
+            })
+            .collect()
+    }
+
+    fn config(seed: u64) -> RuntimeConfig {
+        RuntimeConfig {
+            seed,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_simulate_exactly() {
+        let cfg = config(42);
+        let plain = simulate(&specs(), &cfg).expect("valid");
+        let faulted = run_with_faults(&specs(), &cfg, &FaultPlan::none(0)).expect("valid");
+        assert_eq!(faulted.run.fingerprint(), plain.fingerprint());
+        assert!(faulted.faults.is_clean());
+        assert_eq!(faulted.unconfirmed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn invalid_plans_and_configs_are_rejected() {
+        let bad_plan =
+            FaultPlan::none(0).with_drops(ShardId::new(0), 2.0, SimTime::ZERO, SimTime::MAX);
+        assert!(run_with_faults(&specs(), &config(1), &bad_plan).is_err());
+        let zero_cap = RuntimeConfig {
+            block_capacity: 0,
+            ..config(1)
+        };
+        assert!(run_with_faults(&specs(), &zero_cap, &FaultPlan::none(0)).is_err());
+    }
+
+    #[test]
+    fn partition_stretches_completion_of_the_partitioned_shard() {
+        // A multi-miner shard under latency propagation: partitioning it
+        // for a long span defers deliveries and delays completion.
+        let spec = vec![ShardSpec {
+            shard: ShardId::new(0),
+            fees: (1..=120u64).collect(),
+            miners: 3,
+            strategy: SelectionStrategy::IdenticalGreedy,
+        }];
+        let cfg = RuntimeConfig {
+            propagation: cshard_runtime::PropagationModel::Latency(
+                cshard_network::LatencyModel::wide_area(),
+            ),
+            ..config(9)
+        };
+        let healthy = run_with_faults(&spec, &cfg, &FaultPlan::none(0)).expect("valid");
+        let plan = FaultPlan::none(0).with_partition(
+            ShardId::new(0),
+            SimTime::from_secs(60),
+            SimTime::from_secs(4000),
+        );
+        let parted = run_with_faults(&spec, &cfg, &plan).expect("valid");
+        assert!(
+            parted.run.completion > healthy.run.completion,
+            "partition did not slow the shard: {} vs {}",
+            parted.run.completion,
+            healthy.run.completion
+        );
+        // Both still confirm everything (the partition heals).
+        assert_eq!(parted.unconfirmed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn faulted_runs_are_reproducible_functions_of_plan_and_seed() {
+        let cfg = config(17);
+        let plan = FaultPlan::with_deadline(5, SimTime::from_secs(100_000))
+            .with_crash(
+                ShardId::new(1),
+                0,
+                SimTime::from_secs(120),
+                Some(SimTime::from_secs(600)),
+            )
+            .with_partition(
+                ShardId::new(2),
+                SimTime::from_secs(60),
+                SimTime::from_secs(300),
+            );
+        let a = run_with_faults(&specs(), &cfg, &plan).expect("valid");
+        let b = run_with_faults(&specs(), &cfg, &plan).expect("valid");
+        assert_eq!(a.run.fingerprint(), b.run.fingerprint());
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.faults.total_crashes(), 1);
+        assert_eq!(a.faults.total_recoveries(), 1);
+    }
+}

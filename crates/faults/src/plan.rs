@@ -1,0 +1,301 @@
+//! Declarative fault schedules.
+//!
+//! A [`FaultPlan`] is data, not behaviour: a seed, an optional run
+//! deadline, and a list of [`FaultAction`]s pinned to simulated times.
+//! Two runs of the same `(plan, shard specs, runtime config)` triple are
+//! bit-identical — all fault randomness (the per-link drop/delay coins)
+//! is derived from `plan.seed` by a keyed PRF, never from host state.
+
+use cshard_primitives::{Error, ShardId, SimTime};
+
+/// One scheduled fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Crash a miner at `at`: from then on its block-found ticks are
+    /// suppressed, which also stops its self-rescheduling chain — the
+    /// miner is simply gone. With `recover_at`, the wrapper restarts the
+    /// miner at that instant (its first post-recovery tick fires
+    /// immediately; subsequent ticks resume the driver's own process).
+    CrashMiner {
+        /// Shard whose miner crashes.
+        shard: ShardId,
+        /// Local miner index within the shard.
+        miner: usize,
+        /// Crash instant.
+        at: SimTime,
+        /// Restart instant (`None` = permanent crash).
+        recover_at: Option<SimTime>,
+    },
+    /// Drop each block-delivery event in `[from, until)` independently
+    /// with probability `rate` (PRF coin per event). Dropping a delivery
+    /// models losing the "everyone has seen it" edge of a broadcast; for
+    /// drivers whose visibility is time-keyed (the contract-centric
+    /// driver) the observable effect is bounded — use
+    /// [`FaultAction::PartitionShard`] to actually move visibility.
+    DropDeliveries {
+        /// Shard whose deliveries are lossy.
+        shard: ShardId,
+        /// Per-event drop probability in `[0, 1]`.
+        rate: f64,
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// Defer each block-delivery event in `[from, until)` by `by` with
+    /// probability `rate` (PRF coin per event; a deferred event that
+    /// re-lands inside the window is re-drawn).
+    DelayDeliveries {
+        /// Shard whose deliveries lag.
+        shard: ShardId,
+        /// Per-event delay probability in `[0, 1]`.
+        rate: f64,
+        /// The deferral.
+        by: SimTime,
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// Partition a shard's broadcast network for `[from, until)`: block
+    /// deliveries cannot complete while the partition is up and land
+    /// after the heal instead (see `cshard_network::PartitionModel`).
+    /// Applied by rewriting the shard's propagation model before the run.
+    PartitionShard {
+        /// The partitioned shard.
+        shard: ShardId,
+        /// Partition start (inclusive).
+        from: SimTime,
+        /// Heal time (exclusive).
+        until: SimTime,
+    },
+}
+
+/// A full fault schedule for one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all fault randomness (drop/delay coins). Independent of
+    /// the runtime seed, so the same workload can be replayed under
+    /// different fault draws and vice versa.
+    pub seed: u64,
+    /// Hard stop: a faulted run that cannot finish (e.g. its only miner
+    /// crashed permanently) ends here instead of stalling, and the fault
+    /// report marks it timed out. `None` is only valid for plans whose
+    /// faults cannot prevent completion — [`FaultPlan::validate`] insists
+    /// on a deadline whenever a permanent crash is scheduled.
+    pub deadline: Option<SimTime>,
+    /// The scheduled faults.
+    pub actions: Vec<FaultAction>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, no deadline. A run under this plan is
+    /// bit-identical to `cshard_runtime::simulate` — the wrapper
+    /// schedules nothing and forwards everything.
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            deadline: None,
+            actions: Vec::new(),
+        }
+    }
+
+    /// A plan with a deadline and no faults yet; chain the `with_*`
+    /// builders to populate it.
+    pub fn with_deadline(seed: u64, deadline: SimTime) -> Self {
+        FaultPlan {
+            seed,
+            deadline: Some(deadline),
+            actions: Vec::new(),
+        }
+    }
+
+    /// Adds a crash (optionally with recovery).
+    pub fn with_crash(
+        mut self,
+        shard: ShardId,
+        miner: usize,
+        at: SimTime,
+        recover_at: Option<SimTime>,
+    ) -> Self {
+        self.actions.push(FaultAction::CrashMiner {
+            shard,
+            miner,
+            at,
+            recover_at,
+        });
+        self
+    }
+
+    /// Adds a delivery-drop window.
+    pub fn with_drops(mut self, shard: ShardId, rate: f64, from: SimTime, until: SimTime) -> Self {
+        self.actions.push(FaultAction::DropDeliveries {
+            shard,
+            rate,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Adds a delivery-delay window.
+    pub fn with_delays(
+        mut self,
+        shard: ShardId,
+        rate: f64,
+        by: SimTime,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.actions.push(FaultAction::DelayDeliveries {
+            shard,
+            rate,
+            by,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Adds a partition window.
+    pub fn with_partition(mut self, shard: ShardId, from: SimTime, until: SimTime) -> Self {
+        self.actions
+            .push(FaultAction::PartitionShard { shard, from, until });
+        self
+    }
+
+    /// Checks the plan is well-formed: rates in `[0, 1]`, windows
+    /// non-empty, recoveries after their crashes, everything inside the
+    /// deadline (when one is set), and a deadline present whenever a
+    /// permanent crash could stall the run forever.
+    pub fn validate(&self) -> Result<(), Error> {
+        let bad = |reason: String| Error::Config {
+            field: "fault_plan",
+            reason,
+        };
+        for (i, action) in self.actions.iter().enumerate() {
+            match action {
+                FaultAction::CrashMiner { at, recover_at, .. } => {
+                    if let Some(r) = recover_at {
+                        if *r <= *at {
+                            return Err(bad(format!(
+                                "action {i}: recovery at {r} not after crash at {at}"
+                            )));
+                        }
+                    } else if self.deadline.is_none() {
+                        return Err(bad(format!(
+                            "action {i}: a permanent crash needs a plan deadline \
+                             (the crashed miner may be the shard's only one)"
+                        )));
+                    }
+                }
+                FaultAction::DropDeliveries {
+                    rate, from, until, ..
+                }
+                | FaultAction::DelayDeliveries {
+                    rate, from, until, ..
+                } => {
+                    if !(0.0..=1.0).contains(rate) {
+                        return Err(bad(format!("action {i}: rate {rate} outside [0, 1]")));
+                    }
+                    if from >= until {
+                        return Err(bad(format!("action {i}: empty window [{from}, {until})")));
+                    }
+                }
+                FaultAction::PartitionShard { from, until, .. } => {
+                    if from >= until {
+                        return Err(bad(format!(
+                            "action {i}: empty partition [{from}, {until})"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The partition windows this plan imposes on `shard`, for the
+    /// propagation-model rewrite.
+    pub fn partitions_for(&self, shard: ShardId) -> Vec<(SimTime, SimTime)> {
+        self.actions
+            .iter()
+            .filter_map(|a| match a {
+                FaultAction::PartitionShard {
+                    shard: s,
+                    from,
+                    until,
+                } if *s == shard => Some((*from, *until)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether the plan does anything at all to `shard` at the event
+    /// level (crashes or delivery rules — partitions act through the
+    /// propagation model instead).
+    pub fn touches_events_of(&self, shard: ShardId) -> bool {
+        self.actions.iter().any(|a| match a {
+            FaultAction::CrashMiner { shard: s, .. }
+            | FaultAction::DropDeliveries { shard: s, .. }
+            | FaultAction::DelayDeliveries { shard: s, .. } => *s == shard,
+            FaultAction::PartitionShard { .. } => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn empty_plan_validates_and_touches_nothing() {
+        let plan = FaultPlan::none(7);
+        assert_eq!(plan.validate(), Ok(()));
+        assert!(!plan.touches_events_of(ShardId::new(0)));
+        assert!(plan.partitions_for(ShardId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn builders_accumulate_and_validate() {
+        let plan = FaultPlan::with_deadline(1, ms(100_000))
+            .with_crash(ShardId::new(0), 0, ms(1000), Some(ms(5000)))
+            .with_drops(ShardId::new(1), 0.5, ms(0), ms(9000))
+            .with_delays(ShardId::new(1), 0.25, ms(300), ms(0), ms(9000))
+            .with_partition(ShardId::new(2), ms(100), ms(200));
+        assert_eq!(plan.actions.len(), 4);
+        assert_eq!(plan.validate(), Ok(()));
+        assert!(plan.touches_events_of(ShardId::new(0)));
+        assert!(plan.touches_events_of(ShardId::new(1)));
+        // Partitions act through propagation, not events.
+        assert!(!plan.touches_events_of(ShardId::new(2)));
+        assert_eq!(
+            plan.partitions_for(ShardId::new(2)),
+            vec![(ms(100), ms(200))]
+        );
+    }
+
+    #[test]
+    fn permanent_crash_without_deadline_rejected() {
+        let plan = FaultPlan::none(0).with_crash(ShardId::new(0), 0, ms(10), None);
+        assert!(plan.validate().is_err());
+        // With a deadline the same crash is fine.
+        let ok = FaultPlan::with_deadline(0, ms(1000)).with_crash(ShardId::new(0), 0, ms(10), None);
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn bad_rates_windows_and_recoveries_rejected() {
+        let r = FaultPlan::none(0).with_drops(ShardId::new(0), 1.5, ms(0), ms(10));
+        assert!(r.validate().is_err());
+        let w = FaultPlan::none(0).with_delays(ShardId::new(0), 0.1, ms(5), ms(10), ms(10));
+        assert!(w.validate().is_err());
+        let c = FaultPlan::none(0).with_crash(ShardId::new(0), 0, ms(10), Some(ms(10)));
+        assert!(c.validate().is_err());
+        let p = FaultPlan::none(0).with_partition(ShardId::new(0), ms(7), ms(7));
+        assert!(p.validate().is_err());
+    }
+}

@@ -18,7 +18,7 @@
 
 use crate::merging::{iterative_merge, IterativeMergeOutcome, MergingConfig};
 use crate::selection::{best_reply_equilibrium, SelectionConfig, SelectionOutcome};
-use cshard_crypto::{RandomnessBeacon, Vrf, VrfProof};
+use cshard_crypto::{sha256_concat, RandomnessBeacon, Vrf, VrfProof};
 use cshard_network::{CommKind, CommStats};
 use cshard_primitives::{Error, Hash32, MinerId, ShardId};
 use std::fmt;
@@ -145,6 +145,58 @@ impl UnifiedParameters {
 
     fn beacon(&self) -> RandomnessBeacon {
         RandomnessBeacon::new(self.randomness)
+    }
+
+    /// A canonical digest of the broadcast's *content*: the randomness,
+    /// the miner set, and a fixed-order rendering of the game inputs (the
+    /// proof is excluded — it binds the randomness, not the payload).
+    ///
+    /// Every honest miner hashes a received broadcast the same way, so two
+    /// same-epoch broadcasts with different digests are a transferable
+    /// equivocation proof against the leader: the fault subsystem treats
+    /// such a leader as down and fails over to the next VRF rank.
+    pub fn digest(&self) -> Hash32 {
+        let mut bytes: Vec<u8> = Vec::with_capacity(64 + self.miners.len() * 4);
+        bytes.extend_from_slice(self.randomness.as_bytes());
+        bytes.extend_from_slice(&(self.miners.len() as u64).to_be_bytes());
+        for m in &self.miners {
+            bytes.extend_from_slice(&m.0.to_be_bytes());
+        }
+        match &self.inputs {
+            GameInputs::Merge {
+                shard_sizes,
+                config,
+            } => {
+                bytes.push(1);
+                bytes.extend_from_slice(&(shard_sizes.len() as u64).to_be_bytes());
+                for &(shard, size) in shard_sizes {
+                    bytes.extend_from_slice(&shard.0.to_be_bytes());
+                    bytes.extend_from_slice(&size.to_be_bytes());
+                }
+                bytes.extend_from_slice(&config.reward.0.to_be_bytes());
+                bytes.extend_from_slice(&config.cost.0.to_be_bytes());
+                bytes.extend_from_slice(&config.lower_bound.to_be_bytes());
+                bytes.extend_from_slice(&config.eta.to_bits().to_be_bytes());
+                bytes.extend_from_slice(&(config.subslots as u64).to_be_bytes());
+                bytes.extend_from_slice(&config.tolerance.to_bits().to_be_bytes());
+                bytes.extend_from_slice(&(config.max_slots as u64).to_be_bytes());
+            }
+            GameInputs::Select {
+                shard,
+                fees,
+                config,
+            } => {
+                bytes.push(2);
+                bytes.extend_from_slice(&shard.0.to_be_bytes());
+                bytes.extend_from_slice(&(fees.len() as u64).to_be_bytes());
+                for fee in fees {
+                    bytes.extend_from_slice(&fee.to_be_bytes());
+                }
+                bytes.extend_from_slice(&(config.capacity as u64).to_be_bytes());
+                bytes.extend_from_slice(&(config.max_rounds as u64).to_be_bytes());
+            }
+        }
+        sha256_concat(&[b"unified-params-digest-v1", &bytes])
     }
 
     /// The deterministic game seed every replica derives.
@@ -512,6 +564,47 @@ mod tests {
         for prob in p.initial_merge_probs().expect("merge inputs") {
             assert!((0.25..=0.75).contains(&prob));
         }
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        // Identical broadcasts hash identically.
+        assert_eq!(merge_params().digest(), merge_params().digest());
+        assert_eq!(select_params().digest(), select_params().digest());
+        // Any content change — randomness, miner set, or inputs — shows.
+        let mut other_rand = merge_params();
+        other_rand.randomness = sha256(b"epoch-8");
+        assert_ne!(merge_params().digest(), other_rand.digest());
+        let mut other_miners = merge_params();
+        other_miners.miners.pop();
+        assert_ne!(merge_params().digest(), other_miners.digest());
+        let mut other_inputs = select_params();
+        if let GameInputs::Select { fees, .. } = &mut other_inputs.inputs {
+            fees[0] += 1;
+        }
+        assert_ne!(select_params().digest(), other_inputs.digest());
+        // The two input kinds never collide.
+        assert_ne!(merge_params().digest(), select_params().digest());
+    }
+
+    #[test]
+    fn digest_ignores_the_proof() {
+        // The proof binds the randomness; equivocation detection compares
+        // payloads, so a stripped proof must not change the digest.
+        let leader = Vrf::from_seed(b"leader");
+        let with_proof = UnifiedParameters::from_leader(
+            &leader,
+            3,
+            miner_ids(4),
+            GameInputs::Select {
+                shard: ShardId::new(1),
+                fees: vec![5, 6],
+                config: SelectionConfig::default(),
+            },
+        );
+        let mut stripped = with_proof.clone();
+        stripped.leader_proof = None;
+        assert_eq!(with_proof.digest(), stripped.digest());
     }
 
     #[test]

@@ -43,16 +43,21 @@ impl LatencyModel {
     /// Samples one delivery delay given a uniform draw `u ∈ [0, 1)`.
     ///
     /// Taking the draw as a parameter (rather than an RNG) keeps this type
-    /// pure and lets callers use their own seeded streams.
+    /// pure and lets callers use their own seeded streams. Extreme models
+    /// saturate at [`SimTime::MAX`] instead of overflowing — a delay can
+    /// push an event past the end of representable time, never wrap it.
     pub fn delay(&self, u: f64) -> SimTime {
         assert!((0.0..1.0).contains(&u), "u must be in [0,1)");
-        self.base + SimTime::from_millis((self.jitter.as_millis() as f64 * u) as u64)
+        self.base.saturating_add(SimTime::from_millis(
+            (self.jitter.as_millis() as f64 * u) as u64,
+        ))
     }
 
     /// The worst-case delivery delay — the conflict window used by the
-    /// stale-block rule.
+    /// stale-block rule. Saturates at [`SimTime::MAX`] like
+    /// [`LatencyModel::delay`].
     pub fn max_delay(&self) -> SimTime {
-        self.base + self.jitter
+        self.base.saturating_add(self.jitter)
     }
 }
 
@@ -92,5 +97,15 @@ mod tests {
     #[should_panic(expected = "u must be in")]
     fn out_of_range_draw_panics() {
         LatencyModel::wide_area().delay(1.0);
+    }
+
+    #[test]
+    fn extreme_latencies_saturate_instead_of_overflowing() {
+        let m = LatencyModel {
+            base: SimTime::MAX,
+            jitter: SimTime::from_secs(1),
+        };
+        assert_eq!(m.delay(0.999), SimTime::MAX);
+        assert_eq!(m.max_delay(), SimTime::MAX);
     }
 }

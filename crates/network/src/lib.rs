@@ -13,8 +13,10 @@
 
 pub mod gossip;
 pub mod latency;
+pub mod partition;
 pub mod stats;
 
 pub use gossip::GossipNet;
 pub use latency::LatencyModel;
+pub use partition::{PartitionModel, PartitionWindow};
 pub use stats::{CommKind, CommStats};

@@ -1,0 +1,187 @@
+//! Network partitions: delivery blackout windows over a base latency.
+//!
+//! The paper's unification scheme assumes broadcasts eventually reach every
+//! miner (Sec. IV-C); the fault-injection subsystem needs the complement —
+//! spans during which a shard's broadcast traffic *cannot* complete. A
+//! [`PartitionModel`] is a base [`LatencyModel`] plus a set of half-open
+//! blackout windows `[from, until)`: a block broadcast while a window is
+//! active (or whose delivery would land inside one) only reaches the whole
+//! shard once the partition heals, plus the residual link delay. The model
+//! is a pure function of `(now, u)` — no state, no clocks — so partitioned
+//! runs replay bit-identically like everything else.
+
+use crate::latency::LatencyModel;
+use cshard_primitives::{Error, SimTime};
+
+/// One blackout span: deliveries cannot complete in `[from, until)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// When the partition starts (inclusive).
+    pub from: SimTime,
+    /// When it heals (exclusive — deliveries complete from here on).
+    pub until: SimTime,
+}
+
+impl PartitionWindow {
+    /// Whether `t` falls inside the blackout.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.from && t < self.until
+    }
+
+    /// The window's span.
+    pub fn span(&self) -> SimTime {
+        self.until.saturating_since(self.from)
+    }
+}
+
+/// A base latency model overlaid with partition windows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionModel {
+    /// Link behaviour while the shard is connected.
+    pub base: LatencyModel,
+    /// Blackout windows, kept sorted by start time and non-overlapping
+    /// (validated by [`PartitionModel::new`]).
+    windows: Vec<PartitionWindow>,
+}
+
+impl PartitionModel {
+    /// Builds a partition model, sorting the windows and rejecting empty
+    /// (`from >= until`) or overlapping spans with a typed error.
+    pub fn new(base: LatencyModel, mut windows: Vec<PartitionWindow>) -> Result<Self, Error> {
+        windows.sort_by_key(|w| (w.from, w.until));
+        for w in &windows {
+            if w.from >= w.until {
+                return Err(Error::Config {
+                    field: "partition_window",
+                    reason: format!("empty window: from {} to {}", w.from, w.until),
+                });
+            }
+        }
+        for pair in windows.windows(2) {
+            if pair[1].from < pair[0].until {
+                return Err(Error::Config {
+                    field: "partition_window",
+                    reason: format!(
+                        "overlapping windows: [{}, {}) and [{}, {})",
+                        pair[0].from, pair[0].until, pair[1].from, pair[1].until
+                    ),
+                });
+            }
+        }
+        Ok(PartitionModel { base, windows })
+    }
+
+    /// The validated blackout windows, sorted by start time.
+    pub fn windows(&self) -> &[PartitionWindow] {
+        &self.windows
+    }
+
+    /// When a block broadcast at `now` reaches the whole shard, given a
+    /// uniform draw `u ∈ [0, 1)` for the base link delay.
+    ///
+    /// Outside every window this is exactly the base model. A broadcast
+    /// started inside a window — or whose nominal delivery would land
+    /// inside one — completes only after the partition heals, plus the
+    /// residual link delay (the same sampled draw: the healed shard
+    /// re-floods over the same links). Windows are walked in order, so a
+    /// delivery pushed past one heal that lands in a later blackout keeps
+    /// getting deferred. Saturates at [`SimTime::MAX`].
+    pub fn delivery_at(&self, now: SimTime, u: f64) -> SimTime {
+        let hop = self.base.delay(u);
+        let mut at = now.saturating_add(hop);
+        for w in &self.windows {
+            if w.contains(at) || w.contains(now) {
+                at = at.max(w.until.saturating_add(hop));
+            }
+        }
+        at
+    }
+
+    /// The worst-case delivery delay: the base model's maximum plus the
+    /// longest blackout span (a block broadcast the instant a partition
+    /// starts waits the whole window out).
+    pub fn max_delay(&self) -> SimTime {
+        let longest = self
+            .windows
+            .iter()
+            .map(PartitionWindow::span)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        self.base.max_delay().saturating_add(longest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn window(from: u64, until: u64) -> PartitionWindow {
+        PartitionWindow {
+            from: ms(from),
+            until: ms(until),
+        }
+    }
+
+    fn model(windows: Vec<PartitionWindow>) -> PartitionModel {
+        PartitionModel::new(LatencyModel::constant(ms(100)), windows).expect("valid windows")
+    }
+
+    #[test]
+    fn no_windows_is_the_base_model() {
+        let m = model(vec![]);
+        assert_eq!(m.delivery_at(ms(500), 0.0), ms(600));
+        assert_eq!(m.max_delay(), ms(100));
+    }
+
+    #[test]
+    fn broadcast_inside_a_window_waits_for_the_heal() {
+        let m = model(vec![window(1000, 5000)]);
+        // Found at t=2s, mid-partition: delivers at heal + link delay.
+        assert_eq!(m.delivery_at(ms(2000), 0.0), ms(5100));
+        // Found after the heal: base behaviour again.
+        assert_eq!(m.delivery_at(ms(5000), 0.0), ms(5100));
+    }
+
+    #[test]
+    fn delivery_landing_inside_a_window_is_deferred() {
+        let m = model(vec![window(1000, 5000)]);
+        // Found at t=950ms, nominal delivery 1050ms lands in the blackout.
+        assert_eq!(m.delivery_at(ms(950), 0.0), ms(5100));
+        // Found at t=890ms, nominal delivery 990ms beats the partition.
+        assert_eq!(m.delivery_at(ms(890), 0.0), ms(990));
+    }
+
+    #[test]
+    fn chained_windows_defer_repeatedly() {
+        let m = model(vec![window(1000, 5000), window(5050, 6000)]);
+        // Deferred past the first heal (5100) → lands in the second
+        // window → deferred past its heal too.
+        assert_eq!(m.delivery_at(ms(2000), 0.0), ms(6100));
+    }
+
+    #[test]
+    fn max_delay_adds_the_longest_span() {
+        let m = model(vec![window(0, 400), window(1000, 8000)]);
+        assert_eq!(m.max_delay(), ms(100 + 7000));
+    }
+
+    #[test]
+    fn empty_and_overlapping_windows_rejected() {
+        let empty = PartitionModel::new(LatencyModel::INSTANT, vec![window(5, 5)]);
+        assert!(empty.is_err());
+        let overlap =
+            PartitionModel::new(LatencyModel::INSTANT, vec![window(0, 10), window(5, 20)]);
+        assert!(overlap.is_err());
+    }
+
+    #[test]
+    fn windows_are_sorted_on_construction() {
+        let m = model(vec![window(5000, 6000), window(1000, 2000)]);
+        assert_eq!(m.windows()[0].from, ms(1000));
+        assert_eq!(m.windows()[1].from, ms(5000));
+    }
+}

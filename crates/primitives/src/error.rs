@@ -6,6 +6,7 @@
 //! miner allocation, and the unification games.
 
 use crate::ids::ShardId;
+use crate::time::SimTime;
 use std::fmt;
 
 /// Everything a ContractShard entry point can reject instead of panicking.
@@ -50,6 +51,19 @@ pub enum Error {
         /// Index of the stalled driver in the order handed to the runtime
         /// (the report's shard order).
         index: usize,
+        /// Simulated time at which the queue drained (the timestamp of the
+        /// last popped event, or zero if the driver stalled immediately).
+        at: SimTime,
+        /// Debug rendering of the last event the driver handled before the
+        /// queue drained — the head of the queue when the stall began —
+        /// `None` when the driver stalled before handling any event.
+        last_event: Option<String>,
+    },
+    /// Every miner in a leader-failover ranking is marked down — no live
+    /// candidate can take over parameter unification for the epoch.
+    NoLiveLeader {
+        /// The epoch whose failover ranking was exhausted.
+        epoch: u64,
     },
     /// A driver was handed an event it never schedules — a malformed
     /// event stream (the typed replacement for an `unreachable!` exit in
@@ -76,9 +90,24 @@ impl fmt::Display for Error {
                 expected,
                 got,
             } => write!(f, "{operation} requires {expected} inputs, got {got}"),
-            Error::StalledDriver { index } => write!(
+            Error::StalledDriver {
+                index,
+                at,
+                last_event,
+            } => {
+                write!(
+                    f,
+                    "driver {index} reports unfinished work but scheduled no further events \
+                     (queue drained at t={at}"
+                )?;
+                match last_event {
+                    Some(ev) => write!(f, "; last event handled: {ev})"),
+                    None => write!(f, "; no event was ever handled)"),
+                }
+            }
+            Error::NoLiveLeader { epoch } => write!(
                 f,
-                "driver {index} reports unfinished work but scheduled no further events"
+                "epoch {epoch}: every candidate in the leader-failover ranking is down"
             ),
             Error::UnexpectedEvent { driver, event } => {
                 write!(f, "{driver} received an event it never schedules: {event}")
@@ -127,9 +156,24 @@ mod tests {
         }
         .to_string()
         .contains("merge_outcome"));
-        assert!(Error::StalledDriver { index: 3 }
+        let stalled = Error::StalledDriver {
+            index: 3,
+            at: SimTime::from_millis(420),
+            last_event: Some("BlockFound { miner: 1 }".into()),
+        };
+        assert!(stalled.to_string().contains("driver 3"));
+        assert!(stalled.to_string().contains("t=0.420s"));
+        assert!(stalled.to_string().contains("BlockFound { miner: 1 }"));
+        assert!(Error::StalledDriver {
+            index: 0,
+            at: SimTime::ZERO,
+            last_event: None,
+        }
+        .to_string()
+        .contains("no event was ever handled"));
+        assert!(Error::NoLiveLeader { epoch: 9 }
             .to_string()
-            .contains("driver 3"));
+            .contains("epoch 9"));
         assert!(Error::UnexpectedEvent {
             driver: "ContractShardDriver",
             event: "EpochAdvance".into()

@@ -135,8 +135,9 @@ struct ShardState {
     /// Confirmation time + author per local tx (None = unconfirmed).
     confirmed: Vec<Option<(SimTime, usize)>>,
     /// Delivery time per confirmed tx — when the confirming block has
-    /// reached the whole shard. Only populated under
-    /// [`PropagationModel::Latency`]; the window model derives visibility
+    /// reached the whole shard. Only populated under delivery-scheduling
+    /// models ([`PropagationModel::Latency`] /
+    /// [`PropagationModel::Partition`]); the window model derives visibility
     /// from the confirmation time alone.
     visible_at: Vec<Option<SimTime>>,
     unconfirmed: usize,
@@ -200,7 +201,9 @@ impl ShardState {
                 }
                 match propagation {
                     PropagationModel::Window(w) => now.saturating_since(at) < *w,
-                    PropagationModel::Latency(_) => self.visible_at[tx].is_some_and(|v| now < v),
+                    PropagationModel::Latency(_) | PropagationModel::Partition(_) => {
+                        self.visible_at[tx].is_some_and(|v| now < v)
+                    }
                 }
             }
         }
@@ -322,11 +325,13 @@ impl ContractShardDriver {
                 // self-conflicts.
                 contended_stale = st.spec.miners > 1
                     && st.unconfirmed > 0
-                    && match self.config.propagation {
+                    && match &self.config.propagation {
                         PropagationModel::Window(w) => st
                             .last_confirmation
-                            .is_some_and(|t0| now.saturating_since(t0) < w),
-                        PropagationModel::Latency(_) => st.latest_visible.is_some_and(|v| now < v),
+                            .is_some_and(|t0| now.saturating_since(t0) < *w),
+                        PropagationModel::Latency(_) | PropagationModel::Partition(_) => {
+                            st.latest_visible.is_some_and(|v| now < v)
+                        }
                     };
                 if !contended_stale {
                     // Advance the cursor past confirmed txs — monotone scan.
@@ -388,11 +393,14 @@ impl ContractShardDriver {
             st.stale_blocks += 1;
         }
 
-        // Under latency propagation, a confirming block's visibility is an
-        // explicit delivery event drawn from the network model.
-        if newly > 0 {
-            if let PropagationModel::Latency(model) = self.config.propagation {
-                let delivered = now + model.delay(self.prop_rng.unit());
+        // Under network-backed propagation (latency or partition), a
+        // confirming block's visibility is an explicit delivery event. The
+        // RNG draw happens only when a delivery is materialized, so
+        // window-model trajectories stay bit-identical to the pre-refactor
+        // simulator.
+        if newly > 0 && self.config.propagation.schedules_deliveries() {
+            let u = self.prop_rng.unit();
+            if let Some(delivered) = self.config.propagation.delivery_time(now, u) {
                 for &tx in self.candidate.iter() {
                     if st.confirmed[tx] == Some((now, miner)) {
                         st.visible_at[tx] = Some(delivered);

@@ -51,6 +51,16 @@ pub enum Event {
         /// 1-based round number, up to the protocol's round count.
         round: u32,
     },
+    /// A fault-plan control point (crash, recovery, partition heal,
+    /// deadline, …) fires. Scheduled and consumed exclusively by the
+    /// fault-injection wrapper (`cshard-faults`); protocol drivers never
+    /// see one — the wrapper intercepts its own control events before
+    /// forwarding, so a `Fault` reaching a plain driver is a malformed
+    /// stream and is rejected like any other foreign event.
+    Fault {
+        /// Index into the fault plan's action schedule (wrapper-scoped).
+        action: usize,
+    },
 }
 
 #[cfg(test)]

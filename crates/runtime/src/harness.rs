@@ -71,9 +71,24 @@ impl Runtime {
     ///
     /// Errors when a driver's event stream is malformed: the driver
     /// reports unfinished work with an empty queue
-    /// ([`Error::StalledDriver`]) or an `on_event` hook rejects an event
-    /// ([`Error::UnexpectedEvent`]). The event loop itself never panics.
+    /// ([`Error::StalledDriver`], whose payload carries the stall's
+    /// simulated time and the last event handled) or an `on_event` hook
+    /// rejects an event ([`Error::UnexpectedEvent`]). The event loop
+    /// itself never panics.
     pub fn run<D: ProtocolDriver>(&self, drivers: Vec<D>) -> Result<RunReport, Error> {
+        self.run_drivers(drivers).map(|(report, _)| report)
+    }
+
+    /// Like [`Runtime::run`], but also hands the finished drivers back in
+    /// their original order. Wrappers that accumulate extra per-shard
+    /// state during the run — the fault-injection layer's `FaultyDriver`
+    /// is the canonical case — read it out of the returned drivers after
+    /// the run completes; [`crate::report::ShardReport`] stays exactly the
+    /// fingerprinted surface it always was.
+    pub fn run_drivers<D: ProtocolDriver>(
+        &self,
+        drivers: Vec<D>,
+    ) -> Result<(RunReport, Vec<D>), Error> {
         let run_start = Instant::now();
         let comm = &self.comm;
 
@@ -84,11 +99,21 @@ impl Runtime {
                 let mut queue = EventQueue::new();
                 driver.on_start(&mut Ctx::new(&mut queue, comm));
                 let mut events = 0;
+                let mut last_event: Option<Event> = None;
                 while !driver.done() {
                     let Some((now, ev)) = queue.pop() else {
-                        return Err(Error::StalledDriver { index });
+                        // The queue drained with work outstanding: surface
+                        // where the stream died — the drain time and the
+                        // event at the head of the queue when the stall
+                        // began (the last one handled).
+                        return Err(Error::StalledDriver {
+                            index,
+                            at: queue.now(),
+                            last_event: last_event.map(|ev| format!("{ev:?}")),
+                        });
                     };
                     events += 1;
+                    last_event = Some(ev);
                     driver.on_event(now, ev, &mut Ctx::new(&mut queue, comm))?;
                 }
                 Ok(DriverTask {
@@ -123,15 +148,21 @@ impl Runtime {
         });
         let tasks: Vec<DriverTask<D>> = tasks.into_iter().collect::<Result<_, _>>()?;
 
-        Ok(RunReport {
-            completion,
-            shards: tasks
-                .into_iter()
-                .map(|t| t.driver.report(t.events, t.wall))
-                .collect(),
-            wall: run_start.elapsed(),
-            threads_used: self.executor.threads(),
-        })
+        let mut drivers = Vec::with_capacity(tasks.len());
+        let mut shards = Vec::with_capacity(tasks.len());
+        for t in tasks {
+            shards.push(t.driver.report(t.events, t.wall));
+            drivers.push(t.driver);
+        }
+        Ok((
+            RunReport {
+                completion,
+                shards,
+                wall: run_start.elapsed(),
+                threads_used: self.executor.threads(),
+            },
+            drivers,
+        ))
     }
 }
 
@@ -253,8 +284,77 @@ mod tests {
             }
         }
         let err = Runtime::new(1).run(vec![Stalled]).unwrap_err();
-        assert_eq!(err, Error::StalledDriver { index: 0 });
+        assert_eq!(
+            err,
+            Error::StalledDriver {
+                index: 0,
+                at: SimTime::ZERO,
+                last_event: None,
+            }
+        );
         assert!(err.to_string().contains("no further events"));
+        assert!(err.to_string().contains("no event was ever handled"));
+    }
+
+    /// Regression: a stall after some progress reports the simulated time
+    /// at which the queue drained and the event at the head of the queue
+    /// when the stall began (the last one handled) — the payload is no
+    /// longer an opaque index.
+    #[test]
+    fn stall_error_carries_sim_time_and_head_event() {
+        struct DiesAfterOne {
+            handled: usize,
+        }
+        impl ProtocolDriver for DiesAfterOne {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.schedule(SimTime::from_millis(250), Event::BlockFound { miner: 4 });
+            }
+            fn on_event(&mut self, _: SimTime, _: Event, _: &mut Ctx) -> Result<(), Error> {
+                self.handled += 1; // handles the tick but never reschedules
+                Ok(())
+            }
+            fn done(&self) -> bool {
+                false // claims unfinished work forever
+            }
+            fn completion(&self) -> Option<SimTime> {
+                None
+            }
+            fn report(&self, _: usize, _: Duration) -> ShardReport {
+                unreachable!("a stalled driver never reports")
+            }
+        }
+        let err = Runtime::new(1)
+            .run(vec![DiesAfterOne { handled: 0 }])
+            .unwrap_err();
+        let Error::StalledDriver {
+            index,
+            at,
+            last_event,
+        } = &err
+        else {
+            panic!("expected StalledDriver, got {err:?}");
+        };
+        assert_eq!(*index, 0);
+        assert_eq!(*at, SimTime::from_millis(250));
+        assert_eq!(last_event.as_deref(), Some("BlockFound { miner: 4 }"));
+        // And the Display form surfaces both for humans.
+        assert!(err.to_string().contains("t=0.250s"), "{err}");
+        assert!(err.to_string().contains("BlockFound"), "{err}");
+    }
+
+    /// `run_drivers` returns the finished drivers in input order, with the
+    /// same report `run` would produce.
+    #[test]
+    fn run_drivers_returns_drivers_in_order() {
+        let rt = Runtime::new(1);
+        let (report, drivers) = rt
+            .run_drivers(vec![ticker(0, 3), ticker(1, 7)])
+            .expect("well-formed");
+        assert_eq!(drivers.len(), 2);
+        assert_eq!(drivers[0].shard, ShardId::new(0));
+        assert_eq!(drivers[1].shard, ShardId::new(1));
+        assert!(drivers.iter().all(|d| d.remaining == 0));
+        assert_eq!(report.completion, SimTime::from_millis(70));
     }
 
     /// Regression: a driver rejecting an event it never schedules aborts

@@ -19,6 +19,13 @@ golden:
     diff results/golden/table1.json /tmp/golden-smoke/table1.json
     diff results/golden/fig3a.json /tmp/golden-smoke/fig3a.json
 
+# Fault-injection gate: the chaos suite (zero-fault transparency, VRF
+# failover, corruption bounds) plus the faults experiment grid as JSON.
+chaos:
+    cargo test -q --test chaos
+    cargo run --release -p cshard-bench --bin experiments -- \
+        faults --quick --json /tmp/chaos
+
 # Fast feedback loop: tests only.
 test:
     cargo test -q --workspace

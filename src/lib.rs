@@ -57,6 +57,7 @@
 //! | [`workload`] | the Sec. VI injection generators |
 //! | [`baselines`] | randomized merging, ChainSpace model, optimal oracles |
 //! | [`core`] | shard formation, miner assignment, runtime, the end-to-end system |
+//! | [`faults`] | deterministic fault injection, VRF leader failover, empirical corruption checks |
 
 #![warn(missing_docs)]
 
@@ -64,6 +65,7 @@ pub use cshard_baselines as baselines;
 pub use cshard_consensus as consensus;
 pub use cshard_core as core;
 pub use cshard_crypto as crypto;
+pub use cshard_faults as faults;
 pub use cshard_games as games;
 pub use cshard_ledger as ledger;
 pub use cshard_network as network;
@@ -84,6 +86,10 @@ pub mod prelude {
         ShardSpec, ShardingSystem, SystemReport,
     };
     pub use cshard_crypto::{sha256, RandomnessBeacon, Vrf};
+    pub use cshard_faults::{
+        measure_corruption, run_leader_faults, run_with_faults, FaultPlan, FaultyDriver,
+        LeaderFaultPlan,
+    };
     pub use cshard_games::{
         best_reply_equilibrium, iterative_merge, GameInputs, MergingConfig, SelectionConfig,
         UnifiedParameters,

@@ -95,6 +95,61 @@ fn shard_streams_do_not_depend_on_peer_shards() {
     }
 }
 
+/// Fault injection preserves the bit-identity contract: a faulted run is
+/// a pure function of `(shards, config, plan)` — the same at any thread
+/// count, and across replays — including the fault accounting itself.
+#[test]
+fn faulted_runs_are_bit_identical_across_thread_counts() {
+    let specs: Vec<ShardSpec> = (0..6u32)
+        .map(|s| ShardSpec {
+            shard: ShardId::new(s),
+            fees: (1..=40 + s as u64).collect(),
+            miners: 2,
+            strategy: SelectionStrategy::IdenticalGreedy,
+        })
+        .collect();
+    let plan = FaultPlan::none(21)
+        .with_crash(
+            ShardId::new(0),
+            1,
+            SimTime::from_secs(90),
+            Some(SimTime::from_secs(500)),
+        )
+        .with_partition(
+            ShardId::new(3),
+            SimTime::from_secs(40),
+            SimTime::from_secs(250),
+        )
+        .with_drops(ShardId::new(4), 0.5, SimTime::ZERO, SimTime::MAX);
+    let run_at = |threads: usize| {
+        let cfg = RuntimeConfig {
+            seed: 99,
+            threads,
+            ..RuntimeConfig::default()
+        };
+        run_with_faults(&specs, &cfg, &plan).expect("valid faulted run")
+    };
+    let sequential = run_at(1);
+    let pooled = run_at(4);
+    let auto = run_at(0);
+    assert_eq!(
+        sequential.run.fingerprint(),
+        pooled.run.fingerprint(),
+        "faulted run: 1 thread vs 4 threads"
+    );
+    assert_eq!(
+        sequential.run.fingerprint(),
+        auto.run.fingerprint(),
+        "faulted run: 1 thread vs all cores"
+    );
+    assert_eq!(sequential.faults, pooled.faults);
+    assert_eq!(sequential.faults, auto.faults);
+    // Replaying the identical `(config, plan)` reproduces everything.
+    let replay = run_at(1);
+    assert_eq!(sequential.run.fingerprint(), replay.run.fingerprint());
+    assert_eq!(sequential.faults, replay.faults);
+}
+
 #[test]
 fn fingerprint_reacts_to_seed_and_scale() {
     // Guard against a degenerate fingerprint: different runs must differ.
