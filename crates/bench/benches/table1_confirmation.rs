@@ -2,7 +2,7 @@
 //! at each miner count (the confirmation-time experiment's inner loop).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cshard_core::runtime::simulate_ethereum;
+use cshard_core::simulate_ethereum;
 use cshard_core::RuntimeConfig;
 use cshard_workload::{FeeDistribution, Workload};
 use std::hint::black_box;

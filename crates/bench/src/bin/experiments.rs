@@ -86,7 +86,14 @@ fn main() -> ExitCode {
         };
         println!("{}", result.to_table());
         if let Some(dir) = &json_dir {
-            let path = format!("{dir}/{id}.json");
+            // The pipeline grid is a bench artefact, not a paper figure —
+            // it ships under the BENCH_ prefix.
+            let file = if id == "pipeline" {
+                "BENCH_pipeline.json".to_string()
+            } else {
+                format!("{id}.json")
+            };
+            let path = format!("{dir}/{file}");
             if let Err(e) = std::fs::write(&path, result.to_json()) {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;

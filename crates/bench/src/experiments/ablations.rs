@@ -3,9 +3,9 @@
 
 use crate::experiments::default_fees;
 use crate::report::{ExperimentResult, Series};
-use cshard_core::metrics::throughput_improvement;
-use cshard_core::runtime::simulate_ethereum;
+use cshard_core::simulate_ethereum;
 use cshard_core::system::{MinerAllocation, SystemConfig};
+use cshard_core::throughput_improvement;
 use cshard_core::{PropagationModel, RuntimeConfig, ShardingSystem};
 use cshard_games::merging::optimal_new_shard_count;
 use cshard_games::selection::{best_reply_equilibrium, SelectionConfig};

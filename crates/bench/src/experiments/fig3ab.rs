@@ -9,8 +9,8 @@
 
 use crate::experiments::{default_fees, grid_executor};
 use crate::report::{ExperimentResult, Series};
-use cshard_core::metrics::throughput_improvement;
-use cshard_core::runtime::simulate_ethereum;
+use cshard_core::simulate_ethereum;
+use cshard_core::throughput_improvement;
 use cshard_core::{RuntimeConfig, ShardingSystem};
 use cshard_workload::Workload;
 

@@ -20,10 +20,10 @@ use crate::experiments::default_fees;
 use crate::report::{ExperimentResult, Series};
 use cshard_baselines::random_merge;
 use cshard_core::formation::ShardPlan;
-use cshard_core::metrics::{throughput_improvement, RunReport};
-use cshard_core::runtime::simulate_ethereum;
+use cshard_core::simulate_ethereum;
 use cshard_core::system::{SystemConfig, SystemReport};
 use cshard_core::{simulate, RuntimeConfig, ShardSpec, ShardingSystem};
+use cshard_core::{throughput_improvement, RunReport};
 use cshard_games::MergingConfig;
 use cshard_ledger::CallGraph;
 use cshard_primitives::{ShardId, SimTime};

@@ -7,7 +7,7 @@
 
 use crate::experiments::default_fees;
 use crate::report::{ExperimentResult, Series};
-use cshard_core::metrics::throughput_improvement;
+use cshard_core::throughput_improvement;
 use cshard_core::{simulate, RuntimeConfig, SelectionStrategy, ShardSpec};
 use cshard_primitives::ShardId;
 use cshard_workload::Workload;

@@ -14,9 +14,9 @@
 use crate::experiments::{default_fees, grid_executor};
 use crate::report::{ExperimentResult, Series};
 use cshard_baselines::ChainspacePlacement;
-use cshard_core::metrics::throughput_improvement;
-use cshard_core::runtime::simulate_ethereum;
+use cshard_core::simulate_ethereum;
 use cshard_core::system::SystemConfig;
+use cshard_core::throughput_improvement;
 use cshard_core::{PropagationModel, Runtime, RuntimeConfig, ShardingSystem};
 use cshard_games::MergingConfig;
 use cshard_network::{CommStats, LatencyModel};

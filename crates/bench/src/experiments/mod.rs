@@ -8,6 +8,7 @@ pub mod fig3cg;
 pub mod fig3h;
 pub mod fig4;
 pub mod fig5;
+pub mod pipeline;
 pub mod sec4d;
 pub mod table1;
 
@@ -34,7 +35,7 @@ pub fn grid_executor() -> Executor {
 /// All experiment ids, in paper order.
 pub const ALL: &[&str] = &[
     "table1", "fig1d", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig3g", "fig3h",
-    "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "sec4d", "faults",
+    "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "sec4d", "faults", "pipeline",
 ];
 
 /// The ablation studies of DESIGN.md §8 (run with `experiments ablations`
@@ -69,6 +70,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentResult> {
         "fig5b" => fig5::run_b(quick),
         "sec4d" => sec4d::run(),
         "faults" => faults::run(quick),
+        "pipeline" => pipeline::run(quick),
         "abl-eta" => ablations::run_eta(quick),
         "abl-window" => ablations::run_window(quick),
         "abl-fees" => ablations::run_fees(quick),

@@ -7,7 +7,7 @@
 
 use crate::experiments::default_fees;
 use crate::report::{ExperimentResult, Series};
-use cshard_core::runtime::simulate_ethereum;
+use cshard_core::simulate_ethereum;
 use cshard_core::RuntimeConfig;
 use cshard_workload::Workload;
 

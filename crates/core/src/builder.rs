@@ -1,0 +1,346 @@
+//! Fluent, validated configuration for [`ShardingSystem`].
+//!
+//! The paper's experiments touch half a dozen knobs (capacity, interval,
+//! miner spread, merging threshold, selection cap…); [`SystemBuilder`]
+//! gathers them behind one entry point with validated defaults. Every
+//! setter has the default of the underlying config struct; `build`
+//! validates the combination and returns a typed [`Error`] instead of
+//! panicking deep inside a run.
+//!
+//! Validation is deliberately *local*: the builder rejects combinations
+//! that can never run (zero capacity, a starved proportional pool), but
+//! not merely unusual ones. In particular `merging(bound)` with
+//! `bound > block_capacity` is legal — the merge threshold counts
+//! transactions per *shard* while capacity counts transactions per
+//! *block*, and merging small shards past one block's worth is exactly
+//! how merging removes empty blocks (Fig. 3(c)).
+
+use crate::system::{MinerAllocation, ShardingSystem, SystemConfig};
+use cshard_games::MergingConfig;
+use cshard_primitives::{Error, SimTime};
+use cshard_runtime::PropagationModel;
+
+/// Builds a validated [`ShardingSystem`].
+#[derive(Clone, Debug)]
+pub struct SystemBuilder {
+    shards: Option<usize>,
+    config: SystemConfig,
+    set_per_shard: bool,
+    set_total: bool,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder::new()
+    }
+}
+
+impl SystemBuilder {
+    /// A builder holding every default.
+    pub fn new() -> Self {
+        SystemBuilder {
+            shards: None,
+            config: SystemConfig::default(),
+            set_per_shard: false,
+            set_total: false,
+        }
+    }
+
+    /// The shard count this system is intended for. Shard formation itself
+    /// follows the workload's contracts; the builder uses this to validate
+    /// miner allocation (a proportional pool must staff every shard).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Transactions per block (default 10, the paper's gas limit).
+    pub fn block_capacity(mut self, capacity: usize) -> Self {
+        self.config.runtime.block_capacity = capacity;
+        self
+    }
+
+    /// Mean block interval per miner (default 60 s).
+    pub fn mean_block_interval(mut self, interval: SimTime) -> Self {
+        self.config.runtime.mean_block_interval = interval;
+        self
+    }
+
+    /// The conflict window (default one block interval). Sets the legacy
+    /// fixed-window propagation regime; use [`SystemBuilder::propagation`]
+    /// for the network-backed latency model.
+    pub fn conflict_window(mut self, window: SimTime) -> Self {
+        self.config.runtime.propagation = PropagationModel::Window(window);
+        self
+    }
+
+    /// The block-propagation model (window or network latency).
+    pub fn propagation(mut self, propagation: PropagationModel) -> Self {
+        self.config.runtime.propagation = propagation;
+        self
+    }
+
+    /// Count empty blocks only up to this time (default: whole run).
+    pub fn empty_block_window(mut self, window: SimTime) -> Self {
+        self.config.runtime.empty_block_window = Some(window);
+        self
+    }
+
+    /// The master RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.runtime.seed = seed;
+        self
+    }
+
+    /// Executor worker threads: `1` = sequential (default), `0` = one per
+    /// core. Results are bit-identical across settings.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.runtime.threads = threads;
+        self
+    }
+
+    /// A fixed miner count on every shard (default: one per shard).
+    /// Mutually exclusive with [`SystemBuilder::total_miners`].
+    pub fn miners_per_shard(mut self, miners: usize) -> Self {
+        self.config.allocation = MinerAllocation::PerShard(miners);
+        self.set_per_shard = true;
+        self
+    }
+
+    /// A total miner pool split proportionally to shard sizes.
+    /// Mutually exclusive with [`SystemBuilder::miners_per_shard`].
+    pub fn total_miners(mut self, total: usize) -> Self {
+        self.config.allocation = MinerAllocation::Proportional { total };
+        self.set_total = true;
+        self
+    }
+
+    /// Enables inter-shard merging with the given small-shard threshold
+    /// (shards below `lower_bound` transactions enter Algorithm 1).
+    pub fn merging(mut self, lower_bound: u64) -> Self {
+        self.config.merging = Some(MergingConfig {
+            lower_bound,
+            ..MergingConfig::default()
+        });
+        self
+    }
+
+    /// Enables inter-shard merging with a fully specified game config.
+    pub fn merging_config(mut self, config: MergingConfig) -> Self {
+        self.config.merging = Some(config);
+        self
+    }
+
+    /// Enables equilibrium transaction selection in multi-miner shards
+    /// (best-reply round cap, Algorithm 2).
+    pub fn selection(mut self, max_rounds: usize) -> Self {
+        self.config.selection = Some(max_rounds);
+        self
+    }
+
+    /// The epoch label seeding leader randomness (default 0).
+    pub fn epoch(mut self, epoch: u64) -> Self {
+        self.config.epoch = epoch;
+        self
+    }
+
+    /// Validates the combination and builds the system.
+    pub fn build(self) -> Result<ShardingSystem, Error> {
+        let rt = &self.config.runtime;
+        if rt.block_capacity == 0 {
+            return Err(Error::Config {
+                field: "block_capacity",
+                reason: "must be positive".into(),
+            });
+        }
+        if rt.mean_block_interval == SimTime::ZERO {
+            return Err(Error::Config {
+                field: "mean_block_interval",
+                reason: "must be positive".into(),
+            });
+        }
+        if self.shards == Some(0) {
+            return Err(Error::Config {
+                field: "shards",
+                reason: "must be positive".into(),
+            });
+        }
+        if self.set_per_shard && self.set_total {
+            return Err(Error::Config {
+                field: "allocation",
+                reason: "miners_per_shard and total_miners are mutually exclusive".into(),
+            });
+        }
+        match self.config.allocation {
+            MinerAllocation::PerShard(0) => {
+                return Err(Error::Config {
+                    field: "allocation",
+                    reason: "shards need at least one miner".into(),
+                });
+            }
+            MinerAllocation::Proportional { total } => {
+                if let Some(shards) = self.shards {
+                    if total < shards {
+                        return Err(Error::InsufficientMiners {
+                            shards,
+                            miners: total,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        if self.config.selection == Some(0) {
+            return Err(Error::Config {
+                field: "selection",
+                reason: "needs at least one best-reply round".into(),
+            });
+        }
+        if let Some(m) = &self.config.merging {
+            m.validate()?;
+        }
+        Ok(ShardingSystem::new(self.config))
+    }
+}
+
+impl From<SystemBuilder> for SystemConfig {
+    /// The unvalidated escape hatch: the raw config the builder holds.
+    fn from(builder: SystemBuilder) -> Self {
+        builder.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// What a table row expects `build` to return.
+    enum Want {
+        /// `Error::Config` naming this field.
+        Config(&'static str),
+        /// `Error::InsufficientMiners`.
+        Insufficient,
+    }
+
+    /// Every invalid field combination the builder rejects, as one table:
+    /// each row is (label, builder, expected typed error). Valid-but-odd
+    /// combinations (e.g. a merge threshold above block capacity — see the
+    /// module docs) deliberately do NOT appear here.
+    #[test]
+    fn builder_rejects_every_invalid_combination() {
+        let bad_merge = |patch: fn(&mut MergingConfig)| {
+            let mut m = MergingConfig::default();
+            patch(&mut m);
+            SystemBuilder::new().merging_config(m)
+        };
+        let cases: Vec<(&str, SystemBuilder, Want)> = vec![
+            (
+                "zero block capacity",
+                SystemBuilder::new().block_capacity(0),
+                Want::Config("block_capacity"),
+            ),
+            (
+                "zero block interval",
+                SystemBuilder::new().mean_block_interval(SimTime::ZERO),
+                Want::Config("mean_block_interval"),
+            ),
+            (
+                "zero shards",
+                SystemBuilder::new().shards(0),
+                Want::Config("shards"),
+            ),
+            (
+                "zero miners per shard",
+                SystemBuilder::new().miners_per_shard(0),
+                Want::Config("allocation"),
+            ),
+            (
+                "conflicting miner spreads",
+                SystemBuilder::new().miners_per_shard(3).total_miners(9),
+                Want::Config("allocation"),
+            ),
+            (
+                "conflicting spreads, either order",
+                SystemBuilder::new().total_miners(9).miners_per_shard(3),
+                Want::Config("allocation"),
+            ),
+            (
+                "starved proportional pool",
+                SystemBuilder::new().shards(9).total_miners(4),
+                Want::Insufficient,
+            ),
+            (
+                "zero selection rounds",
+                SystemBuilder::new().selection(0),
+                Want::Config("selection"),
+            ),
+            (
+                "zero merge threshold",
+                SystemBuilder::new().merging(0),
+                Want::Config("merging.lower_bound"),
+            ),
+            (
+                "merge reward below cost",
+                bad_merge(|m| m.reward = m.cost),
+                Want::Config("merging.reward"),
+            ),
+            (
+                "merge eta at zero",
+                bad_merge(|m| m.eta = 0.0),
+                Want::Config("merging.eta"),
+            ),
+            (
+                "merge eta at one",
+                bad_merge(|m| m.eta = 1.0),
+                Want::Config("merging.eta"),
+            ),
+            (
+                "merge eta NaN",
+                bad_merge(|m| m.eta = f64::NAN),
+                Want::Config("merging.eta"),
+            ),
+            (
+                "zero merge subslots",
+                bad_merge(|m| m.subslots = 0),
+                Want::Config("merging.subslots"),
+            ),
+            (
+                "non-positive merge tolerance",
+                bad_merge(|m| m.tolerance = 0.0),
+                Want::Config("merging.tolerance"),
+            ),
+            (
+                "NaN merge tolerance",
+                bad_merge(|m| m.tolerance = f64::NAN),
+                Want::Config("merging.tolerance"),
+            ),
+            (
+                "zero merge slot cap",
+                bad_merge(|m| m.max_slots = 0),
+                Want::Config("merging.max_slots"),
+            ),
+        ];
+        for (label, builder, want) in cases {
+            let err = builder.build().err();
+            match (want, err) {
+                (Want::Config(field), Some(Error::Config { field: got, .. })) => {
+                    assert_eq!(got, field, "{label}: wrong field");
+                }
+                (Want::Insufficient, Some(Error::InsufficientMiners { .. })) => {}
+                (_, other) => panic!("{label}: unexpected result {other:?}"),
+            }
+        }
+    }
+
+    /// The one legal-but-surprising combination the table excludes: a merge
+    /// threshold above block capacity is how merging removes empty blocks,
+    /// so the builder must accept it.
+    #[test]
+    fn merge_threshold_above_capacity_is_legal() {
+        assert!(SystemBuilder::new()
+            .block_capacity(10)
+            .merging(16)
+            .build()
+            .is_ok());
+    }
+}

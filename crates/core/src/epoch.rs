@@ -103,6 +103,21 @@ impl EpochManager {
         self.complete_epoch(epoch, winner, 0, batch)
     }
 
+    /// Elects the next epoch's leader and consumes the epoch number,
+    /// without forming shards or absorbing a batch. This is the election
+    /// half of [`EpochManager::run_epoch`] — the long run uses it when the
+    /// classification half is handled by the pipeline's persistent
+    /// classify stage (which accumulates the same cross-epoch call graph).
+    /// The leader sequence is bit-identical to `run_epoch`'s.
+    pub fn elect(&mut self) -> (u64, MinerId) {
+        let epoch = self.epoch;
+        self.epoch += 1;
+        let vrfs: Vec<Vrf> = self.miners.iter().map(|m| m.vrf.clone()).collect();
+        // Same unreachable-`None` reasoning as in `run_epoch` (PH001).
+        let winner = elect_leader(&vrfs, epoch).unwrap_or(0);
+        (epoch, self.miners[winner].id)
+    }
+
     /// Runs one epoch like [`EpochManager::run_epoch`], but with a set of
     /// miners known to be down (crashed, or caught equivocating by the
     /// fault detector). The VRF failover ranking is walked in order and
@@ -351,6 +366,18 @@ mod tests {
         assert_eq!(mgr.epoch(), 0);
         let out = mgr.run_epoch(&batch(0));
         assert_eq!(out.epoch, 0);
+    }
+
+    #[test]
+    fn elect_matches_run_epoch_leader_sequence() {
+        let mut electing = EpochManager::with_miner_count(20);
+        let mut running = EpochManager::with_miner_count(20);
+        for e in 0..8 {
+            let (epoch, leader) = electing.elect();
+            let out = running.run_epoch(&batch(e));
+            assert_eq!(epoch, out.epoch);
+            assert_eq!(leader, out.leader, "epoch {e}");
+        }
     }
 
     #[test]

@@ -33,7 +33,15 @@ impl ShardPlan {
         // invokes two contracts within the batch is multi-contract.
         let mut graph = history.clone();
         graph.observe_all(transactions.iter());
+        Self::classify(transactions, &graph)
+    }
 
+    /// Classifies a batch against a call graph that has *already observed
+    /// it* — the incremental twin of [`ShardPlan::build`]. A pipeline that
+    /// owns its history absorbs each batch into the graph once and
+    /// classifies in place, instead of cloning the whole accumulated
+    /// history every epoch.
+    pub fn classify(transactions: &[Transaction], graph: &CallGraph) -> ShardPlan {
         let mut contract_shards: BTreeMap<ShardId, Vec<usize>> = BTreeMap::new();
         let mut maxshard = Vec::new();
         let mut shard_of = Vec::with_capacity(transactions.len());
@@ -272,6 +280,20 @@ mod tests {
         assert_eq!(small.len(), 3);
         let sizes: Vec<u64> = small.iter().map(|&(_, s)| s).collect();
         assert_eq!(sizes, vec![4, 8, 9]);
+    }
+
+    #[test]
+    fn classify_matches_build_on_an_observed_graph() {
+        // `build` = clone + observe + classify; a graph that has already
+        // absorbed the batch classifies identically without the clone.
+        let w = Workload::uniform_contracts(150, 6, FEES, 9);
+        let built = ShardPlan::build(&w.transactions, &CallGraph::new());
+        let mut graph = CallGraph::new();
+        graph.observe_all(w.transactions.iter());
+        let classified = ShardPlan::classify(&w.transactions, &graph);
+        assert_eq!(built.contract_shards, classified.contract_shards);
+        assert_eq!(built.maxshard, classified.maxshard);
+        assert_eq!(built.shard_of, classified.shard_of);
     }
 
     #[test]

@@ -7,43 +7,50 @@
 //! * [`assignment`] — Sec. III-B: miners are mapped to shards by verifiable
 //!   leader randomness, proportionally to each shard's transaction
 //!   fraction, and any claimed assignment is publicly checkable.
-//! * [`runtime`] — the discrete-event block-production simulator standing
-//!   in for the paper's nine-server testbed: per-shard PoW chains,
-//!   fee-greedy or game-equilibrium transaction selection, window- or
-//!   latency-modelled propagation, and empty-block accounting. The
-//!   machinery itself lives in `cshard-runtime` (typed events, the
-//!   `ProtocolDriver` trait, the shared harness); this module is the
-//!   compatibility facade over it.
-//! * [`metrics`] — waiting times, throughput improvement (`W_E / W_S`,
-//!   Sec. VI-A), empty blocks and communication counts.
-//! * [`system`] — [`system::ShardingSystem`]: the end-to-end pipeline
-//!   (form shards → assign miners → merge small shards → select
-//!   transactions → run) with every stage optional, so experiments can
-//!   ablate each mechanism.
+//! * [`pipeline`] — the staged epoch: `Classify → Form → Merge → Select →
+//!   Unify`, each stage a struct with persistent cross-epoch state
+//!   (call-graph history, merge memoization, selection warm caches) and
+//!   per-stage counters. This is the *only* epoch implementation in the
+//!   workspace; everything below drives it.
+//! * [`system`] — [`system::ShardingSystem`]: the workload-level facade
+//!   over one cold pipeline epoch, with every stage optional so
+//!   experiments can ablate each mechanism; [`builder`] holds its
+//!   validated fluent configuration.
+//! * [`longrun`] — epoch-driven evolution: leader election per epoch
+//!   ([`epoch`]) over one persistent pipeline.
 //! * [`node`] — a full miner node over the real substrates (ledger +
 //!   actual PoW + block verification), used by examples and integration
 //!   tests to demonstrate the protocol end-to-end rather than in the
 //!   statistical model.
+//!
+//! The discrete-event simulator itself (typed events, the
+//! `ProtocolDriver` trait, the shared harness, run reports) lives in
+//! [`cshard_runtime`]; this crate re-exports the common pieces at its
+//! root.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod assignment;
+pub mod builder;
 pub mod epoch;
 pub mod formation;
 pub mod longrun;
-pub mod metrics;
 pub mod node;
-pub mod runtime;
+pub mod pipeline;
 pub mod system;
 
 pub use assignment::MinerAssignment;
+pub use cshard_runtime::report::{throughput_improvement, RunReport, ShardReport};
+pub use cshard_runtime::{
+    simulate, simulate_ethereum, ContractShardDriver, EthereumDriver, Event, PropagationModel,
+    ProtocolDriver, Runtime, RuntimeConfig, SelectionStrategy, ShardSpec,
+};
 pub use epoch::{EpochManager, EpochOutcome};
 pub use formation::ShardPlan;
 pub use longrun::{LongRun, LongRunConfig};
-pub use metrics::{RunReport, ShardReport};
-pub use runtime::{
-    simulate, ContractShardDriver, EthereumDriver, Event, PropagationModel, ProtocolDriver,
-    Runtime, RuntimeConfig, SelectionStrategy, ShardSpec,
+pub use pipeline::{
+    EpochInput, EpochPipeline, EpochRun, MergeSummary, PipelineConfig, PipelineMetrics, StageKind,
+    StageObserver, StageOutput,
 };
-pub use system::{ShardingSystem, SystemBuilder, SystemConfig, SystemReport};
+pub use system::{MinerAllocation, ShardingSystem, SystemBuilder, SystemConfig, SystemReport};

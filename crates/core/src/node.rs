@@ -1,6 +1,6 @@
 //! A full miner node over the real substrates (Sec. III-C's workflow).
 //!
-//! Where [`crate::runtime`] is the statistical model used by the large
+//! Where `cshard_runtime` is the statistical model used by the large
 //! evaluation runs, `Node` is the real thing in miniature: it keeps an
 //! actual [`Chain`] (with state validation), a [`Mempool`], a local
 //! [`CallGraph`], mines blocks with genuine SHA-256 PoW, and performs both

@@ -1,0 +1,57 @@
+//! Stage 1 — Classify: call-graph classification (Sec. III-A).
+
+use super::{EpochCtx, PipelineStage, StageKind, StageOutput};
+use crate::formation::ShardPlan;
+use cshard_ledger::CallGraph;
+use cshard_primitives::Error;
+
+/// Classifies each epoch's batch against the call graph it **owns** and
+/// keeps across epochs: the batch is absorbed once, then classified in
+/// place ([`ShardPlan::classify`]) — no per-epoch clone of the whole
+/// accumulated history, which is what made the pre-pipeline
+/// `ShardPlan::build` path O(history) per epoch.
+///
+/// A fresh stage starts with an empty graph (single-workload runs); a
+/// long-running pipeline accumulates sender history here, so users who
+/// diversify migrate to the MaxShard exactly as under the old
+/// `EpochManager`-owned history.
+#[derive(Debug, Default)]
+pub struct ClassifyStage {
+    graph: CallGraph,
+}
+
+impl ClassifyStage {
+    /// A classifier with no history.
+    pub fn new() -> Self {
+        ClassifyStage {
+            graph: CallGraph::new(),
+        }
+    }
+
+    /// A classifier seeded with pre-existing history.
+    pub fn with_history(graph: CallGraph) -> Self {
+        ClassifyStage { graph }
+    }
+
+    /// The accumulated cross-epoch call graph.
+    pub fn history(&self) -> &CallGraph {
+        &self.graph
+    }
+}
+
+impl PipelineStage for ClassifyStage {
+    fn kind(&self) -> StageKind {
+        StageKind::Classify
+    }
+
+    fn run(&mut self, ctx: &mut EpochCtx<'_>) -> Result<StageOutput, Error> {
+        self.graph.observe_all(ctx.transactions.iter());
+        let plan = ShardPlan::classify(ctx.transactions, &self.graph);
+        let out = StageOutput {
+            items: plan.active_shard_count() as u64,
+            ..StageOutput::default()
+        };
+        ctx.plan = Some(plan);
+        Ok(out)
+    }
+}

@@ -1,0 +1,47 @@
+//! Stage 2 — Form: per-shard local fee queues.
+
+use super::{missing_product, EpochCtx, PipelineStage, StageKind, StageOutput};
+use cshard_primitives::{Error, ShardId};
+
+/// Materializes one local fee queue per active shard from the classify
+/// stage's plan — contract shards in id order, the MaxShard last (its id
+/// sorts highest, so the order survives the merge stage's re-sort).
+#[derive(Debug, Default)]
+pub struct FormStage;
+
+impl FormStage {
+    /// A formation stage (stateless; queues are rebuilt per epoch).
+    pub fn new() -> Self {
+        FormStage
+    }
+}
+
+impl PipelineStage for FormStage {
+    fn kind(&self) -> StageKind {
+        StageKind::Form
+    }
+
+    fn run(&mut self, ctx: &mut EpochCtx<'_>) -> Result<StageOutput, Error> {
+        let Some(plan) = ctx.plan.as_ref() else {
+            return Err(missing_product("form", "classify"));
+        };
+        let fees = ctx.fees;
+        let mut groups: Vec<(ShardId, Vec<u64>)> = plan
+            .contract_shards
+            .iter()
+            .map(|(&shard, idxs)| (shard, idxs.iter().map(|&i| fees[i]).collect()))
+            .collect();
+        if !plan.maxshard.is_empty() {
+            groups.push((
+                ShardId::MAX_SHARD,
+                plan.maxshard.iter().map(|&i| fees[i]).collect(),
+            ));
+        }
+        let out = StageOutput {
+            items: groups.len() as u64,
+            ..StageOutput::default()
+        };
+        ctx.groups = groups;
+        Ok(out)
+    }
+}

@@ -1,7 +1,8 @@
 //! The end-to-end sharding system.
 //!
 //! [`ShardingSystem::run`] is the whole pipeline of the paper on one
-//! workload:
+//! workload, driven through the staged [`EpochPipeline`]
+//! (`Classify → Form → Merge → Select → Unify`, see [`crate::pipeline`]):
 //!
 //! 1. **Formation** (Sec. III-A) — classify transactions into contract
 //!    shards + MaxShard via the call graph.
@@ -16,17 +17,21 @@
 //!    report waiting time, empty blocks and communication counts.
 //!
 //! Every stage is independently switchable so experiments can ablate each
-//! mechanism (Fig. 3 runs every combination).
+//! mechanism (Fig. 3 runs every combination). This module is only the
+//! workload-level facade: configuration types plus the thin `run` driver;
+//! the stages themselves live in [`crate::pipeline`], and the fluent
+//! builder in [`crate::builder`].
 
-use crate::formation::ShardPlan;
-use crate::metrics::RunReport;
-use crate::runtime::{simulate, PropagationModel, RuntimeConfig, SelectionStrategy, ShardSpec};
+use crate::pipeline::{EpochInput, EpochPipeline, PipelineConfig, PipelineMetrics};
 use cshard_crypto::sha256;
-use cshard_games::{GameInputs, MergingConfig, UnifiedParameters};
-use cshard_ledger::CallGraph;
+use cshard_games::MergingConfig;
 use cshard_network::CommStats;
-use cshard_primitives::{Error, MinerId, ShardId, SimTime};
+use cshard_primitives::{Error, ShardId};
+use cshard_runtime::{RunReport, RuntimeConfig};
 use cshard_workload::Workload;
+
+pub use crate::builder::SystemBuilder;
+pub use crate::pipeline::MergeSummary;
 
 /// How miners are spread over shards.
 #[derive(Clone, Copy, Debug)]
@@ -77,17 +82,6 @@ impl Default for SystemConfig {
     }
 }
 
-/// Summary of the merge stage.
-#[derive(Clone, Debug)]
-pub struct MergeSummary {
-    /// Small shards that entered the game.
-    pub small_shards: usize,
-    /// New (merged) shards formed.
-    pub new_shards: usize,
-    /// Small shards left unmerged.
-    pub leftover: usize,
-}
-
 /// The full result of a system run.
 #[derive(Clone, Debug)]
 pub struct SystemReport {
@@ -100,33 +94,9 @@ pub struct SystemReport {
     /// Cross-shard communication incurred (validation is always zero for
     /// the contract-centric design; merging contributes 2 per small shard).
     pub comm: CommStats,
-}
-
-/// Splits `total` miners over shards proportionally to `sizes`, giving
-/// every shard at least one miner (largest-remainder on the remainder).
-fn proportional_split(sizes: &[u64], total: usize) -> Vec<usize> {
-    assert!(total >= sizes.len());
-    let total_size: u64 = sizes.iter().sum::<u64>().max(1);
-    let spare = total - sizes.len();
-    // Exact shares of the spare pool.
-    let exact: Vec<f64> = sizes
-        .iter()
-        .map(|&s| s as f64 * spare as f64 / total_size as f64)
-        .collect();
-    let mut counts: Vec<usize> = exact.iter().map(|e| 1 + e.floor() as usize).collect();
-    let assigned: usize = counts.iter().sum();
-    // Largest remainders get the leftovers; ties by index (deterministic).
-    let mut order: Vec<usize> = (0..sizes.len()).collect();
-    order.sort_by(|&a, &b| {
-        let ra = exact[a] - exact[a].floor();
-        let rb = exact[b] - exact[b].floor();
-        rb.total_cmp(&ra).then(a.cmp(&b))
-    });
-    for &i in order.iter().take(total.saturating_sub(assigned)) {
-        counts[i] += 1;
-    }
-    debug_assert_eq!(counts.iter().sum::<usize>(), total);
-    counts
+    /// Per-stage pipeline counters (items, game iterations, warm-start
+    /// hits). Diagnostics only — never part of a golden fingerprint.
+    pub pipeline: PipelineMetrics,
 }
 
 /// The contract-centric sharding system.
@@ -172,6 +142,41 @@ impl ShardingSystem {
     pub fn config(&self) -> &SystemConfig {
         &self.config
     }
+
+    /// The pipeline configuration this system drives its epochs with
+    /// (warm starts off: a workload run is a single cold epoch).
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        PipelineConfig {
+            merging: self.config.merging,
+            selection: self.config.selection,
+            allocation: self.config.allocation,
+            warm_start: false,
+        }
+    }
+
+    /// Runs the pipeline on a workload.
+    ///
+    /// Errors when the configuration cannot produce a valid run — a zero
+    /// block capacity, a zero per-shard miner count, or a proportional
+    /// miner pool smaller than the shard count. (Systems built through
+    /// [`ShardingSystem::builder`] have already been validated.)
+    pub fn run(&self, workload: &Workload) -> Result<SystemReport, Error> {
+        let mut pipeline = EpochPipeline::new(self.pipeline_config());
+        let fees = workload.fees();
+        let out = pipeline.run_epoch(EpochInput {
+            transactions: &workload.transactions,
+            fees: &fees,
+            randomness: sha256(self.config.epoch.to_be_bytes()),
+            runtime: self.config.runtime.clone(),
+        })?;
+        Ok(SystemReport {
+            run: out.run,
+            shard_sizes: out.shard_sizes,
+            merge: out.merge,
+            comm: out.comm,
+            pipeline: pipeline.metrics().clone(),
+        })
+    }
 }
 
 impl From<SystemConfig> for ShardingSystem {
@@ -192,664 +197,5 @@ impl From<RuntimeConfig> for SystemConfig {
 impl From<RuntimeConfig> for ShardingSystem {
     fn from(runtime: RuntimeConfig) -> Self {
         ShardingSystem::testbed(runtime)
-    }
-}
-
-/// Fluent construction of a [`ShardingSystem`], collapsing the
-/// [`RuntimeConfig`] / [`SystemConfig`] / [`MergingConfig`] / selection
-/// sprawl behind one entry point with validated defaults.
-///
-/// Every setter has the default of the underlying config struct; `build`
-/// validates the combination and returns [`Error`] instead of panicking
-/// deep inside a run.
-#[derive(Clone, Debug)]
-pub struct SystemBuilder {
-    shards: Option<usize>,
-    config: SystemConfig,
-}
-
-impl Default for SystemBuilder {
-    fn default() -> Self {
-        SystemBuilder::new()
-    }
-}
-
-impl SystemBuilder {
-    /// A builder holding every default.
-    pub fn new() -> Self {
-        SystemBuilder {
-            shards: None,
-            config: SystemConfig::default(),
-        }
-    }
-
-    /// The shard count this system is intended for. Shard formation itself
-    /// follows the workload's contracts; the builder uses this to validate
-    /// miner allocation (a proportional pool must staff every shard).
-    pub fn shards(mut self, shards: usize) -> Self {
-        self.shards = Some(shards);
-        self
-    }
-
-    /// Transactions per block (default 10, the paper's gas limit).
-    pub fn block_capacity(mut self, capacity: usize) -> Self {
-        self.config.runtime.block_capacity = capacity;
-        self
-    }
-
-    /// Mean block interval per miner (default 60 s).
-    pub fn mean_block_interval(mut self, interval: SimTime) -> Self {
-        self.config.runtime.mean_block_interval = interval;
-        self
-    }
-
-    /// The conflict window (default one block interval). Sets the legacy
-    /// fixed-window propagation regime; use [`SystemBuilder::propagation`]
-    /// for the network-backed latency model.
-    pub fn conflict_window(mut self, window: SimTime) -> Self {
-        self.config.runtime.propagation = PropagationModel::Window(window);
-        self
-    }
-
-    /// The block-propagation model (window or network latency).
-    pub fn propagation(mut self, propagation: PropagationModel) -> Self {
-        self.config.runtime.propagation = propagation;
-        self
-    }
-
-    /// Count empty blocks only up to this time (default: whole run).
-    pub fn empty_block_window(mut self, window: SimTime) -> Self {
-        self.config.runtime.empty_block_window = Some(window);
-        self
-    }
-
-    /// The master RNG seed (default 0).
-    pub fn seed(mut self, seed: u64) -> Self {
-        self.config.runtime.seed = seed;
-        self
-    }
-
-    /// Executor worker threads: `1` = sequential (default), `0` = one per
-    /// core. Results are bit-identical across settings.
-    pub fn threads(mut self, threads: usize) -> Self {
-        self.config.runtime.threads = threads;
-        self
-    }
-
-    /// A fixed miner count on every shard (default: one per shard).
-    pub fn miners_per_shard(mut self, miners: usize) -> Self {
-        self.config.allocation = MinerAllocation::PerShard(miners);
-        self
-    }
-
-    /// A total miner pool split proportionally to shard sizes.
-    pub fn total_miners(mut self, total: usize) -> Self {
-        self.config.allocation = MinerAllocation::Proportional { total };
-        self
-    }
-
-    /// Enables inter-shard merging with the given small-shard threshold
-    /// (shards below `lower_bound` transactions enter Algorithm 1).
-    pub fn merging(mut self, lower_bound: u64) -> Self {
-        self.config.merging = Some(MergingConfig {
-            lower_bound,
-            ..MergingConfig::default()
-        });
-        self
-    }
-
-    /// Enables inter-shard merging with a fully specified game config.
-    pub fn merging_config(mut self, config: MergingConfig) -> Self {
-        self.config.merging = Some(config);
-        self
-    }
-
-    /// Enables equilibrium transaction selection in multi-miner shards
-    /// (best-reply round cap, Algorithm 2).
-    pub fn selection(mut self, max_rounds: usize) -> Self {
-        self.config.selection = Some(max_rounds);
-        self
-    }
-
-    /// The epoch label seeding leader randomness (default 0).
-    pub fn epoch(mut self, epoch: u64) -> Self {
-        self.config.epoch = epoch;
-        self
-    }
-
-    /// Validates the combination and builds the system.
-    pub fn build(self) -> Result<ShardingSystem, Error> {
-        let rt = &self.config.runtime;
-        if rt.block_capacity == 0 {
-            return Err(Error::Config {
-                field: "block_capacity",
-                reason: "must be positive".into(),
-            });
-        }
-        if rt.mean_block_interval == SimTime::ZERO {
-            return Err(Error::Config {
-                field: "mean_block_interval",
-                reason: "must be positive".into(),
-            });
-        }
-        if self.shards == Some(0) {
-            return Err(Error::Config {
-                field: "shards",
-                reason: "must be positive".into(),
-            });
-        }
-        match self.config.allocation {
-            MinerAllocation::PerShard(0) => {
-                return Err(Error::Config {
-                    field: "allocation",
-                    reason: "shards need at least one miner".into(),
-                });
-            }
-            MinerAllocation::Proportional { total } => {
-                if let Some(shards) = self.shards {
-                    if total < shards {
-                        return Err(Error::InsufficientMiners {
-                            shards,
-                            miners: total,
-                        });
-                    }
-                }
-            }
-            _ => {}
-        }
-        if self.config.selection == Some(0) {
-            return Err(Error::Config {
-                field: "selection",
-                reason: "needs at least one best-reply round".into(),
-            });
-        }
-        if let Some(m) = &self.config.merging {
-            if m.lower_bound == 0 {
-                return Err(Error::Config {
-                    field: "merging.lower_bound",
-                    reason: "a zero threshold merges nothing".into(),
-                });
-            }
-        }
-        Ok(ShardingSystem::new(self.config))
-    }
-}
-
-impl From<SystemBuilder> for SystemConfig {
-    /// The unvalidated escape hatch: the raw config the builder holds.
-    fn from(builder: SystemBuilder) -> Self {
-        builder.config
-    }
-}
-
-impl ShardingSystem {
-    /// Runs the pipeline on a workload.
-    ///
-    /// Errors when the configuration cannot produce a valid run — a zero
-    /// block capacity, a zero per-shard miner count, or a proportional
-    /// miner pool smaller than the shard count. (Systems built through
-    /// [`ShardingSystem::builder`] have already been validated.)
-    pub fn run(&self, workload: &Workload) -> Result<SystemReport, Error> {
-        if self.config.runtime.block_capacity == 0 {
-            return Err(Error::Config {
-                field: "block_capacity",
-                reason: "must be positive".into(),
-            });
-        }
-        let comm = CommStats::new();
-        let plan = ShardPlan::build(&workload.transactions, &CallGraph::new());
-        let fees = workload.fees();
-
-        // Per-shard local fee queues.
-        let mut groups: Vec<(ShardId, Vec<u64>)> = plan
-            .contract_shards
-            .iter()
-            .map(|(&shard, idxs)| (shard, idxs.iter().map(|&i| fees[i]).collect()))
-            .collect();
-        if !plan.maxshard.is_empty() {
-            groups.push((
-                ShardId::MAX_SHARD,
-                plan.maxshard.iter().map(|&i| fees[i]).collect(),
-            ));
-        }
-
-        // Inter-shard merging (Algorithm 1 under unified parameters).
-        let merge = if let Some(mcfg) = self.config.merging.as_ref() {
-            let small: Vec<usize> = groups
-                .iter()
-                .enumerate()
-                .filter(|(_, (shard, txs))| {
-                    !shard.is_max_shard() && (txs.len() as u64) < mcfg.lower_bound
-                })
-                .map(|(i, _)| i)
-                .collect();
-            let shard_sizes: Vec<(ShardId, u64)> = small
-                .iter()
-                .map(|&i| (groups[i].0, groups[i].1.len() as u64))
-                .collect();
-            let params = UnifiedParameters::from_randomness(
-                sha256(self.config.epoch.to_be_bytes()),
-                (0..groups.len() as u32).map(MinerId::new).collect(),
-                GameInputs::Merge {
-                    shard_sizes,
-                    config: *mcfg,
-                },
-            );
-            params.record_communication(&comm);
-            let outcome = params.merge_outcome()?;
-
-            // Fuse the merged groups. New shards take the id of their
-            // lowest-numbered member; consumed members are dropped.
-            let mut consumed: Vec<usize> = Vec::new();
-            let mut fused: Vec<(ShardId, Vec<u64>)> = Vec::new();
-            for players in &outcome.new_shards {
-                let members: Vec<usize> = players.iter().map(|&p| small[p]).collect();
-                // The merge game never emits an empty group, but a typed
-                // skip keeps this off the panic path (audit rule PH001).
-                let Some(id) = members.iter().map(|&g| groups[g].0).min() else {
-                    continue;
-                };
-                let mut queue = Vec::new();
-                for &g in &members {
-                    queue.extend_from_slice(&groups[g].1);
-                }
-                consumed.extend_from_slice(&members);
-                fused.push((id, queue));
-            }
-            let summary = MergeSummary {
-                small_shards: small.len(),
-                new_shards: outcome.new_shards.len(),
-                leftover: outcome.leftover.len(),
-            };
-            consumed.sort_unstable();
-            consumed.dedup();
-            for &g in consumed.iter().rev() {
-                groups.remove(g);
-            }
-            groups.extend(fused);
-            groups.sort_by_key(|&(shard, _)| shard);
-            Some(summary)
-        } else {
-            None
-        };
-
-        // Miner allocation and strategy.
-        let per_shard_miners: Vec<usize> = match self.config.allocation {
-            MinerAllocation::OnePerShard => vec![1; groups.len()],
-            MinerAllocation::PerShard(n) => {
-                if n == 0 {
-                    return Err(Error::Config {
-                        field: "allocation",
-                        reason: "shards need at least one miner".into(),
-                    });
-                }
-                vec![n; groups.len()]
-            }
-            MinerAllocation::Proportional { total } => {
-                if total < groups.len() {
-                    return Err(Error::InsufficientMiners {
-                        shards: groups.len(),
-                        miners: total,
-                    });
-                }
-                proportional_split(
-                    &groups
-                        .iter()
-                        .map(|(_, q)| q.len() as u64)
-                        .collect::<Vec<_>>(),
-                    total,
-                )
-            }
-        };
-        let specs: Vec<ShardSpec> = groups
-            .iter()
-            .zip(&per_shard_miners)
-            .map(|((shard, queue), &miners)| {
-                let strategy = match self.config.selection {
-                    Some(max_rounds) if miners > 1 => SelectionStrategy::Equilibrium { max_rounds },
-                    _ => SelectionStrategy::IdenticalGreedy,
-                };
-                ShardSpec {
-                    shard: *shard,
-                    fees: queue.clone(),
-                    miners,
-                    strategy,
-                }
-            })
-            .collect();
-
-        let run = simulate(&specs, &self.config.runtime)?;
-        Ok(SystemReport {
-            run,
-            shard_sizes: groups.iter().map(|(s, q)| (*s, q.len() as u64)).collect(),
-            merge,
-            comm,
-        })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::metrics::throughput_improvement;
-    use crate::runtime::simulate_ethereum;
-    use cshard_primitives::SimTime;
-    use cshard_workload::FeeDistribution;
-
-    const FEES: FeeDistribution = FeeDistribution::Uniform { lo: 1, hi: 99 };
-
-    fn runtime(seed: u64) -> RuntimeConfig {
-        RuntimeConfig {
-            seed,
-            ..RuntimeConfig::default()
-        }
-    }
-
-    #[test]
-    fn testbed_run_confirms_everything() {
-        let w = Workload::uniform_contracts(200, 8, FEES, 1);
-        let report = ShardingSystem::testbed(runtime(1))
-            .run(&w)
-            .expect("valid config");
-        assert_eq!(report.run.total_txs(), 200);
-        assert_eq!(report.shard_sizes.len(), 9);
-        assert!(report.merge.is_none());
-        assert_eq!(report.comm.total(), 0, "no communication without merging");
-        assert!(report.run.shards.iter().all(|s| s.confirmed == s.txs));
-    }
-
-    #[test]
-    fn fig3a_improvement_grows_with_shards() {
-        // Throughput improvement vs Ethereum rises ~linearly in the shard
-        // count (Fig. 3(a): 7.2× at 9 shards on the testbed).
-        let mut prev = 0.0;
-        for contracts in [1usize, 4, 8] {
-            let mut imp_sum = 0.0;
-            for seed in 0..5u64 {
-                let w = Workload::uniform_contracts(200, contracts, FEES, 2);
-                let sharded = ShardingSystem::testbed(runtime(seed))
-                    .run(&w)
-                    .expect("valid config");
-                let eth = simulate_ethereum(w.fees(), 1, &runtime(seed)).expect("valid config");
-                imp_sum += throughput_improvement(&eth, &sharded.run);
-            }
-            let imp = imp_sum / 5.0;
-            assert!(
-                imp > prev * 0.8,
-                "contracts={contracts}: {imp:.2} after {prev:.2}"
-            );
-            prev = imp;
-        }
-        assert!(prev > 2.8, "9-shard improvement {prev:.2} too small");
-    }
-
-    #[test]
-    fn merging_reduces_empty_blocks() {
-        // Fig. 3(c): small shards idle and spin empty blocks; merging fuses
-        // them into one busy shard.
-        let w = Workload::with_small_shards(200, 9, 4, &[3, 4, 5, 4], FEES, 3);
-        let base = SystemConfig {
-            runtime: RuntimeConfig {
-                mean_block_interval: SimTime::from_millis(1500),
-                propagation: PropagationModel::Window(SimTime::from_millis(1500)),
-                seed: 3,
-                ..RuntimeConfig::default()
-            },
-            ..SystemConfig::default()
-        };
-        let unmerged = ShardingSystem::new(base.clone())
-            .run(&w)
-            .expect("valid config");
-        let merged = ShardingSystem::new(SystemConfig {
-            merging: Some(MergingConfig {
-                lower_bound: 16,
-                ..MergingConfig::default()
-            }),
-            ..base
-        })
-        .run(&w)
-        .expect("valid config");
-        let summary = merged.merge.clone().expect("merging ran");
-        assert_eq!(summary.small_shards, 4);
-        assert!(summary.new_shards >= 1, "no shard formed: {summary:?}");
-        assert!(
-            merged.run.total_empty_blocks() < unmerged.run.total_empty_blocks(),
-            "merging did not reduce empties: {} vs {}",
-            merged.run.total_empty_blocks(),
-            unmerged.run.total_empty_blocks()
-        );
-        // Fewer shards after merging.
-        assert!(merged.shard_sizes.len() < unmerged.shard_sizes.len());
-        // Unification cost: exactly 2 per small shard.
-        assert_eq!(merged.comm.total(), 8);
-    }
-
-    #[test]
-    fn merged_runs_are_deterministic() {
-        let w = Workload::with_small_shards(200, 9, 3, &[4, 5, 6], FEES, 4);
-        let cfg = SystemConfig {
-            runtime: runtime(9),
-            merging: Some(MergingConfig {
-                lower_bound: 18,
-                ..MergingConfig::default()
-            }),
-            ..SystemConfig::default()
-        };
-        let a = ShardingSystem::new(cfg.clone())
-            .run(&w)
-            .expect("valid config");
-        let b = ShardingSystem::new(cfg).run(&w).expect("valid config");
-        assert_eq!(a.run.completion, b.run.completion);
-        assert_eq!(a.shard_sizes, b.shard_sizes);
-    }
-
-    #[test]
-    fn selection_strategy_applies_to_multi_miner_shards() {
-        let w = Workload::uniform_contracts(200, 0, FEES, 5); // single MaxShard
-        let mut imp_sum = 0.0;
-        for seed in 0..6u64 {
-            let cfg = SystemConfig {
-                runtime: runtime(seed),
-                selection: Some(500),
-                allocation: MinerAllocation::PerShard(9),
-                ..SystemConfig::default()
-            };
-            let with_game = ShardingSystem::new(cfg.clone())
-                .run(&w)
-                .expect("valid config");
-            let without = ShardingSystem::new(SystemConfig {
-                selection: None,
-                ..cfg
-            })
-            .run(&w)
-            .expect("valid config");
-            imp_sum += throughput_improvement(&without.run, &with_game.run);
-        }
-        let imp = imp_sum / 6.0;
-        assert!(imp > 1.2, "selection game improvement {imp:.2}");
-    }
-
-    #[test]
-    fn proportional_allocation_tracks_shard_sizes() {
-        // One dominant shard plus a small one: the dominant shard must get
-        // the lion's share of a 20-miner pool, and all shards ≥ 1.
-        let w = Workload::with_small_shards(200, 3, 1, &[8], FEES, 8);
-        let report = ShardingSystem::new(SystemConfig {
-            runtime: runtime(8),
-            allocation: MinerAllocation::Proportional { total: 20 },
-            ..SystemConfig::default()
-        })
-        .run(&w)
-        .expect("valid config");
-        assert_eq!(report.run.total_txs(), 200);
-        assert!(report.run.shards.iter().all(|s| s.confirmed == s.txs));
-    }
-
-    #[test]
-    fn proportional_split_properties() {
-        let counts = super::proportional_split(&[100, 50, 5, 0], 31);
-        assert_eq!(counts.iter().sum::<usize>(), 31);
-        assert!(counts.iter().all(|&c| c >= 1));
-        assert!(counts[0] > counts[1]);
-        assert!(counts[1] > counts[2]);
-        assert_eq!(counts[3], 1, "empty shard still staffed");
-        // Exactly one miner per shard when the pool equals the shard count.
-        assert_eq!(super::proportional_split(&[7, 9], 2), vec![1, 1]);
-    }
-
-    #[test]
-    fn builder_defaults_match_struct_defaults() {
-        let built = ShardingSystem::builder().build().expect("defaults valid");
-        let direct = ShardingSystem::new(SystemConfig::default());
-        let w = Workload::uniform_contracts(100, 4, FEES, 11);
-        let a = built.run(&w).expect("valid config");
-        let b = direct.run(&w).expect("valid config");
-        assert_eq!(a.run.completion, b.run.completion);
-        assert_eq!(a.shard_sizes, b.shard_sizes);
-    }
-
-    #[test]
-    fn builder_sets_every_knob() {
-        let system = ShardingSystem::builder()
-            .shards(9)
-            .block_capacity(12)
-            .mean_block_interval(SimTime::from_secs(30))
-            .conflict_window(SimTime::from_secs(15))
-            .empty_block_window(SimTime::from_secs(212))
-            .seed(42)
-            .threads(4)
-            .total_miners(20)
-            .merging(16)
-            .selection(500)
-            .epoch(3)
-            .build()
-            .expect("valid configuration");
-        let cfg = system.config();
-        assert_eq!(cfg.runtime.block_capacity, 12);
-        assert_eq!(cfg.runtime.mean_block_interval, SimTime::from_secs(30));
-        assert_eq!(
-            cfg.runtime.propagation,
-            PropagationModel::Window(SimTime::from_secs(15))
-        );
-        assert_eq!(cfg.runtime.conflict_window(), SimTime::from_secs(15));
-        assert_eq!(
-            cfg.runtime.empty_block_window,
-            Some(SimTime::from_secs(212))
-        );
-        assert_eq!(cfg.runtime.seed, 42);
-        assert_eq!(cfg.runtime.threads, 4);
-        assert!(matches!(
-            cfg.allocation,
-            MinerAllocation::Proportional { total: 20 }
-        ));
-        assert_eq!(cfg.merging.as_ref().map(|m| m.lower_bound), Some(16));
-        assert_eq!(cfg.selection, Some(500));
-        assert_eq!(cfg.epoch, 3);
-    }
-
-    #[test]
-    fn builder_rejects_bad_configurations() {
-        use cshard_primitives::Error;
-        assert!(matches!(
-            ShardingSystem::builder().block_capacity(0).build(),
-            Err(Error::Config {
-                field: "block_capacity",
-                ..
-            })
-        ));
-        assert!(matches!(
-            ShardingSystem::builder().miners_per_shard(0).build(),
-            Err(Error::Config {
-                field: "allocation",
-                ..
-            })
-        ));
-        assert!(matches!(
-            ShardingSystem::builder().shards(9).total_miners(4).build(),
-            Err(Error::InsufficientMiners {
-                shards: 9,
-                miners: 4
-            })
-        ));
-        assert!(matches!(
-            ShardingSystem::builder().selection(0).build(),
-            Err(Error::Config {
-                field: "selection",
-                ..
-            })
-        ));
-        assert!(matches!(
-            ShardingSystem::builder()
-                .mean_block_interval(SimTime::ZERO)
-                .build(),
-            Err(Error::Config {
-                field: "mean_block_interval",
-                ..
-            })
-        ));
-    }
-
-    #[test]
-    fn run_rejects_invalid_direct_configs() {
-        use cshard_primitives::Error;
-        let w = Workload::uniform_contracts(50, 2, FEES, 12);
-        let zero_cap = ShardingSystem::new(SystemConfig {
-            runtime: RuntimeConfig {
-                block_capacity: 0,
-                ..RuntimeConfig::default()
-            },
-            ..SystemConfig::default()
-        });
-        assert!(matches!(
-            zero_cap.run(&w),
-            Err(Error::Config {
-                field: "block_capacity",
-                ..
-            })
-        ));
-        let starved = ShardingSystem::new(SystemConfig {
-            runtime: runtime(1),
-            allocation: MinerAllocation::Proportional { total: 1 },
-            ..SystemConfig::default()
-        });
-        assert!(matches!(
-            starved.run(&w),
-            Err(Error::InsufficientMiners { .. })
-        ));
-    }
-
-    #[test]
-    fn from_impls_wire_the_old_call_sites() {
-        let w = Workload::uniform_contracts(80, 3, FEES, 13);
-        let via_runtime: ShardingSystem = runtime(2).into();
-        let via_config: ShardingSystem = SystemConfig {
-            runtime: runtime(2),
-            ..SystemConfig::default()
-        }
-        .into();
-        let a = via_runtime.run(&w).expect("valid config");
-        let b = via_config.run(&w).expect("valid config");
-        assert_eq!(a.run.completion, b.run.completion);
-        // SystemBuilder -> SystemConfig is the unvalidated escape hatch.
-        let cfg: SystemConfig = ShardingSystem::builder().seed(9).into();
-        assert_eq!(cfg.runtime.seed, 9);
-    }
-
-    #[test]
-    fn total_txs_preserved_through_merging() {
-        let w = Workload::with_small_shards(200, 9, 5, &[2, 3, 4, 5, 6], FEES, 6);
-        let report = ShardingSystem::new(SystemConfig {
-            runtime: runtime(7),
-            merging: Some(MergingConfig {
-                lower_bound: 15,
-                ..MergingConfig::default()
-            }),
-            ..SystemConfig::default()
-        })
-        .run(&w)
-        .expect("valid config");
-        let total: u64 = report.shard_sizes.iter().map(|&(_, s)| s).sum();
-        assert_eq!(total, 200);
-        assert_eq!(report.run.total_txs(), 200);
     }
 }

@@ -1,0 +1,332 @@
+//! End-to-end tests of [`ShardingSystem`] and the staged [`EpochPipeline`]
+//! through the public API (relocated from `system.rs` when the epoch was
+//! carved into pipeline stages).
+
+use cshard_core::{
+    simulate_ethereum, throughput_improvement, EpochInput, EpochPipeline, MinerAllocation,
+    PipelineConfig, PropagationModel, RuntimeConfig, ShardingSystem, StageKind, SystemConfig,
+};
+use cshard_crypto::sha256;
+use cshard_games::MergingConfig;
+use cshard_primitives::SimTime;
+use cshard_workload::{FeeDistribution, Workload};
+
+const FEES: FeeDistribution = FeeDistribution::Uniform { lo: 1, hi: 99 };
+
+fn runtime(seed: u64) -> RuntimeConfig {
+    RuntimeConfig {
+        seed,
+        ..RuntimeConfig::default()
+    }
+}
+
+#[test]
+fn testbed_run_confirms_everything() {
+    let w = Workload::uniform_contracts(200, 8, FEES, 1);
+    let report = ShardingSystem::testbed(runtime(1))
+        .run(&w)
+        .expect("valid config");
+    assert_eq!(report.run.total_txs(), 200);
+    assert_eq!(report.shard_sizes.len(), 9);
+    assert!(report.merge.is_none());
+    assert_eq!(report.comm.total(), 0, "no communication without merging");
+    assert!(report.run.shards.iter().all(|s| s.confirmed == s.txs));
+    // The pipeline counters describe the one epoch this run was.
+    assert_eq!(report.pipeline.epochs, 1);
+    assert_eq!(report.pipeline.stage(StageKind::Unify).items, 9);
+}
+
+#[test]
+fn fig3a_improvement_grows_with_shards() {
+    // Throughput improvement vs Ethereum rises ~linearly in the shard
+    // count (Fig. 3(a): 7.2× at 9 shards on the testbed).
+    let mut prev = 0.0;
+    for contracts in [1usize, 4, 8] {
+        let mut imp_sum = 0.0;
+        for seed in 0..5u64 {
+            let w = Workload::uniform_contracts(200, contracts, FEES, 2);
+            let sharded = ShardingSystem::testbed(runtime(seed))
+                .run(&w)
+                .expect("valid config");
+            let eth = simulate_ethereum(w.fees(), 1, &runtime(seed)).expect("valid config");
+            imp_sum += throughput_improvement(&eth, &sharded.run);
+        }
+        let imp = imp_sum / 5.0;
+        assert!(
+            imp > prev * 0.8,
+            "contracts={contracts}: {imp:.2} after {prev:.2}"
+        );
+        prev = imp;
+    }
+    assert!(prev > 2.8, "9-shard improvement {prev:.2} too small");
+}
+
+#[test]
+fn merging_reduces_empty_blocks() {
+    // Fig. 3(c): small shards idle and spin empty blocks; merging fuses
+    // them into one busy shard.
+    let w = Workload::with_small_shards(200, 9, 4, &[3, 4, 5, 4], FEES, 3);
+    let base = SystemConfig {
+        runtime: RuntimeConfig {
+            mean_block_interval: SimTime::from_millis(1500),
+            propagation: PropagationModel::Window(SimTime::from_millis(1500)),
+            seed: 3,
+            ..RuntimeConfig::default()
+        },
+        ..SystemConfig::default()
+    };
+    let unmerged = ShardingSystem::new(base.clone())
+        .run(&w)
+        .expect("valid config");
+    let merged = ShardingSystem::new(SystemConfig {
+        merging: Some(MergingConfig {
+            lower_bound: 16,
+            ..MergingConfig::default()
+        }),
+        ..base
+    })
+    .run(&w)
+    .expect("valid config");
+    let summary = merged.merge.clone().expect("merging ran");
+    assert_eq!(summary.small_shards, 4);
+    assert!(summary.new_shards >= 1, "no shard formed: {summary:?}");
+    assert!(
+        merged.run.total_empty_blocks() < unmerged.run.total_empty_blocks(),
+        "merging did not reduce empties: {} vs {}",
+        merged.run.total_empty_blocks(),
+        unmerged.run.total_empty_blocks()
+    );
+    // Fewer shards after merging.
+    assert!(merged.shard_sizes.len() < unmerged.shard_sizes.len());
+    // Unification cost: exactly 2 per small shard.
+    assert_eq!(merged.comm.total(), 8);
+}
+
+#[test]
+fn merged_runs_are_deterministic() {
+    let w = Workload::with_small_shards(200, 9, 3, &[4, 5, 6], FEES, 4);
+    let cfg = SystemConfig {
+        runtime: runtime(9),
+        merging: Some(MergingConfig {
+            lower_bound: 18,
+            ..MergingConfig::default()
+        }),
+        ..SystemConfig::default()
+    };
+    let a = ShardingSystem::new(cfg.clone())
+        .run(&w)
+        .expect("valid config");
+    let b = ShardingSystem::new(cfg).run(&w).expect("valid config");
+    assert_eq!(a.run.completion, b.run.completion);
+    assert_eq!(a.shard_sizes, b.shard_sizes);
+}
+
+#[test]
+fn selection_strategy_applies_to_multi_miner_shards() {
+    let w = Workload::uniform_contracts(200, 0, FEES, 5); // single MaxShard
+    let mut imp_sum = 0.0;
+    for seed in 0..6u64 {
+        let cfg = SystemConfig {
+            runtime: runtime(seed),
+            selection: Some(500),
+            allocation: MinerAllocation::PerShard(9),
+            ..SystemConfig::default()
+        };
+        let with_game = ShardingSystem::new(cfg.clone())
+            .run(&w)
+            .expect("valid config");
+        let without = ShardingSystem::new(SystemConfig {
+            selection: None,
+            ..cfg
+        })
+        .run(&w)
+        .expect("valid config");
+        imp_sum += throughput_improvement(&without.run, &with_game.run);
+    }
+    let imp = imp_sum / 6.0;
+    assert!(imp > 1.2, "selection game improvement {imp:.2}");
+}
+
+#[test]
+fn proportional_allocation_tracks_shard_sizes() {
+    // One dominant shard plus a small one: the dominant shard must get
+    // the lion's share of a 20-miner pool, and all shards ≥ 1.
+    let w = Workload::with_small_shards(200, 3, 1, &[8], FEES, 8);
+    let report = ShardingSystem::new(SystemConfig {
+        runtime: runtime(8),
+        allocation: MinerAllocation::Proportional { total: 20 },
+        ..SystemConfig::default()
+    })
+    .run(&w)
+    .expect("valid config");
+    assert_eq!(report.run.total_txs(), 200);
+    assert!(report.run.shards.iter().all(|s| s.confirmed == s.txs));
+}
+
+#[test]
+fn builder_defaults_match_struct_defaults() {
+    let built = ShardingSystem::builder().build().expect("defaults valid");
+    let direct = ShardingSystem::new(SystemConfig::default());
+    let w = Workload::uniform_contracts(100, 4, FEES, 11);
+    let a = built.run(&w).expect("valid config");
+    let b = direct.run(&w).expect("valid config");
+    assert_eq!(a.run.completion, b.run.completion);
+    assert_eq!(a.shard_sizes, b.shard_sizes);
+}
+
+#[test]
+fn builder_sets_every_knob() {
+    let system = ShardingSystem::builder()
+        .shards(9)
+        .block_capacity(12)
+        .mean_block_interval(SimTime::from_secs(30))
+        .conflict_window(SimTime::from_secs(15))
+        .empty_block_window(SimTime::from_secs(212))
+        .seed(42)
+        .threads(4)
+        .total_miners(20)
+        .merging(16)
+        .selection(500)
+        .epoch(3)
+        .build()
+        .expect("valid configuration");
+    let cfg = system.config();
+    assert_eq!(cfg.runtime.block_capacity, 12);
+    assert_eq!(cfg.runtime.mean_block_interval, SimTime::from_secs(30));
+    assert_eq!(
+        cfg.runtime.propagation,
+        PropagationModel::Window(SimTime::from_secs(15))
+    );
+    assert_eq!(cfg.runtime.conflict_window(), SimTime::from_secs(15));
+    assert_eq!(
+        cfg.runtime.empty_block_window,
+        Some(SimTime::from_secs(212))
+    );
+    assert_eq!(cfg.runtime.seed, 42);
+    assert_eq!(cfg.runtime.threads, 4);
+    assert!(matches!(
+        cfg.allocation,
+        MinerAllocation::Proportional { total: 20 }
+    ));
+    assert_eq!(cfg.merging.as_ref().map(|m| m.lower_bound), Some(16));
+    assert_eq!(cfg.selection, Some(500));
+    assert_eq!(cfg.epoch, 3);
+}
+
+#[test]
+fn run_rejects_invalid_direct_configs() {
+    use cshard_primitives::Error;
+    let w = Workload::uniform_contracts(50, 2, FEES, 12);
+    let zero_cap = ShardingSystem::new(SystemConfig {
+        runtime: RuntimeConfig {
+            block_capacity: 0,
+            ..RuntimeConfig::default()
+        },
+        ..SystemConfig::default()
+    });
+    assert!(matches!(
+        zero_cap.run(&w),
+        Err(Error::Config {
+            field: "block_capacity",
+            ..
+        })
+    ));
+    let starved = ShardingSystem::new(SystemConfig {
+        runtime: runtime(1),
+        allocation: MinerAllocation::Proportional { total: 1 },
+        ..SystemConfig::default()
+    });
+    assert!(matches!(
+        starved.run(&w),
+        Err(Error::InsufficientMiners { .. })
+    ));
+}
+
+#[test]
+fn from_impls_wire_the_old_call_sites() {
+    let w = Workload::uniform_contracts(80, 3, FEES, 13);
+    let via_runtime: ShardingSystem = runtime(2).into();
+    let via_config: ShardingSystem = SystemConfig {
+        runtime: runtime(2),
+        ..SystemConfig::default()
+    }
+    .into();
+    let a = via_runtime.run(&w).expect("valid config");
+    let b = via_config.run(&w).expect("valid config");
+    assert_eq!(a.run.completion, b.run.completion);
+    // SystemBuilder -> SystemConfig is the unvalidated escape hatch.
+    let cfg: SystemConfig = ShardingSystem::builder().seed(9).into();
+    assert_eq!(cfg.runtime.seed, 9);
+}
+
+#[test]
+fn total_txs_preserved_through_merging() {
+    let w = Workload::with_small_shards(200, 9, 5, &[2, 3, 4, 5, 6], FEES, 6);
+    let report = ShardingSystem::new(SystemConfig {
+        runtime: runtime(7),
+        merging: Some(MergingConfig {
+            lower_bound: 15,
+            ..MergingConfig::default()
+        }),
+        ..SystemConfig::default()
+    })
+    .run(&w)
+    .expect("valid config");
+    let total: u64 = report.shard_sizes.iter().map(|&(_, s)| s).sum();
+    assert_eq!(total, 200);
+    assert_eq!(report.run.total_txs(), 200);
+}
+
+/// The warm-start acceptance check on the Fig. 3(a)-style grid: repeated
+/// identical epochs through one pipeline reach bit-identical results with
+/// strictly fewer total game-dynamics iterations when warm starts are on.
+#[test]
+fn warm_start_is_bit_identical_with_strictly_fewer_iterations() {
+    let grid = [(1usize, 31u64), (4, 32), (8, 33)];
+    let mut cold_total = 0u64;
+    let mut warm_total = 0u64;
+    for (contracts, seed) in grid {
+        let w = Workload::uniform_contracts(200, contracts, FEES, seed);
+        let fees = w.fees();
+        let config = |warm: bool| PipelineConfig {
+            merging: Some(MergingConfig {
+                lower_bound: 24,
+                ..MergingConfig::default()
+            }),
+            selection: Some(500),
+            allocation: MinerAllocation::PerShard(3),
+            warm_start: warm,
+        };
+        let drive = |warm: bool| {
+            let mut pipeline = EpochPipeline::new(config(warm));
+            let mut fingerprints = Vec::new();
+            for _ in 0..3 {
+                let out = pipeline
+                    .run_epoch(EpochInput {
+                        transactions: &w.transactions,
+                        fees: &fees,
+                        randomness: sha256(seed.to_be_bytes()),
+                        runtime: runtime(seed),
+                    })
+                    .expect("valid config");
+                fingerprints.push((out.run.fingerprint(), out.shard_sizes));
+            }
+            let m = pipeline.metrics();
+            (fingerprints, m.total_iterations(), m.total_warm_hits())
+        };
+        let (cold, cold_iters, _) = drive(false);
+        let (warm, warm_iters, warm_hits) = drive(true);
+        assert_eq!(
+            cold, warm,
+            "warm start changed results ({contracts} contracts)"
+        );
+        assert!(
+            warm_iters < cold_iters,
+            "{contracts} contracts: warm {warm_iters} !< cold {cold_iters}"
+        );
+        assert!(warm_hits > 0, "{contracts} contracts: no warm hits");
+        cold_total += cold_iters;
+        warm_total += warm_iters;
+    }
+    assert!(warm_total < cold_total);
+}

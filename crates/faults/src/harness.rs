@@ -1,4 +1,12 @@
 //! Running the contract-centric simulator under a fault plan.
+//!
+//! This harness sits *below* the epoch pipeline: it takes the same
+//! [`ShardSpec`]s the pipeline's select stage produces and wraps the same
+//! [`ContractShardDriver`]s its unify stage builds — there is no second
+//! epoch implementation here. Classification, formation, merging and
+//! selection all happen upstream in `cshard_core::pipeline::EpochPipeline`
+//! (or its leader-fault sibling `EpochManager::run_epoch_with_downs` in
+//! [`crate::epochs`]); this module only faults the block-production run.
 
 use crate::driver::FaultyDriver;
 use crate::plan::FaultPlan;

@@ -1,0 +1,888 @@
+//! A unified stepping interface over the paper's two game dynamics.
+//!
+//! Both equilibrium searches — replicator dynamics for the merging game
+//! (Algorithm 3) and best-reply dynamics for the selection game
+//! (Algorithm 2) — share the same shape: seed state from leader-unified
+//! inputs, iterate a deterministic update until a fixed point, read the
+//! equilibrium off. [`GameDynamics`] names that shape so the epoch
+//! pipeline can drive either game through one interface, count
+//! iterations uniformly, and warm-start from a previous epoch's
+//! equilibrium.
+//!
+//! Design constraints, in force for every implementor:
+//!
+//! * **Determinism** — `init` with identical inputs followed by the same
+//!   call sequence produces bit-identical state. All randomness comes
+//!   from the seed carried in the input; nothing reads clocks or ambient
+//!   entropy (audit rules ND001/ND002).
+//! * **Allocation-free after `init`** — buffers are sized during `init`
+//!   (and reused across re-inits); `step` touches only pre-allocated
+//!   scratch. This is what makes per-epoch replay cheap enough to run
+//!   inside every miner's verification path (Sec. IV-C).
+//! * **Wrapper equality** — [`one_shot_merge`] and
+//!   [`best_reply_equilibrium`] are thin wrappers over these dynamics
+//!   and are pinned draw-for-draw equal to the pre-refactor free
+//!   functions by the fuzz grid in `tests/dynamics_equivalence.rs`.
+//!
+//! [`one_shot_merge`]: crate::merging::one_shot_merge
+//! [`best_reply_equilibrium`]: crate::selection::best_reply_equilibrium
+
+use std::collections::BTreeMap;
+
+use cshard_crypto::Sha256;
+use cshard_primitives::Hash32;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::merging::{MergingConfig, OneShotOutcome, X_MAX, X_MIN};
+use crate::selection::{potential, SelectionConfig, SelectionOutcome};
+
+/// One deterministic equilibrium search, driven step by step.
+///
+/// The lifecycle is `init → step* → solution`: `init` seeds the state
+/// from unified inputs, each `step` applies one update round (a slot of
+/// replicator updates, or one best-reply sweep), `converged` reports
+/// whether another `step` could still change the state, and `solution`
+/// realizes the equilibrium. `step` on a converged game is a no-op, so
+/// driving loops need no special casing.
+pub trait GameDynamics {
+    /// Borrowed per-game inputs handed to [`init`](Self::init).
+    type Input<'a>;
+    /// The realized equilibrium outcome.
+    type Solution;
+
+    /// Resets the dynamics onto fresh inputs. May allocate (buffers are
+    /// grown here and reused on later inits); everything after must not.
+    fn init(&mut self, input: Self::Input<'_>);
+
+    /// Applies one update round. No-op once [`converged`](Self::converged).
+    fn step(&mut self);
+
+    /// Whether the dynamics have reached a fixed point (or the
+    /// configured iteration cap).
+    fn converged(&self) -> bool;
+
+    /// Update rounds applied since the last `init`.
+    fn iterations(&self) -> usize;
+
+    /// Realizes and returns the equilibrium outcome. Idempotent: the
+    /// first call may consume trailing randomness from the seeded
+    /// stream (the merge game's realization draws); repeats return the
+    /// memoized result.
+    fn solution(&mut self) -> Self::Solution;
+
+    /// Steps until convergence and returns the iteration count.
+    fn run_to_convergence(&mut self) -> usize {
+        while !self.converged() {
+            self.step();
+        }
+        self.iterations()
+    }
+}
+
+/// Reusable working buffers shared by the game dynamics.
+///
+/// Sized on `init`, reused across epochs: re-initializing a dynamics
+/// instance with same-or-smaller inputs allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct GameScratch {
+    /// Per-player coin results within one subslot (merge game).
+    merged_flag: Vec<bool>,
+    /// Σ_s U_i(t,s) over the slot's subslots (Eq. 13 numerator).
+    util_sum: Vec<f64>,
+    /// Σ_s U_i·a_i over subslots where i merged (Eq. 12 numerator).
+    util_merge_sum: Vec<f64>,
+    /// Subslots in which player i merged this slot.
+    merge_count: Vec<u32>,
+    /// Per-transaction membership flags for the sweeping miner
+    /// (selection game) — a dense stand-in for a hash-set, cleared
+    /// after each miner so it never needs re-zeroing wholesale.
+    member: Vec<bool>,
+    /// `(marginal value, tx index)` pairs, re-sorted per miner.
+    scored: Vec<(f64, usize)>,
+    /// The sweeping miner's candidate best-reply set.
+    best: Vec<usize>,
+}
+
+impl GameScratch {
+    /// A fresh, empty scratch. Buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the merge-game buffers to `n` players and zeroes them.
+    fn reset_merge(&mut self, n: usize) {
+        self.merged_flag.clear();
+        self.merged_flag.resize(n, false);
+        self.util_sum.clear();
+        self.util_sum.resize(n, 0.0);
+        self.util_merge_sum.clear();
+        self.util_merge_sum.resize(n, 0.0);
+        self.merge_count.clear();
+        self.merge_count.resize(n, 0);
+    }
+
+    /// Grows the selection-game buffers to `t` transactions. `member`
+    /// is kept all-false between uses by point-clearing.
+    fn reset_select(&mut self, t: usize) {
+        self.member.clear();
+        self.member.resize(t, false);
+        self.scored.clear();
+        self.scored.reserve(t);
+        self.best.clear();
+    }
+}
+
+/// Inputs of one replicator-dynamics run (Algorithm 3).
+#[derive(Clone, Copy, Debug)]
+pub struct MergeInput<'a> {
+    /// Transactions per small-shard player.
+    pub sizes: &'a [u64],
+    /// Leader-distributed initial merge probabilities, one per player.
+    pub initial_probs: &'a [f64],
+    /// Game tunables; validated (panicking) exactly like the wrapper.
+    pub config: &'a MergingConfig,
+    /// Drives every coin toss; identical seeds replay identically.
+    pub seed: u64,
+}
+
+/// Replicator dynamics for the merging game, one slot per [`step`].
+///
+/// Each step runs `M` subslots of seeded coin tosses, scores Eq. (14)
+/// utilities, and applies the discretized replicator update of Eq. (11)
+/// to every player's merge probability. Convergence is the paper's
+/// fixed-point criterion: no probability moved by more than the
+/// tolerance. [`solution`] then plays the converged mixed strategies
+/// (bounded realization draws from the same seeded stream) to produce
+/// the stable shard.
+///
+/// [`step`]: GameDynamics::step
+/// [`solution`]: GameDynamics::solution
+#[derive(Clone, Debug)]
+pub struct ReplicatorMergeDynamics {
+    config: MergingConfig,
+    rng: ChaCha8Rng,
+    sizes: Vec<u64>,
+    x: Vec<f64>,
+    scratch: GameScratch,
+    reward: f64,
+    cost: f64,
+    slots: usize,
+    converged: bool,
+    memoized: Option<OneShotOutcome>,
+}
+
+impl ReplicatorMergeDynamics {
+    /// Draws played from the converged mixed strategies while realizing
+    /// the stable shard (Sec. VI-C2); at the symmetric equilibrium the
+    /// expected coalition hovers at the lower bound, so a bounded number
+    /// of draws finds a satisfying one with overwhelming probability.
+    const REALIZATION_DRAWS: usize = 64;
+
+    /// An uninitialized dynamics; call [`GameDynamics::init`] before
+    /// stepping.
+    pub fn new() -> Self {
+        ReplicatorMergeDynamics {
+            config: MergingConfig::default(),
+            rng: ChaCha8Rng::seed_from_u64(0),
+            sizes: Vec::new(),
+            x: Vec::new(),
+            scratch: GameScratch::new(),
+            reward: 0.0,
+            cost: 0.0,
+            slots: 0,
+            converged: true,
+            memoized: None,
+        }
+    }
+
+    /// Warm-start `init`: seeds the probabilities from a previous
+    /// equilibrium's final mixed strategies instead of fresh leader
+    /// randomness. When the game inputs repeat, the dynamics start at
+    /// (or next to) the fixed point and converge in fewer slots.
+    pub fn init_warm(
+        &mut self,
+        sizes: &[u64],
+        previous: &OneShotOutcome,
+        config: &MergingConfig,
+        seed: u64,
+    ) {
+        self.init(MergeInput {
+            sizes,
+            initial_probs: &previous.final_probs,
+            config,
+            seed,
+        });
+    }
+
+    /// The current mixed strategies (clamped to the exploration band).
+    pub fn probabilities(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+impl Default for ReplicatorMergeDynamics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GameDynamics for ReplicatorMergeDynamics {
+    type Input<'a> = MergeInput<'a>;
+    type Solution = OneShotOutcome;
+
+    fn init(&mut self, input: MergeInput<'_>) {
+        input.config.check();
+        assert_eq!(
+            input.sizes.len(),
+            input.initial_probs.len(),
+            "one initial probability per player"
+        );
+        self.config = *input.config;
+        self.reward = input.config.reward.as_f64();
+        self.cost = input.config.cost.as_f64();
+        self.rng = ChaCha8Rng::seed_from_u64(input.seed);
+        self.sizes.clear();
+        self.sizes.extend_from_slice(input.sizes);
+        self.x.clear();
+        self.x
+            .extend(input.initial_probs.iter().map(|&p| p.clamp(X_MIN, X_MAX)));
+        self.scratch.reset_merge(input.sizes.len());
+        self.slots = 0;
+        self.memoized = None;
+        // An empty game is trivially converged: no players, no draws.
+        self.converged = input.sizes.is_empty();
+        if self.converged {
+            self.memoized = Some(OneShotOutcome {
+                merged: vec![],
+                merged_size: 0,
+                satisfied: false,
+                slots: 0,
+                final_probs: vec![],
+            });
+        }
+    }
+
+    fn step(&mut self) {
+        if self.converged {
+            return;
+        }
+        self.slots += 1;
+        let n = self.sizes.len();
+        let m = self.config.subslots;
+        self.scratch.util_sum.iter_mut().for_each(|v| *v = 0.0);
+        self.scratch
+            .util_merge_sum
+            .iter_mut()
+            .for_each(|v| *v = 0.0);
+        self.scratch.merge_count.iter_mut().for_each(|v| *v = 0);
+
+        let (g, c) = (self.reward, self.cost);
+        for _subslot in 0..m {
+            // Line 3: every player tosses its coin.
+            let mut total: u64 = 0;
+            for i in 0..n {
+                let merges = self.rng.gen::<f64>() < self.x[i];
+                self.scratch.merged_flag[i] = merges;
+                if merges {
+                    total += self.sizes[i];
+                }
+            }
+            let satisfied = total >= self.config.lower_bound;
+            // Line 4: utilities via Eq. (14).
+            for i in 0..n {
+                let u = match (self.scratch.merged_flag[i], satisfied) {
+                    (true, true) => g - c,
+                    (true, false) => -c,
+                    (false, true) => g,
+                    (false, false) => 0.0,
+                };
+                self.scratch.util_sum[i] += u;
+                if self.scratch.merged_flag[i] {
+                    self.scratch.util_merge_sum[i] += u;
+                    self.scratch.merge_count[i] += 1;
+                }
+            }
+        }
+
+        // Lines 5–7: averages (12), (13) and the replicator update (11).
+        let mut max_delta = 0.0f64;
+        for i in 0..n {
+            let avg_all = self.scratch.util_sum[i] / m as f64;
+            let avg_merge = if self.scratch.merge_count[i] > 0 {
+                self.scratch.util_merge_sum[i] / self.scratch.merge_count[i] as f64
+            } else {
+                // Never merged this slot: estimate the merge payoff from
+                // the satisfaction frequency seen while staying. Staying
+                // paid `g` exactly when (1) held, so avg_all/g estimates
+                // P(satisfied) and merging would have paid that minus c.
+                avg_all - c
+            };
+            // Normalise by g so eta is scale-free in the reward units.
+            let delta = self.config.eta * ((avg_merge - avg_all) / g) * self.x[i];
+            let next = (self.x[i] + delta).clamp(X_MIN, X_MAX);
+            max_delta = max_delta.max((next - self.x[i]).abs());
+            self.x[i] = next;
+        }
+        if max_delta < self.config.tolerance || self.slots >= self.config.max_slots {
+            self.converged = true;
+        }
+    }
+
+    fn converged(&self) -> bool {
+        self.converged
+    }
+
+    fn iterations(&self) -> usize {
+        self.slots
+    }
+
+    fn solution(&mut self) -> OneShotOutcome {
+        if let Some(out) = &self.memoized {
+            return out.clone();
+        }
+        // Play the equilibrium: the stable shard is a realization of the
+        // converged mixed strategies ("at some random point, all the
+        // miners are at an equilibrium state … to form a stable shard",
+        // Sec. VI-C2); every draw comes from the same seeded stream,
+        // keeping replays identical.
+        let n = self.sizes.len();
+        let mut merged: Vec<usize> = Vec::new();
+        let mut merged_size: u64 = 0;
+        let mut satisfied = false;
+        for _ in 0..Self::REALIZATION_DRAWS {
+            merged.clear();
+            merged_size = 0;
+            for i in 0..n {
+                if self.rng.gen::<f64>() < self.x[i] {
+                    merged.push(i);
+                    merged_size += self.sizes[i];
+                }
+            }
+            if merged_size >= self.config.lower_bound {
+                satisfied = true;
+                break;
+            }
+        }
+        let out = OneShotOutcome {
+            merged,
+            merged_size,
+            satisfied,
+            slots: self.slots,
+            final_probs: self.x.clone(),
+        };
+        self.memoized = Some(out.clone());
+        out
+    }
+}
+
+/// Inputs of one best-reply run (Algorithm 2).
+#[derive(Clone, Copy, Debug)]
+pub struct SelectInput<'a> {
+    /// Fee of every pending transaction in the shard.
+    pub fees: &'a [u64],
+    /// Each miner's leader-distributed initial transaction set.
+    pub initial: &'a [Vec<usize>],
+    /// Game tunables.
+    pub config: &'a SelectionConfig,
+}
+
+/// Best-reply dynamics for the selection game, one sweep per [`step`].
+///
+/// Each step sweeps every miner once, moving it to its best reply under
+/// Eq. (2) whenever that strictly improves its expected profit; the
+/// Rosenthal potential's monotone increase (debug-asserted per move)
+/// guarantees termination at a pure strategy Nash equilibrium. The
+/// sweep that applies no move is the equilibrium certificate and counts
+/// toward [`iterations`] — exactly the `rounds` the wrapper reports.
+///
+/// [`step`]: GameDynamics::step
+/// [`iterations`]: GameDynamics::iterations
+#[derive(Clone, Debug)]
+pub struct BestReplyDynamics {
+    config: SelectionConfig,
+    fees: Vec<u64>,
+    capacity: usize,
+    assignments: Vec<Vec<usize>>,
+    load: Vec<u32>,
+    phi: f64,
+    rounds: usize,
+    converged: bool,
+    scratch: GameScratch,
+}
+
+impl BestReplyDynamics {
+    /// An uninitialized dynamics; call [`GameDynamics::init`] before
+    /// stepping.
+    pub fn new() -> Self {
+        BestReplyDynamics {
+            config: SelectionConfig::default(),
+            fees: Vec::new(),
+            capacity: 0,
+            assignments: Vec::new(),
+            load: Vec::new(),
+            phi: 0.0,
+            rounds: 0,
+            converged: true,
+            scratch: GameScratch::new(),
+        }
+    }
+
+    /// Warm-start `init`: seeds every miner's strategy from a previous
+    /// equilibrium instead of leader-distributed initial sets. If the
+    /// game inputs repeat, the previous equilibrium is still a Nash
+    /// equilibrium, so the dynamics certify it in a single sweep and
+    /// provably reproduce the identical assignment (pinned by
+    /// `warm_start_from_equilibrium_certifies_in_one_sweep`).
+    pub fn init_warm(&mut self, fees: &[u64], previous: &[Vec<usize>], config: &SelectionConfig) {
+        self.init(SelectInput {
+            fees,
+            initial: previous,
+            config,
+        });
+    }
+
+    /// The current per-miner assignments (each sorted ascending).
+    pub fn assignments(&self) -> &[Vec<usize>] {
+        &self.assignments
+    }
+}
+
+impl Default for BestReplyDynamics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GameDynamics for BestReplyDynamics {
+    type Input<'a> = SelectInput<'a>;
+    type Solution = SelectionOutcome;
+
+    fn init(&mut self, input: SelectInput<'_>) {
+        let t = input.fees.len();
+        let u = input.initial.len();
+        assert!(input.config.capacity > 0, "capacity must be positive");
+        self.config = *input.config;
+        self.capacity = input.config.capacity.min(t);
+        self.fees.clear();
+        self.fees.extend_from_slice(input.fees);
+        self.scratch.reset_select(t);
+
+        // Normalise initial assignments: in-range, unique, sorted,
+        // right-sized. The dense `member` flags replace a per-miner
+        // hash-set; flags are point-cleared after each miner.
+        self.assignments.truncate(u);
+        while self.assignments.len() < u {
+            self.assignments.push(Vec::with_capacity(self.capacity));
+        }
+        for (slot, set) in self.assignments.iter_mut().zip(input.initial) {
+            slot.clear();
+            slot.extend(set.iter().copied().filter(|&j| j < t));
+            slot.sort_unstable();
+            slot.dedup();
+            slot.truncate(self.capacity);
+            for &j in slot.iter() {
+                self.scratch.member[j] = true;
+            }
+            let mut fill = 0usize;
+            while slot.len() < self.capacity {
+                if !self.scratch.member[fill] {
+                    self.scratch.member[fill] = true;
+                    slot.push(fill);
+                }
+                fill += 1;
+            }
+            for &j in slot.iter() {
+                self.scratch.member[j] = false;
+            }
+            slot.sort_unstable();
+        }
+
+        self.load.clear();
+        self.load.resize(t, 0);
+        for a in &self.assignments {
+            for &j in a {
+                self.load[j] += 1;
+            }
+        }
+        self.phi = potential(&self.fees, &self.load);
+        self.rounds = 0;
+        self.converged = self.rounds >= self.config.max_rounds;
+    }
+
+    fn step(&mut self) {
+        if self.converged {
+            return;
+        }
+        self.rounds += 1;
+        let t = self.fees.len();
+        let u = self.assignments.len();
+        let mut improved = false;
+        // One best-reply sweep: "while some miner can get a higher
+        // expected profit … pick a miner who can improve" (Algorithm 2).
+        for i in 0..u {
+            // Marginal value of tx j for miner i: fee over one more
+            // holder than the *others* currently have (Eq. 2 with n_j
+            // excluding i).
+            for &j in &self.assignments[i] {
+                self.scratch.member[j] = true;
+            }
+            self.scratch.scored.clear();
+            for j in 0..t {
+                let others = self.load[j] - u32::from(self.scratch.member[j]);
+                self.scratch
+                    .scored
+                    .push((self.fees[j] as f64 / (others + 1) as f64, j));
+            }
+            // Deterministic order: best value first, ties by index. The
+            // index tiebreak makes the order total, so the unstable sort
+            // is as deterministic as a stable one.
+            self.scratch
+                .scored
+                .sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            self.scratch.best.clear();
+            self.scratch.best.extend(
+                self.scratch
+                    .scored
+                    .iter()
+                    .take(self.capacity)
+                    .map(|&(_, j)| j),
+            );
+            self.scratch.best.sort_unstable();
+            if self.scratch.best == self.assignments[i] {
+                for &j in &self.assignments[i] {
+                    self.scratch.member[j] = false;
+                }
+                continue;
+            }
+            // Profit strictly improves? (Avoid churn on exact ties.)
+            let old_profit: f64 = self.assignments[i]
+                .iter()
+                .map(|&j| self.fees[j] as f64 / self.load[j] as f64)
+                .sum();
+            let new_profit: f64 = self
+                .scratch
+                .best
+                .iter()
+                .map(|&j| {
+                    let others = self.load[j] - u32::from(self.scratch.member[j]);
+                    self.fees[j] as f64 / (others + 1) as f64
+                })
+                .sum();
+            for &j in &self.assignments[i] {
+                self.scratch.member[j] = false;
+            }
+            if new_profit <= old_profit + 1e-12 {
+                continue;
+            }
+            // Apply the move.
+            for &j in &self.assignments[i] {
+                self.load[j] -= 1;
+            }
+            for &j in &self.scratch.best {
+                self.load[j] += 1;
+            }
+            self.assignments[i].clear();
+            self.assignments[i].extend_from_slice(&self.scratch.best);
+            improved = true;
+            let new_phi = potential(&self.fees, &self.load);
+            debug_assert!(
+                new_phi > self.phi - 1e-9,
+                "Rosenthal potential must not decrease: {} -> {new_phi}",
+                self.phi
+            );
+            self.phi = new_phi;
+        }
+        if !improved || self.rounds >= self.config.max_rounds {
+            self.converged = true;
+        }
+    }
+
+    fn converged(&self) -> bool {
+        self.converged
+    }
+
+    fn iterations(&self) -> usize {
+        self.rounds
+    }
+
+    fn solution(&mut self) -> SelectionOutcome {
+        SelectionOutcome {
+            assignments: self.assignments.clone(),
+            load: self.load.clone(),
+            rounds: self.rounds,
+            potential: self.phi,
+        }
+    }
+}
+
+/// Cross-epoch memo of selection equilibria, keyed by a digest of the
+/// full game inputs.
+///
+/// Warm starts must not change what the protocol computes — only how
+/// fast. The cache therefore keys on *exact* input repetition: the
+/// digest covers fees, every sanitized initial set, capacity, and the
+/// round cap. On a hit the stored equilibrium seeds
+/// [`BestReplyDynamics::init_warm`], which certifies it in one sweep
+/// and yields the bit-identical assignment the cold run would have
+/// reached; on a miss the cold equilibrium is stored for next epoch.
+#[derive(Clone, Debug, Default)]
+pub struct SelectionWarmCache {
+    entries: BTreeMap<Hash32, Vec<Vec<usize>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SelectionWarmCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Digest of one selection game's complete inputs — the cache key.
+    /// Versioned so a future input change cannot alias an old entry.
+    pub fn key(fees: &[u64], initial: &[Vec<usize>], config: &SelectionConfig) -> Hash32 {
+        let mut h = Sha256::new();
+        h.update(b"selection-warm-key-v1");
+        h.update((fees.len() as u64).to_be_bytes());
+        for &f in fees {
+            h.update(f.to_be_bytes());
+        }
+        h.update((initial.len() as u64).to_be_bytes());
+        for set in initial {
+            h.update((set.len() as u64).to_be_bytes());
+            for &j in set {
+                h.update((j as u64).to_be_bytes());
+            }
+        }
+        h.update((config.capacity as u64).to_be_bytes());
+        h.update((config.max_rounds as u64).to_be_bytes());
+        h.finalize()
+    }
+
+    /// The cached equilibrium for `key`, counting a hit or a miss.
+    pub fn lookup(&mut self, key: &Hash32) -> Option<&Vec<Vec<usize>>> {
+        match self.entries.get(key) {
+            Some(eq) => {
+                self.hits += 1;
+                Some(eq)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores the equilibrium reached under `key`'s inputs.
+    pub fn store(&mut self, key: Hash32, equilibrium: Vec<Vec<usize>>) {
+        self.entries.insert(key, equilibrium);
+    }
+
+    /// Lookups that found a cached equilibrium.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct game inputs cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merging::one_shot_merge;
+    use crate::selection::best_reply_equilibrium;
+
+    fn seq_initial(miners: usize, capacity: usize, t: usize) -> Vec<Vec<usize>> {
+        (0..miners)
+            .map(|i| {
+                (0..capacity)
+                    .map(|k| (i * capacity + k) % t.max(1))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_dynamics_match_wrapper() {
+        let sizes = vec![5u64, 7, 3, 9, 4, 6];
+        let probs = vec![0.5; 6];
+        let cfg = MergingConfig {
+            lower_bound: 20,
+            ..MergingConfig::default()
+        };
+        let expected = one_shot_merge(&sizes, &probs, &cfg, 42);
+        let mut dynamics = ReplicatorMergeDynamics::new();
+        dynamics.init(MergeInput {
+            sizes: &sizes,
+            initial_probs: &probs,
+            config: &cfg,
+            seed: 42,
+        });
+        let iters = dynamics.run_to_convergence();
+        let got = dynamics.solution();
+        assert_eq!(iters, expected.slots);
+        assert_eq!(got.merged, expected.merged);
+        assert_eq!(got.merged_size, expected.merged_size);
+        assert_eq!(got.satisfied, expected.satisfied);
+        assert_eq!(got.final_probs, expected.final_probs);
+        // Solution is memoized — a second call returns the same shard
+        // without consuming more of the stream.
+        assert_eq!(dynamics.solution().merged, expected.merged);
+    }
+
+    #[test]
+    fn merge_dynamics_reuse_buffers_across_inits() {
+        let cfg = MergingConfig::default();
+        let mut dynamics = ReplicatorMergeDynamics::new();
+        for seed in 0..4u64 {
+            let sizes = vec![6u64; 8];
+            let probs = vec![0.5; 8];
+            dynamics.init(MergeInput {
+                sizes: &sizes,
+                initial_probs: &probs,
+                config: &cfg,
+                seed,
+            });
+            dynamics.run_to_convergence();
+            let via_trait = dynamics.solution();
+            let via_wrapper = one_shot_merge(&sizes, &probs, &cfg, seed);
+            assert_eq!(via_trait.merged, via_wrapper.merged);
+            assert_eq!(via_trait.slots, via_wrapper.slots);
+        }
+    }
+
+    #[test]
+    fn empty_merge_game_is_converged_at_init() {
+        let mut dynamics = ReplicatorMergeDynamics::new();
+        dynamics.init(MergeInput {
+            sizes: &[],
+            initial_probs: &[],
+            config: &MergingConfig::default(),
+            seed: 9,
+        });
+        assert!(dynamics.converged());
+        assert_eq!(dynamics.run_to_convergence(), 0);
+        let out = dynamics.solution();
+        assert!(out.merged.is_empty());
+        assert!(!out.satisfied);
+        assert_eq!(out.slots, 0);
+    }
+
+    #[test]
+    fn merge_warm_start_converges_in_fewer_slots() {
+        let sizes = vec![6u64, 5, 7, 6, 4, 8, 5, 6];
+        let probs = vec![0.5; 8];
+        let cfg = MergingConfig {
+            lower_bound: 24,
+            ..MergingConfig::default()
+        };
+        let cold = one_shot_merge(&sizes, &probs, &cfg, 17);
+        assert!(cold.slots > 1, "cold run must iterate for this test");
+        let mut warm = ReplicatorMergeDynamics::new();
+        warm.init_warm(&sizes, &cold, &cfg, 17);
+        let warm_slots = warm.run_to_convergence();
+        assert!(
+            warm_slots < cold.slots,
+            "warm {warm_slots} !< cold {}",
+            cold.slots
+        );
+    }
+
+    #[test]
+    fn best_reply_dynamics_match_wrapper() {
+        let fees: Vec<u64> = (1..=50).map(|i| (i * 13) % 97 + 1).collect();
+        let initial = seq_initial(6, 4, fees.len());
+        let cfg = SelectionConfig {
+            capacity: 4,
+            max_rounds: 10_000,
+        };
+        let expected = best_reply_equilibrium(&fees, &initial, &cfg);
+        let mut dynamics = BestReplyDynamics::new();
+        dynamics.init(SelectInput {
+            fees: &fees,
+            initial: &initial,
+            config: &cfg,
+        });
+        let iters = dynamics.run_to_convergence();
+        let got = dynamics.solution();
+        assert_eq!(iters, expected.rounds);
+        assert_eq!(got.assignments, expected.assignments);
+        assert_eq!(got.load, expected.load);
+        assert_eq!(got.potential, expected.potential);
+    }
+
+    #[test]
+    fn warm_start_from_equilibrium_certifies_in_one_sweep() {
+        let fees = vec![100u64, 90, 80, 70, 60, 50, 40, 30, 20, 10];
+        let cfg = SelectionConfig {
+            capacity: 2,
+            max_rounds: 10_000,
+        };
+        let cold = best_reply_equilibrium(&fees, &seq_initial(5, 2, 10), &cfg);
+        assert!(cold.rounds > 1, "cold run must iterate for this test");
+        let mut warm = BestReplyDynamics::new();
+        warm.init_warm(&fees, &cold.assignments, &cfg);
+        let rounds = warm.run_to_convergence();
+        let out = warm.solution();
+        // Identical equilibrium, one certification sweep.
+        assert_eq!(out.assignments, cold.assignments);
+        assert_eq!(rounds, 1);
+    }
+
+    #[test]
+    fn empty_selection_runs_one_certification_sweep() {
+        let mut dynamics = BestReplyDynamics::new();
+        dynamics.init(SelectInput {
+            fees: &[],
+            initial: &[],
+            config: &SelectionConfig {
+                capacity: 3,
+                max_rounds: 10_000,
+            },
+        });
+        assert_eq!(dynamics.run_to_convergence(), 1);
+        assert_eq!(dynamics.solution().assignments.len(), 0);
+    }
+
+    #[test]
+    fn warm_cache_round_trip_counts_hits_and_misses() {
+        let fees = vec![10u64, 20, 30, 40];
+        let initial = seq_initial(2, 2, 4);
+        let cfg = SelectionConfig {
+            capacity: 2,
+            max_rounds: 100,
+        };
+        let key = SelectionWarmCache::key(&fees, &initial, &cfg);
+        let mut cache = SelectionWarmCache::new();
+        assert!(cache.lookup(&key).is_none());
+        let eq = best_reply_equilibrium(&fees, &initial, &cfg).assignments;
+        cache.store(key, eq.clone());
+        assert_eq!(cache.lookup(&key), Some(&eq));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        // Any input change — here the capacity — changes the key.
+        let other = SelectionWarmCache::key(
+            &fees,
+            &initial,
+            &SelectionConfig {
+                capacity: 3,
+                max_rounds: 100,
+            },
+        );
+        assert_ne!(key, other);
+    }
+}

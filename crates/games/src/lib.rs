@@ -12,6 +12,12 @@
 //!   potential game (Rosenthal), so best reply terminates in a pure
 //!   strategy Nash equilibrium; the potential's monotone increase is
 //!   asserted in debug builds.
+//! * [`dynamics`] — the [`GameDynamics`] stepping interface both
+//!   equilibrium searches implement: deterministic `init / step /
+//!   converged / solution`, allocation-free after `init`, with
+//!   warm-start entry points that seed from a previous epoch's
+//!   equilibrium. The classic free functions above are thin wrappers
+//!   over these instances.
 //! * [`unification`] — the parameter unification scheme (Sec. IV-C): a
 //!   VRF-elected leader broadcasts identical inputs (randomness, miner set,
 //!   shard sizes / fees, initial choices), every miner replays the
@@ -24,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod dynamics;
 pub mod merging;
 pub mod rewards;
 pub mod selection;
@@ -31,6 +38,10 @@ pub mod unification;
 
 pub use analysis::{
     ess_check, participation_margin, replicator_drift, satisfaction_probability, EssVerdict,
+};
+pub use dynamics::{
+    BestReplyDynamics, GameDynamics, GameScratch, MergeInput, ReplicatorMergeDynamics, SelectInput,
+    SelectionWarmCache,
 };
 pub use merging::{
     iterative_merge, one_shot_merge, IterativeMergeOutcome, MergingConfig, OneShotOutcome,

@@ -21,9 +21,11 @@
 //! merge, removes them, and continues while the remaining small shards can
 //! still reach the lower bound `L` of Eq. (1).
 
-use cshard_primitives::Amount;
+use cshard_primitives::{Amount, Error};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+use crate::dynamics::{GameDynamics, MergeInput, ReplicatorMergeDynamics};
 
 /// Tunables of the merging game.
 #[derive(Clone, Copy, Debug)]
@@ -62,14 +64,47 @@ impl Default for MergingConfig {
 }
 
 impl MergingConfig {
-    /// Validates invariants the dynamics rely on.
-    fn check(&self) {
+    /// Validates invariants the dynamics rely on, panicking on the
+    /// protocol replay path (a miner replaying leader-unified inputs
+    /// with a broken config is a programming error, not bad input).
+    pub(crate) fn check(&self) {
         assert!(self.reward > self.cost, "reward must exceed merging cost");
         assert!(self.eta > 0.0 && self.eta < 1.0, "eta in (0,1)");
         assert!(self.subslots > 0, "need at least one subslot");
         assert!(self.tolerance > 0.0);
         assert!(self.max_slots > 0);
         assert!(self.lower_bound > 0);
+    }
+
+    /// The fallible twin of [`check`](Self::check): the same invariants
+    /// as a typed [`Error`] for configuration surfaces (builders) that
+    /// must reject bad values instead of panicking mid-run.
+    pub fn validate(&self) -> Result<(), Error> {
+        let reject = |field: &'static str, reason: &str| {
+            Err(Error::Config {
+                field,
+                reason: reason.into(),
+            })
+        };
+        if self.reward <= self.cost {
+            return reject("merging.reward", "reward must exceed merging cost");
+        }
+        if self.eta.is_nan() || self.eta <= 0.0 || self.eta >= 1.0 {
+            return reject("merging.eta", "step size must lie in (0, 1)");
+        }
+        if self.subslots == 0 {
+            return reject("merging.subslots", "need at least one subslot");
+        }
+        if self.tolerance.is_nan() || self.tolerance <= 0.0 {
+            return reject("merging.tolerance", "tolerance must be positive");
+        }
+        if self.max_slots == 0 {
+            return reject("merging.max_slots", "slot cap must be positive");
+        }
+        if self.lower_bound == 0 {
+            return reject("merging.lower_bound", "size lower bound must be positive");
+        }
+        Ok(())
     }
 }
 
@@ -118,8 +153,8 @@ impl IterativeMergeOutcome {
 /// at 0 and 1; clamping keeps exploration alive until convergence is
 /// declared, mirroring the paper's "players try different strategies in
 /// every play".
-const X_MIN: f64 = 0.02;
-const X_MAX: f64 = 0.98;
+pub(crate) const X_MIN: f64 = 0.02;
+pub(crate) const X_MAX: f64 = 0.98;
 
 /// Runs Algorithm 3 once over `sizes` (transactions per small shard).
 ///
@@ -127,134 +162,25 @@ const X_MAX: f64 = 0.98;
 /// the verifiable leader (Sec. IV-C); `seed` drives every coin toss, so two
 /// replays with identical inputs produce identical outcomes — the property
 /// parameter unification needs.
+///
+/// This is a thin wrapper over [`ReplicatorMergeDynamics`]; the fuzz grid
+/// in `tests/dynamics_equivalence.rs` pins it draw-for-draw equal to the
+/// pre-refactor direct implementation.
 pub fn one_shot_merge(
     sizes: &[u64],
     initial_probs: &[f64],
     config: &MergingConfig,
     seed: u64,
 ) -> OneShotOutcome {
-    config.check();
-    assert_eq!(
-        sizes.len(),
-        initial_probs.len(),
-        "one initial probability per player"
-    );
-    let n = sizes.len();
-    if n == 0 {
-        return OneShotOutcome {
-            merged: vec![],
-            merged_size: 0,
-            satisfied: false,
-            slots: 0,
-            final_probs: vec![],
-        };
-    }
-
-    let g = config.reward.as_f64();
-    let c = config.cost.as_f64();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut x: Vec<f64> = initial_probs
-        .iter()
-        .map(|&p| p.clamp(X_MIN, X_MAX))
-        .collect();
-
-    let m = config.subslots;
-    let mut slots = 0;
-    // Scratch buffers reused across slots (no per-slot allocation).
-    let mut merged_flag = vec![false; n];
-    let mut util_sum = vec![0.0f64; n]; // Σ_s U_i(t,s)           (Eq. 13)
-    let mut util_merge_sum = vec![0.0f64; n]; // Σ_s U_i·a_i       (Eq. 12)
-    let mut merge_count = vec![0u32; n];
-
-    while slots < config.max_slots {
-        slots += 1;
-        util_sum.iter_mut().for_each(|v| *v = 0.0);
-        util_merge_sum.iter_mut().for_each(|v| *v = 0.0);
-        merge_count.iter_mut().for_each(|v| *v = 0);
-
-        for _subslot in 0..m {
-            // Line 3: every player tosses its coin.
-            let mut total: u64 = 0;
-            for i in 0..n {
-                let merges = rng.gen::<f64>() < x[i];
-                merged_flag[i] = merges;
-                if merges {
-                    total += sizes[i];
-                }
-            }
-            let satisfied = total >= config.lower_bound;
-            // Line 4: utilities via Eq. (14).
-            for i in 0..n {
-                let u = match (merged_flag[i], satisfied) {
-                    (true, true) => g - c,
-                    (true, false) => -c,
-                    (false, true) => g,
-                    (false, false) => 0.0,
-                };
-                util_sum[i] += u;
-                if merged_flag[i] {
-                    util_merge_sum[i] += u;
-                    merge_count[i] += 1;
-                }
-            }
-        }
-
-        // Lines 5–7: averages (12), (13) and the replicator update (11).
-        let mut max_delta = 0.0f64;
-        for i in 0..n {
-            let avg_all = util_sum[i] / m as f64;
-            let avg_merge = if merge_count[i] > 0 {
-                util_merge_sum[i] / merge_count[i] as f64
-            } else {
-                // Never merged this slot: estimate the merge payoff from
-                // the satisfaction frequency seen while staying. Staying
-                // paid `g` exactly when (1) held, so avg_all/g estimates
-                // P(satisfied) and merging would have paid that minus c.
-                avg_all - c
-            };
-            // Normalise by g so eta is scale-free in the reward units.
-            let delta = config.eta * ((avg_merge - avg_all) / g) * x[i];
-            let next = (x[i] + delta).clamp(X_MIN, X_MAX);
-            max_delta = max_delta.max((next - x[i]).abs());
-            x[i] = next;
-        }
-        if max_delta < config.tolerance {
-            break;
-        }
-    }
-
-    // Play the equilibrium: the stable shard is a realization of the
-    // converged mixed strategies ("at some random point, all the miners are
-    // at an equilibrium state … to form a stable shard", Sec. VI-C2). At a
-    // symmetric mixed equilibrium the expected coalition size hovers at the
-    // lower bound, so a bounded number of draws finds a satisfying one with
-    // overwhelming probability; every draw comes from the same seeded
-    // stream, keeping replays identical.
-    const REALIZATION_DRAWS: usize = 64;
-    let mut merged: Vec<usize> = Vec::new();
-    let mut merged_size: u64 = 0;
-    let mut satisfied = false;
-    for _ in 0..REALIZATION_DRAWS {
-        merged.clear();
-        merged_size = 0;
-        for i in 0..n {
-            if rng.gen::<f64>() < x[i] {
-                merged.push(i);
-                merged_size += sizes[i];
-            }
-        }
-        if merged_size >= config.lower_bound {
-            satisfied = true;
-            break;
-        }
-    }
-    OneShotOutcome {
-        satisfied,
-        merged,
-        merged_size,
-        slots,
-        final_probs: x,
-    }
+    let mut dynamics = ReplicatorMergeDynamics::new();
+    dynamics.init(MergeInput {
+        sizes,
+        initial_probs,
+        config,
+        seed,
+    });
+    dynamics.run_to_convergence();
+    dynamics.solution()
 }
 
 /// Runs Algorithm 1: iterative merging until the remaining small shards
@@ -276,6 +202,10 @@ pub fn iterative_merge(
     let mut retries = 0;
     const MAX_RETRIES: usize = 4;
     let mut subset_rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED_CAFE);
+    // One dynamics instance across all rounds: each `init` resets the
+    // state, so the scratch buffers are allocated once per size class
+    // rather than once per round.
+    let mut dynamics = ReplicatorMergeDynamics::new();
 
     while remaining.iter().map(|&i| sizes[i]).sum::<u64>() >= config.lower_bound {
         // Algorithm 1 forms ONE shard per round; the round's game runs
@@ -310,7 +240,14 @@ pub fn iterative_merge(
         let round_seed = seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(round.wrapping_mul(0x2545_F491_4F6C_DD1D));
-        let outcome = one_shot_merge(&round_sizes, &round_probs, config, round_seed);
+        dynamics.init(MergeInput {
+            sizes: &round_sizes,
+            initial_probs: &round_probs,
+            config,
+            seed: round_seed,
+        });
+        dynamics.run_to_convergence();
+        let outcome = dynamics.solution();
         total_slots += outcome.slots;
         round += 1;
         if outcome.satisfied {

@@ -14,6 +14,8 @@
 
 use std::collections::HashSet;
 
+use crate::dynamics::{BestReplyDynamics, GameDynamics, SelectInput};
+
 /// Tunables of the selection game.
 #[derive(Clone, Copy, Debug)]
 pub struct SelectionConfig {
@@ -109,116 +111,23 @@ pub fn greedy_assignment(fees: &[u64], miners: usize, capacity: usize) -> Select
 /// selected by each miner" input of Algorithm 2, distributed by the
 /// verifiable leader under parameter unification). Sets are deduplicated
 /// and truncated/padded to `capacity` deterministically.
+///
+/// This is a thin wrapper over [`BestReplyDynamics`]; the fuzz grid in
+/// `tests/dynamics_equivalence.rs` pins it move-for-move equal to the
+/// pre-refactor direct implementation.
 pub fn best_reply_equilibrium(
     fees: &[u64],
     initial: &[Vec<usize>],
     config: &SelectionConfig,
 ) -> SelectionOutcome {
-    let t = fees.len();
-    let u = initial.len();
-    assert!(config.capacity > 0, "capacity must be positive");
-    let capacity = config.capacity.min(t);
-
-    // Normalise initial assignments: in-range, unique, sorted, right-sized.
-    let mut assignments: Vec<Vec<usize>> = initial
-        .iter()
-        .map(|set| {
-            let mut s: Vec<usize> = set.iter().copied().filter(|&j| j < t).collect();
-            s.sort_unstable();
-            s.dedup();
-            s.truncate(capacity);
-            let mut have: HashSet<usize> = s.iter().copied().collect();
-            let mut fill = 0usize;
-            while s.len() < capacity {
-                if have.insert(fill) {
-                    s.push(fill);
-                }
-                fill += 1;
-            }
-            s.sort_unstable();
-            s
-        })
-        .collect();
-
-    let mut load = vec![0u32; t];
-    for a in &assignments {
-        for &j in a {
-            load[j] += 1;
-        }
-    }
-
-    let mut rounds = 0;
-    let mut phi = potential(fees, &load);
-    // Best-reply sweeps: "while some miner can get a higher expected profit
-    // … pick a miner who can improve" (Algorithm 2). A full sweep with no
-    // improvement certifies the Nash equilibrium.
-    while rounds < config.max_rounds {
-        rounds += 1;
-        let mut improved = false;
-        #[allow(clippy::needless_range_loop)] // i indexes assignments and load together
-        for i in 0..u {
-            // Marginal value of tx j for miner i: fee over one more holder
-            // than the *others* currently have (Eq. 2 with n_j excluding i).
-            let current: HashSet<usize> = assignments[i].iter().copied().collect();
-            let mut scored: Vec<(f64, usize)> = (0..t)
-                .map(|j| {
-                    let others = load[j] - u32::from(current.contains(&j));
-                    (fees[j] as f64 / (others + 1) as f64, j)
-                })
-                .collect();
-            // Deterministic order: best value first, ties by index.
-            scored.sort_by(|a, b| {
-                b.0.partial_cmp(&a.0)
-                    .expect("fees are finite")
-                    .then(a.1.cmp(&b.1))
-            });
-            let mut best: Vec<usize> = scored.iter().take(capacity).map(|&(_, j)| j).collect();
-            best.sort_unstable();
-            if best == assignments[i] {
-                continue;
-            }
-            // Profit strictly improves? (Avoid churn on exact ties.)
-            let old_profit: f64 = assignments[i]
-                .iter()
-                .map(|&j| fees[j] as f64 / load[j] as f64)
-                .sum();
-            let new_profit: f64 = best
-                .iter()
-                .map(|&j| {
-                    let others = load[j] - u32::from(current.contains(&j));
-                    fees[j] as f64 / (others + 1) as f64
-                })
-                .sum();
-            if new_profit <= old_profit + 1e-12 {
-                continue;
-            }
-            // Apply the move.
-            for &j in &assignments[i] {
-                load[j] -= 1;
-            }
-            for &j in &best {
-                load[j] += 1;
-            }
-            assignments[i] = best;
-            improved = true;
-            let new_phi = potential(fees, &load);
-            debug_assert!(
-                new_phi > phi - 1e-9,
-                "Rosenthal potential must not decrease: {phi} -> {new_phi}"
-            );
-            phi = new_phi;
-        }
-        if !improved {
-            break;
-        }
-    }
-
-    SelectionOutcome {
-        assignments,
-        load,
-        rounds,
-        potential: phi,
-    }
+    let mut dynamics = BestReplyDynamics::new();
+    dynamics.init(SelectInput {
+        fees,
+        initial,
+        config,
+    });
+    dynamics.run_to_convergence();
+    dynamics.solution()
 }
 
 /// The optimal number of distinct sets (Sec. VI-E2): every miner validates

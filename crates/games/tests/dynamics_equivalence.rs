@@ -1,0 +1,382 @@
+//! Pins the `GameDynamics` reimplementations to the pre-refactor free
+//! functions, draw for draw.
+//!
+//! `one_shot_merge` and `best_reply_equilibrium` are now thin wrappers
+//! over `ReplicatorMergeDynamics` / `BestReplyDynamics`. This test keeps
+//! frozen copies of the original direct implementations (verbatim from
+//! the pre-refactor `merging.rs` / `selection.rs`) as references and
+//! fuzzes both games over seeded grids of ≥ 200 cases, requiring every
+//! output field to match exactly — same RNG stream consumption, same
+//! tie-breaks, same iteration counts. If the dynamics ever drift, the
+//! golden run-report fingerprints would shift; this catches the drift at
+//! the game layer with a precise counterexample seed.
+
+use std::collections::HashSet;
+
+use cshard_games::merging::{one_shot_merge, MergingConfig, OneShotOutcome};
+use cshard_games::selection::{
+    best_reply_equilibrium, potential, SelectionConfig, SelectionOutcome,
+};
+use cshard_primitives::Amount;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const X_MIN: f64 = 0.02;
+const X_MAX: f64 = 0.98;
+
+/// The original Algorithm 3 implementation, frozen as the reference.
+fn reference_one_shot_merge(
+    sizes: &[u64],
+    initial_probs: &[f64],
+    config: &MergingConfig,
+    seed: u64,
+) -> OneShotOutcome {
+    assert_eq!(sizes.len(), initial_probs.len());
+    let n = sizes.len();
+    if n == 0 {
+        return OneShotOutcome {
+            merged: vec![],
+            merged_size: 0,
+            satisfied: false,
+            slots: 0,
+            final_probs: vec![],
+        };
+    }
+
+    let g = config.reward.as_f64();
+    let c = config.cost.as_f64();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut x: Vec<f64> = initial_probs
+        .iter()
+        .map(|&p| p.clamp(X_MIN, X_MAX))
+        .collect();
+
+    let m = config.subslots;
+    let mut slots = 0;
+    let mut merged_flag = vec![false; n];
+    let mut util_sum = vec![0.0f64; n];
+    let mut util_merge_sum = vec![0.0f64; n];
+    let mut merge_count = vec![0u32; n];
+
+    while slots < config.max_slots {
+        slots += 1;
+        util_sum.iter_mut().for_each(|v| *v = 0.0);
+        util_merge_sum.iter_mut().for_each(|v| *v = 0.0);
+        merge_count.iter_mut().for_each(|v| *v = 0);
+
+        for _subslot in 0..m {
+            let mut total: u64 = 0;
+            for i in 0..n {
+                let merges = rng.gen::<f64>() < x[i];
+                merged_flag[i] = merges;
+                if merges {
+                    total += sizes[i];
+                }
+            }
+            let satisfied = total >= config.lower_bound;
+            for i in 0..n {
+                let u = match (merged_flag[i], satisfied) {
+                    (true, true) => g - c,
+                    (true, false) => -c,
+                    (false, true) => g,
+                    (false, false) => 0.0,
+                };
+                util_sum[i] += u;
+                if merged_flag[i] {
+                    util_merge_sum[i] += u;
+                    merge_count[i] += 1;
+                }
+            }
+        }
+
+        let mut max_delta = 0.0f64;
+        for i in 0..n {
+            let avg_all = util_sum[i] / m as f64;
+            let avg_merge = if merge_count[i] > 0 {
+                util_merge_sum[i] / merge_count[i] as f64
+            } else {
+                avg_all - c
+            };
+            let delta = config.eta * ((avg_merge - avg_all) / g) * x[i];
+            let next = (x[i] + delta).clamp(X_MIN, X_MAX);
+            max_delta = max_delta.max((next - x[i]).abs());
+            x[i] = next;
+        }
+        if max_delta < config.tolerance {
+            break;
+        }
+    }
+
+    const REALIZATION_DRAWS: usize = 64;
+    let mut merged: Vec<usize> = Vec::new();
+    let mut merged_size: u64 = 0;
+    let mut satisfied = false;
+    for _ in 0..REALIZATION_DRAWS {
+        merged.clear();
+        merged_size = 0;
+        for i in 0..n {
+            if rng.gen::<f64>() < x[i] {
+                merged.push(i);
+                merged_size += sizes[i];
+            }
+        }
+        if merged_size >= config.lower_bound {
+            satisfied = true;
+            break;
+        }
+    }
+    OneShotOutcome {
+        satisfied,
+        merged,
+        merged_size,
+        slots,
+        final_probs: x,
+    }
+}
+
+/// The original Algorithm 2 implementation, frozen as the reference.
+fn reference_best_reply(
+    fees: &[u64],
+    initial: &[Vec<usize>],
+    config: &SelectionConfig,
+) -> SelectionOutcome {
+    let t = fees.len();
+    let u = initial.len();
+    assert!(config.capacity > 0);
+    let capacity = config.capacity.min(t);
+
+    let mut assignments: Vec<Vec<usize>> = initial
+        .iter()
+        .map(|set| {
+            let mut s: Vec<usize> = set.iter().copied().filter(|&j| j < t).collect();
+            s.sort_unstable();
+            s.dedup();
+            s.truncate(capacity);
+            let mut have: HashSet<usize> = s.iter().copied().collect();
+            let mut fill = 0usize;
+            while s.len() < capacity {
+                if have.insert(fill) {
+                    s.push(fill);
+                }
+                fill += 1;
+            }
+            s.sort_unstable();
+            s
+        })
+        .collect();
+
+    let mut load = vec![0u32; t];
+    for a in &assignments {
+        for &j in a {
+            load[j] += 1;
+        }
+    }
+
+    let mut rounds = 0;
+    let mut phi = potential(fees, &load);
+    while rounds < config.max_rounds {
+        rounds += 1;
+        let mut improved = false;
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..u {
+            let current: HashSet<usize> = assignments[i].iter().copied().collect();
+            let mut scored: Vec<(f64, usize)> = (0..t)
+                .map(|j| {
+                    let others = load[j] - u32::from(current.contains(&j));
+                    (fees[j] as f64 / (others + 1) as f64, j)
+                })
+                .collect();
+            scored.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .expect("fees are finite")
+                    .then(a.1.cmp(&b.1))
+            });
+            let mut best: Vec<usize> = scored.iter().take(capacity).map(|&(_, j)| j).collect();
+            best.sort_unstable();
+            if best == assignments[i] {
+                continue;
+            }
+            let old_profit: f64 = assignments[i]
+                .iter()
+                .map(|&j| fees[j] as f64 / load[j] as f64)
+                .sum();
+            let new_profit: f64 = best
+                .iter()
+                .map(|&j| {
+                    let others = load[j] - u32::from(current.contains(&j));
+                    fees[j] as f64 / (others + 1) as f64
+                })
+                .sum();
+            if new_profit <= old_profit + 1e-12 {
+                continue;
+            }
+            for &j in &assignments[i] {
+                load[j] -= 1;
+            }
+            for &j in &best {
+                load[j] += 1;
+            }
+            assignments[i] = best;
+            improved = true;
+            phi = potential(fees, &load);
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    SelectionOutcome {
+        assignments,
+        load,
+        rounds,
+        potential: phi,
+    }
+}
+
+fn assert_merge_equal(case: u64, got: &OneShotOutcome, want: &OneShotOutcome) {
+    assert_eq!(got.merged, want.merged, "case {case}: merged set differs");
+    assert_eq!(got.merged_size, want.merged_size, "case {case}");
+    assert_eq!(got.satisfied, want.satisfied, "case {case}");
+    assert_eq!(got.slots, want.slots, "case {case}: slot count differs");
+    assert_eq!(
+        got.final_probs, want.final_probs,
+        "case {case}: probabilities differ"
+    );
+}
+
+#[test]
+fn merge_wrapper_matches_reference_over_200_seeded_cases() {
+    for case in 0..200u64 {
+        let mut gen = ChaCha8Rng::seed_from_u64(0xA1B2_0000 ^ case);
+        let n = 1 + (gen.gen::<u64>() % 12) as usize;
+        let sizes: Vec<u64> = (0..n).map(|_| 1 + gen.gen::<u64>() % 12).collect();
+        let probs: Vec<f64> = (0..n).map(|_| gen.gen::<f64>()).collect();
+        let config = MergingConfig {
+            lower_bound: 5 + gen.gen::<u64>() % 30,
+            eta: 0.05 + (gen.gen::<u64>() % 20) as f64 * 0.01,
+            subslots: 8 + (gen.gen::<u64>() % 24) as usize,
+            ..MergingConfig::default()
+        };
+        let seed = gen.gen::<u64>();
+        let want = reference_one_shot_merge(&sizes, &probs, &config, seed);
+        let got = one_shot_merge(&sizes, &probs, &config, seed);
+        assert_merge_equal(case, &got, &want);
+    }
+}
+
+#[test]
+fn merge_wrapper_matches_reference_on_degenerate_shapes() {
+    let cfg = MergingConfig::default();
+    // Empty game, single player, all-identical sizes, extreme probs.
+    let shapes: Vec<(Vec<u64>, Vec<f64>)> = vec![
+        (vec![], vec![]),
+        (vec![30], vec![0.9]),
+        (vec![30], vec![0.0]),
+        (vec![7; 9], vec![1.0; 9]),
+        (vec![1; 4], vec![0.5; 4]),
+    ];
+    for (case, (sizes, probs)) in shapes.into_iter().enumerate() {
+        for seed in [0u64, 1, u64::MAX] {
+            let want = reference_one_shot_merge(&sizes, &probs, &cfg, seed);
+            let got = one_shot_merge(&sizes, &probs, &cfg, seed);
+            assert_merge_equal(case as u64, &got, &want);
+        }
+    }
+}
+
+fn assert_selection_equal(case: u64, got: &SelectionOutcome, want: &SelectionOutcome) {
+    assert_eq!(
+        got.assignments, want.assignments,
+        "case {case}: assignments differ"
+    );
+    assert_eq!(got.load, want.load, "case {case}: load differs");
+    assert_eq!(got.rounds, want.rounds, "case {case}: rounds differ");
+    assert_eq!(
+        got.potential, want.potential,
+        "case {case}: potential differs"
+    );
+}
+
+#[test]
+fn best_reply_wrapper_matches_reference_over_200_seeded_cases() {
+    for case in 0..200u64 {
+        let mut gen = ChaCha8Rng::seed_from_u64(0xC3D4_0000 ^ case);
+        let t = 1 + (gen.gen::<u64>() % 40) as usize;
+        let fees: Vec<u64> = (0..t).map(|_| gen.gen::<u64>() % 1000).collect();
+        let miners = 1 + (gen.gen::<u64>() % 8) as usize;
+        let capacity = 1 + (gen.gen::<u64>() % 6) as usize;
+        // Deliberately dirty initial sets: out of range, duplicated,
+        // over- and under-sized — the sanitizer must agree too.
+        let initial: Vec<Vec<usize>> = (0..miners)
+            .map(|_| {
+                let len = (gen.gen::<u64>() % (2 * capacity as u64 + 1)) as usize;
+                (0..len)
+                    .map(|_| (gen.gen::<u64>() % (t as u64 + 3)) as usize)
+                    .collect()
+            })
+            .collect();
+        let config = SelectionConfig {
+            capacity,
+            max_rounds: 10_000,
+        };
+        let want = reference_best_reply(&fees, &initial, &config);
+        let got = best_reply_equilibrium(&fees, &initial, &config);
+        assert_selection_equal(case, &got, &want);
+    }
+}
+
+#[test]
+fn best_reply_wrapper_matches_reference_on_degenerate_shapes() {
+    let cfg = SelectionConfig {
+        capacity: 3,
+        max_rounds: 10_000,
+    };
+    let cases: Vec<(Vec<u64>, Vec<Vec<usize>>)> = vec![
+        (vec![], vec![]),                           // nothing at all
+        (vec![1, 2], vec![]),                       // txs but no miners
+        (vec![0, 0, 0, 0], vec![vec![0], vec![1]]), // all-zero fees
+        (vec![5], vec![vec![0], vec![0], vec![0]]), // one tx, many miners
+        (vec![9; 6], vec![vec![9, 9, 9]; 4]),       // out-of-range duplicates
+    ];
+    for (case, (fees, initial)) in cases.into_iter().enumerate() {
+        let want = reference_best_reply(&fees, &initial, &cfg);
+        let got = best_reply_equilibrium(&fees, &initial, &cfg);
+        assert_selection_equal(case as u64, &got, &want);
+    }
+}
+
+#[test]
+fn configs_with_tight_round_caps_agree_on_truncation() {
+    // When the cap bites, both implementations must stop at the same
+    // sweep with the same partial state.
+    let fees: Vec<u64> = (1..=60).map(|i| i * 7 % 101).collect();
+    let initial: Vec<Vec<usize>> = (0..7).map(|i| vec![i, i + 1, i + 2]).collect();
+    for max_rounds in 1..=6 {
+        let cfg = SelectionConfig {
+            capacity: 3,
+            max_rounds,
+        };
+        let want = reference_best_reply(&fees, &initial, &cfg);
+        let got = best_reply_equilibrium(&fees, &initial, &cfg);
+        assert_selection_equal(max_rounds as u64, &got, &want);
+    }
+}
+
+#[test]
+fn reward_cost_margins_do_not_break_equivalence() {
+    // Sweep the merge game's payoff margin, including near-degenerate
+    // reward ≈ cost games where the dynamics drift toward "stay".
+    for case in 0..24u64 {
+        let config = MergingConfig {
+            reward: Amount::from_raw(600 + case * 50),
+            cost: Amount::from_raw(550),
+            lower_bound: 10,
+            ..MergingConfig::default()
+        };
+        let sizes = vec![9u64, 9, 9, 9];
+        let probs = vec![0.5; 4];
+        let want = reference_one_shot_merge(&sizes, &probs, &config, case);
+        let got = one_shot_merge(&sizes, &probs, &config, case);
+        assert_merge_equal(case, &got, &want);
+    }
+}

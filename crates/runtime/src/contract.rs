@@ -35,7 +35,8 @@ use crate::harness::Runtime;
 use crate::propagation::PropagationModel;
 use crate::report::{RunReport, ShardReport};
 use cshard_crypto::Prf;
-use cshard_games::selection::{best_reply_equilibrium, SelectionConfig};
+use cshard_games::dynamics::{BestReplyDynamics, GameDynamics, SelectInput, SelectionWarmCache};
+use cshard_games::selection::SelectionConfig;
 use cshard_primitives::{Error, ShardId, SimTime};
 use cshard_sim::SimRng;
 use std::time::Duration;
@@ -130,6 +131,23 @@ impl Default for RuntimeConfig {
     }
 }
 
+/// Iteration accounting of a shard's selection-game dynamics — how many
+/// epochs were played, how many best-reply sweeps they cost, and how the
+/// warm cache fared. Sim-clock-free counters (ND001): pure event-path
+/// arithmetic, no wall time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SelectionDynamicsStats {
+    /// Selection epochs started over the run.
+    pub epochs: u64,
+    /// Total best-reply sweeps across all epochs (including the final
+    /// certification sweep of each).
+    pub rounds: u64,
+    /// Epochs seeded from a cached equilibrium (one certification sweep).
+    pub warm_hits: u64,
+    /// Epochs computed cold and stored for later reuse.
+    pub warm_misses: u64,
+}
+
 struct ShardState {
     spec: ShardSpec,
     /// Confirmation time + author per local tx (None = unconfirmed).
@@ -157,6 +175,16 @@ struct ShardState {
     latest_visible: Option<SimTime>,
     /// Per-shard RNG stream for epoch initial choices.
     epoch_rng: SimRng,
+    /// The selection game's dynamics, re-initialized per epoch so its
+    /// scratch buffers persist across epochs (allocation-free after the
+    /// first).
+    dynamics: BestReplyDynamics,
+    /// Cross-epoch equilibrium memo. `None` (the default) disables warm
+    /// starts entirely — the cold path is untouched, which is what keeps
+    /// the golden fingerprints byte-identical.
+    warm_cache: Option<SelectionWarmCache>,
+    /// Total best-reply sweeps across all epochs.
+    game_rounds: u64,
 }
 
 impl ShardState {
@@ -179,6 +207,9 @@ impl ShardState {
             last_confirmation: None,
             latest_visible: None,
             epoch_rng,
+            dynamics: BestReplyDynamics::new(),
+            warm_cache: None,
+            game_rounds: 0,
             spec,
         }
     }
@@ -224,21 +255,51 @@ impl ShardState {
         let sub_fees: Vec<u64> = remaining.iter().map(|&i| self.spec.fees[i]).collect();
         let t = sub_fees.len();
         let cap = capacity.min(t);
-        // Unified initial choices: a seeded stride per miner.
+        // Unified initial choices: a seeded stride per miner. Always
+        // drawn — warm hit or miss — so the epoch stream's position is a
+        // pure function of the epoch count and warm starts cannot shift
+        // any later draw.
         let initial: Vec<Vec<usize>> = (0..self.spec.miners)
             .map(|m| {
                 let offset = self.epoch_rng.below(t as u64) as usize;
                 (0..cap).map(|k| (offset + k * 7 + m) % t).collect()
             })
             .collect();
-        let outcome = best_reply_equilibrium(
-            &sub_fees,
-            &initial,
-            &SelectionConfig {
-                capacity: cap,
-                max_rounds,
-            },
-        );
+        let sel_config = SelectionConfig {
+            capacity: cap,
+            max_rounds,
+        };
+        // Warm path: if this exact game (fees, initial sets, tunables)
+        // was solved before, seed the dynamics at the cached equilibrium.
+        // A Nash equilibrium of the identical game certifies in a single
+        // sweep and reproduces the identical assignment — strictly fewer
+        // sweeps, bit-identical outcome.
+        let key = self
+            .warm_cache
+            .as_ref()
+            .map(|_| SelectionWarmCache::key(&sub_fees, &initial, &sel_config));
+        let mut warmed = false;
+        if let (Some(cache), Some(k)) = (&mut self.warm_cache, &key) {
+            if let Some(previous) = cache.lookup(k) {
+                self.dynamics.init_warm(&sub_fees, previous, &sel_config);
+                warmed = true;
+            }
+        }
+        if !warmed {
+            self.dynamics.init(SelectInput {
+                fees: &sub_fees,
+                initial: &initial,
+                config: &sel_config,
+            });
+        }
+        self.dynamics.run_to_convergence();
+        let outcome = self.dynamics.solution();
+        self.game_rounds += outcome.rounds as u64;
+        if let (Some(cache), Some(k)) = (&mut self.warm_cache, key) {
+            if !warmed {
+                cache.store(k, outcome.assignments.clone());
+            }
+        }
         // Map sub-indices back to local tx indices.
         self.epoch_assignments = outcome
             .assignments
@@ -299,6 +360,49 @@ impl ContractShardDriver {
             prop_rng,
             candidate: Vec::with_capacity(config.block_capacity),
             config: config.clone(),
+        }
+    }
+
+    /// Builds the driver with a cross-epoch [`SelectionWarmCache`]
+    /// carried in from a previous run of the same shard.
+    ///
+    /// Warm starts never change what the driver computes — every epoch's
+    /// initial choices are drawn from the same stream positions, and a
+    /// cache hit seeds the dynamics at an equilibrium of the *identical*
+    /// game, which certifies in one sweep to the identical assignment.
+    /// Only the sweep counts in [`selection_stats`](Self::selection_stats)
+    /// shrink.
+    ///
+    /// # Panics
+    /// Panics when the spec assigns no miners.
+    pub fn with_warm_cache(
+        spec: &ShardSpec,
+        config: &RuntimeConfig,
+        cache: SelectionWarmCache,
+    ) -> ContractShardDriver {
+        let mut driver = ContractShardDriver::new(spec, config);
+        driver.st.warm_cache = Some(cache);
+        driver
+    }
+
+    /// Takes the warm cache back out after a run (to thread it into the
+    /// next epoch's driver). `None` when the driver ran cold.
+    pub fn into_warm_cache(self) -> Option<SelectionWarmCache> {
+        self.st.warm_cache
+    }
+
+    /// Iteration accounting of this shard's selection dynamics.
+    pub fn selection_stats(&self) -> SelectionDynamicsStats {
+        let (hits, misses) = self
+            .st
+            .warm_cache
+            .as_ref()
+            .map_or((0, 0), |c| (c.hits(), c.misses()));
+        SelectionDynamicsStats {
+            epochs: self.st.epoch_counter,
+            rounds: self.st.game_rounds,
+            warm_hits: hits,
+            warm_misses: misses,
         }
     }
 
@@ -844,5 +948,56 @@ mod tests {
         };
         let r = simulate(&[spec], &latency_cfg(3, LatencyModel::wide_area()));
         assert_eq!(r.shards[0].confirmed, 60);
+    }
+
+    #[test]
+    fn warm_cache_is_bit_invisible_and_saves_sweeps() {
+        // Replaying the identical run with a warm cache must reproduce
+        // the identical report — warm starts may only cut sweep counts.
+        let spec = ShardSpec {
+            shard: ShardId::new(0),
+            fees: fees(60),
+            miners: 5,
+            strategy: SelectionStrategy::Equilibrium { max_rounds: 200 },
+        };
+        let config = cfg(3);
+        let plain = simulate(std::slice::from_ref(&spec), &config);
+
+        let cold = ContractShardDriver::with_warm_cache(&spec, &config, SelectionWarmCache::new());
+        let (cold_run, cold_done) = Runtime::new(1)
+            .run_drivers(vec![cold])
+            .expect("valid test config");
+        assert_eq!(cold_run.fingerprint(), plain.fingerprint());
+        let cold_stats = cold_done[0].selection_stats();
+        assert_eq!(cold_stats.warm_hits, 0);
+        assert!(cold_stats.epochs > 0);
+        let cache = cold_done
+            .into_iter()
+            .next()
+            .and_then(ContractShardDriver::into_warm_cache)
+            .expect("cache was installed");
+        assert_eq!(cache.len() as u64, cold_stats.warm_misses);
+
+        let warm = ContractShardDriver::with_warm_cache(&spec, &config, cache);
+        let (warm_run, warm_done) = Runtime::new(1)
+            .run_drivers(vec![warm])
+            .expect("valid test config");
+        let warm_stats = warm_done[0].selection_stats();
+        // Bit-identical trajectory and report…
+        assert_eq!(warm_run.fingerprint(), plain.fingerprint());
+        assert_eq!(warm_stats.epochs, cold_stats.epochs);
+        // …every epoch replays the identical game, so every lookup hits
+        // (the cache counters carry over; cold hits were zero)…
+        assert_eq!(warm_stats.warm_hits, cold_stats.epochs);
+        assert_eq!(warm_stats.warm_misses, cold_stats.warm_misses);
+        // …and each warm epoch is one certification sweep: strictly
+        // fewer total sweeps than the cold run.
+        assert!(
+            warm_stats.rounds < cold_stats.rounds,
+            "warm {} !< cold {}",
+            warm_stats.rounds,
+            cold_stats.rounds
+        );
+        assert_eq!(warm_stats.rounds, warm_stats.epochs);
     }
 }

@@ -46,7 +46,7 @@ pub mod report;
 
 pub use contract::{
     shard_stream, simulate, simulate_ethereum, ContractShardDriver, EthereumDriver, RuntimeConfig,
-    SelectionStrategy, ShardSpec,
+    SelectionDynamicsStats, SelectionStrategy, ShardSpec,
 };
 pub use driver::{Ctx, ProtocolDriver};
 pub use event::Event;

@@ -26,6 +26,13 @@ chaos:
     cargo run --release -p cshard-bench --bin experiments -- \
         faults --quick --json /tmp/chaos
 
+# Pipeline instrumentation grid: cold vs warm iteration counts and
+# per-stage timing, written as BENCH_pipeline.json.
+bench-pipeline:
+    cargo run --release -p cshard-bench --bin experiments -- \
+        pipeline --quick --json /tmp/bench-pipeline
+    @echo "wrote /tmp/bench-pipeline/BENCH_pipeline.json"
+
 # Fast feedback loop: tests only.
 test:
     cargo test -q --workspace

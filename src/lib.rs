@@ -56,7 +56,7 @@
 //! | [`security`] | Fig. 1(d) shard safety and the Eq. (3)–(6) corruption bounds |
 //! | [`workload`] | the Sec. VI injection generators |
 //! | [`baselines`] | randomized merging, ChainSpace model, optimal oracles |
-//! | [`core`] | shard formation, miner assignment, runtime, the end-to-end system |
+//! | [`core`] | shard formation, miner assignment, the staged `EpochPipeline`, the end-to-end system |
 //! | [`faults`] | deterministic fault injection, VRF leader failover, empirical corruption checks |
 
 #![warn(missing_docs)]
@@ -78,12 +78,11 @@ pub use cshard_workload as workload;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use cshard_baselines::{random_merge, ChainspaceDriver, ChainspacePlacement};
-    pub use cshard_core::metrics::throughput_improvement;
-    pub use cshard_core::runtime::simulate_ethereum;
     pub use cshard_core::system::{MinerAllocation, SystemBuilder, SystemConfig};
     pub use cshard_core::{
-        simulate, MinerAssignment, RunReport, RuntimeConfig, SelectionStrategy, ShardPlan,
-        ShardSpec, ShardingSystem, SystemReport,
+        simulate, simulate_ethereum, throughput_improvement, EpochInput, EpochPipeline,
+        MinerAssignment, PipelineConfig, RunReport, RuntimeConfig, SelectionStrategy, ShardPlan,
+        ShardSpec, ShardingSystem, StageKind, StageObserver, SystemReport,
     };
     pub use cshard_crypto::{sha256, RandomnessBeacon, Vrf};
     pub use cshard_faults::{
