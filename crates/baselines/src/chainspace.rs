@@ -387,15 +387,15 @@ mod tests {
             mean_block_interval: SimTime::from_millis(132), // 10 txs / 76 tps
             ..RuntimeConfig::default()
         };
-        let rt = Runtime::with_comm(1, CommStats::new());
         let fees = w.fees();
-        let report = rt
+        let outcome = Runtime::builder()
+            .comm_stats(CommStats::new())
             .run(p.drivers(&fees, &cfg, LatencyModel::wide_area()))
             .expect("well-formed");
         // Mining still confirms the whole workload under the driver.
-        assert_eq!(report.total_txs(), count);
-        assert!(report.shards.iter().all(|s| s.confirmed == s.txs));
-        (p, rt.comm().clone())
+        assert_eq!(outcome.report.total_txs(), count);
+        assert!(outcome.report.shards.iter().all(|s| s.confirmed == s.txs));
+        (p, outcome.comm)
     }
 
     #[test]
@@ -440,10 +440,10 @@ mod tests {
             ..RuntimeConfig::default()
         };
         let fees = w.fees();
-        let rt = Runtime::new(1);
-        let driven = rt
+        let driven = Runtime::builder()
             .run(p.drivers(&fees, &cfg, LatencyModel::wide_area()))
-            .expect("well-formed");
+            .expect("well-formed")
+            .report;
         let specs: Vec<ShardSpec> = p
             .shard_tx_indices()
             .into_iter()
@@ -470,15 +470,16 @@ mod tests {
             let p = ChainspacePlacement::place(&w.transactions, 9, 7);
             let cfg = RuntimeConfig {
                 seed: 7,
-                threads,
+                scheduler: cshard_runtime::SchedulerConfig::new(threads),
                 ..RuntimeConfig::default()
             };
             let fees = w.fees();
-            let rt = Runtime::with_comm(threads, CommStats::new());
-            let report = rt
+            let outcome = Runtime::builder()
+                .scheduler(cfg.scheduler)
+                .comm_stats(CommStats::new())
                 .run(p.drivers(&fees, &cfg, LatencyModel::wide_area()))
                 .expect("well-formed");
-            (report.fingerprint(), rt.comm().total())
+            (outcome.report.fingerprint(), outcome.comm.total())
         };
         assert_eq!(mk(1), mk(4));
     }

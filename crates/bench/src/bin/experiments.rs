@@ -86,10 +86,10 @@ fn main() -> ExitCode {
         };
         println!("{}", result.to_table());
         if let Some(dir) = &json_dir {
-            // The pipeline grid is a bench artefact, not a paper figure —
-            // it ships under the BENCH_ prefix.
-            let file = if id == "pipeline" {
-                "BENCH_pipeline.json".to_string()
+            // The pipeline and scheduler grids are bench artefacts, not
+            // paper figures — they ship under the BENCH_ prefix.
+            let file = if id == "pipeline" || id == "sched" {
+                format!("BENCH_{id}.json")
             } else {
                 format!("{id}.json")
             };

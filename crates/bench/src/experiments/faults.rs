@@ -9,7 +9,7 @@
 //! the observed shard sizes within binomial sampling noise — the
 //! empirical check of the paper's Eq. (3)–(6) inputs.
 
-use crate::experiments::grid_executor;
+use crate::experiments::grid_scheduler;
 use crate::report::{ExperimentResult, Series};
 use cshard_faults::{measure_corruption, run_leader_faults, LeaderFaultPlan};
 use cshard_primitives::SimTime;
@@ -21,7 +21,7 @@ pub fn run(quick: bool) -> ExperimentResult {
 
     // Corruption sweep: each fraction is an independent measurement, so
     // fan the grid points out (each is a pure function of its inputs).
-    let measurements = grid_executor().run(fractions.clone(), |_, f| {
+    let measurements = grid_scheduler().map(fractions.clone(), |_, f| {
         measure_corruption(miners, f, epochs, txs, 0xFA017)
             .unwrap_or_else(|e| panic!("corruption measurement at f={f}: {e}"))
     });

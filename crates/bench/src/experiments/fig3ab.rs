@@ -7,7 +7,7 @@
 //! improvement curve is anchored at 1.0 for one shard, and Table I shows
 //! extra miners do not speed the serialized chain up).
 
-use crate::experiments::{default_fees, grid_executor};
+use crate::experiments::{default_fees, grid_scheduler};
 use crate::report::{ExperimentResult, Series};
 use cshard_core::simulate_ethereum;
 use cshard_core::throughput_improvement;
@@ -49,7 +49,7 @@ fn measure(shards: usize, repeats: u64) -> Point {
 fn sweep(quick: bool) -> Vec<(usize, Point)> {
     let repeats = if quick { 4 } else { 20 };
     // Every shard count is an independently seeded measurement.
-    grid_executor().run((1..=9).collect(), move |_, s| (s, measure(s, repeats)))
+    grid_scheduler().map((1..=9).collect(), move |_, s| (s, measure(s, repeats)))
 }
 
 /// Fig. 3(a): throughput improvement vs. number of shards.

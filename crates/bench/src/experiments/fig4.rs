@@ -11,7 +11,7 @@
 //!   constant 2 of parameter unification (submit statistics + receive the
 //!   broadcast), independent of the number of small shards.
 
-use crate::experiments::{default_fees, grid_executor};
+use crate::experiments::{default_fees, grid_config, grid_scheduler};
 use crate::report::{ExperimentResult, Series};
 use cshard_baselines::ChainspacePlacement;
 use cshard_core::simulate_ethereum;
@@ -65,9 +65,11 @@ pub fn run_a(quick: bool) -> ExperimentResult {
             // plain sharded run of the same placement).
             let placement = ChainspacePlacement::place(&w.transactions, shards, seed);
             let fees = w.fees();
-            let cs_run = Runtime::new(cfg.threads)
+            let cs_run = Runtime::builder()
+                .scheduler(grid_config())
                 .run(placement.drivers(&fees, &cfg, LatencyModel::wide_area()))
-                .expect("well-formed drivers");
+                .expect("well-formed drivers")
+                .report;
             cs_imp += throughput_improvement(&ethereum, &cs_run);
         }
         ours_pts.push((shards as f64, ours_imp / repeats as f64));
@@ -104,7 +106,7 @@ pub fn run_b(quick: bool) -> ExperimentResult {
     let mut cs_pts = Vec::new();
     for &count in &xs {
         // The repeats are independently seeded runs — fan them out.
-        let per_seed = grid_executor().run((0..repeats).collect(), |_, seed| {
+        let per_seed = grid_scheduler().map((0..repeats).collect(), |_, seed| {
             let w = Workload::three_input(count, 3, default_fees(), seed);
             // ChainSpace: random placement, then an actual run — each 2PC
             // validation round is a scheduled event that books one
@@ -112,15 +114,16 @@ pub fn run_b(quick: bool) -> ExperimentResult {
             let placement = ChainspacePlacement::place(&w.transactions, shards, seed);
             let cfg = chainspace_runtime(seed, 10);
             let fees = w.fees();
-            let rt = Runtime::with_comm(1, CommStats::new());
-            rt.run(placement.drivers(&fees, &cfg, LatencyModel::wide_area()))
+            let outcome = Runtime::builder()
+                .comm_stats(CommStats::new())
+                .run(placement.drivers(&fees, &cfg, LatencyModel::wide_area()))
                 .expect("well-formed drivers");
 
             // Ours: every 3-input tx is MaxShard-internal → zero rounds.
             let sharded = ShardingSystem::testbed(chainspace_runtime(seed, 10));
             let report = sharded.run(&w).expect("valid config");
             assert_eq!(report.comm.total(), 0);
-            rt.comm().per_shard_average(shards)
+            outcome.comm.per_shard_average(shards)
         });
         let cs_avg: f64 = per_seed.iter().sum();
         ours_pts.push((count as f64, 0.0));

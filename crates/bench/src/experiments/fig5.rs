@@ -5,7 +5,7 @@
 //! * (b) number of distinct transaction sets reached by the selection game
 //!   vs. the optimal (= miner count), up to 1000 miners.
 
-use crate::experiments::grid_executor;
+use crate::experiments::grid_scheduler;
 use crate::report::{ExperimentResult, Series};
 use cshard_baselines::{optimal_distinct_sets, optimal_new_shards};
 use cshard_games::selection::{best_reply_equilibrium, SelectionConfig};
@@ -27,7 +27,7 @@ pub fn run_a(quick: bool) -> ExperimentResult {
         ..MergingConfig::default()
     };
     // Grid points are seeded by `n` alone, so they are independent tasks.
-    let points = grid_executor().run(xs.clone(), |_, n| {
+    let points = grid_scheduler().map(xs.clone(), |_, n| {
         let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
         // "We randomly generate different numbers of transactions in
         // multiple small shards" — 1..=9 like the testbed runs.
@@ -93,7 +93,7 @@ pub fn run_b(quick: bool) -> ExperimentResult {
         .iter()
         .flat_map(|&miners| (0..repeats).map(move |rep| (miners, rep)))
         .collect();
-    let counts = grid_executor().run(pairs, |_, (miners, rep)| {
+    let counts = grid_scheduler().map(pairs, |_, (miners, rep)| {
         let mut rng = ChaCha8Rng::seed_from_u64((miners * 31 + rep) as u64 ^ 0xBEEF);
         // Candidate-set fee = sum of `capacity` heavy-tailed tx fees.
         let fee_model = FeeDistribution::Zipf {

@@ -9,11 +9,12 @@ pub mod fig3h;
 pub mod fig4;
 pub mod fig5;
 pub mod pipeline;
+pub mod sched;
 pub mod sec4d;
 pub mod table1;
 
 use crate::report::ExperimentResult;
-use cshard_sim::Executor;
+use cshard_sim::{SchedulerConfig, WorkScheduler};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Worker threads for parallelizing independent experiment grid points
@@ -27,15 +28,24 @@ pub fn set_grid_threads(threads: usize) {
     GRID_THREADS.store(threads, Ordering::Relaxed);
 }
 
-/// The executor experiments fan their independent grid points out on.
-pub fn grid_executor() -> Executor {
-    Executor::new(GRID_THREADS.load(Ordering::Relaxed))
+/// The shared scheduler configuration every experiment reads — the one
+/// place the driver's `--threads` flag lands, whether an experiment fans
+/// grid points out ([`grid_scheduler`]) or threads the config into a
+/// protocol run's `Runtime::builder()`.
+pub fn grid_config() -> SchedulerConfig {
+    SchedulerConfig::new(GRID_THREADS.load(Ordering::Relaxed))
+}
+
+/// The scheduler experiments fan their independent grid points out on,
+/// consuming [`grid_config`].
+pub fn grid_scheduler() -> WorkScheduler {
+    WorkScheduler::new(grid_config())
 }
 
 /// All experiment ids, in paper order.
 pub const ALL: &[&str] = &[
     "table1", "fig1d", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig3g", "fig3h",
-    "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "sec4d", "faults", "pipeline",
+    "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "sec4d", "faults", "pipeline", "sched",
 ];
 
 /// The ablation studies of DESIGN.md §8 (run with `experiments ablations`
@@ -71,6 +81,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentResult> {
         "sec4d" => sec4d::run(),
         "faults" => faults::run(quick),
         "pipeline" => pipeline::run(quick),
+        "sched" => sched::run(quick),
         "abl-eta" => ablations::run_eta(quick),
         "abl-window" => ablations::run_window(quick),
         "abl-fees" => ablations::run_fees(quick),

@@ -15,7 +15,7 @@
 //! reported — a warm start that changed a fingerprint is a bug, not a
 //! data point.
 
-use crate::experiments::{default_fees, grid_executor};
+use crate::experiments::{default_fees, grid_scheduler};
 use crate::report::{ExperimentResult, Series};
 use cshard_core::{
     EpochInput, EpochPipeline, MinerAllocation, PipelineConfig, RuntimeConfig, StageKind,
@@ -123,7 +123,7 @@ fn measure(contracts: usize, epochs: u64) -> Point {
 pub fn run(quick: bool) -> ExperimentResult {
     let epochs = if quick { 4 } else { 8 };
     let points: Vec<Point> =
-        grid_executor().run(vec![1usize, 4, 8], move |_, c| measure(c, epochs));
+        grid_scheduler().map(vec![1usize, 4, 8], move |_, c| measure(c, epochs));
     let x = |p: &Point| p.shards as f64;
     let mut series = vec![
         Series::new(

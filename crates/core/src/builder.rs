@@ -18,7 +18,7 @@
 use crate::system::{MinerAllocation, ShardingSystem, SystemConfig};
 use cshard_games::MergingConfig;
 use cshard_primitives::{Error, SimTime};
-use cshard_runtime::PropagationModel;
+use cshard_runtime::{PropagationModel, SchedulerConfig};
 
 /// Builds a validated [`ShardingSystem`].
 #[derive(Clone, Debug)]
@@ -92,10 +92,20 @@ impl SystemBuilder {
         self
     }
 
-    /// Executor worker threads: `1` = sequential (default), `0` = one per
-    /// core. Results are bit-identical across settings.
+    /// Scheduler worker threads: `1` = sequential (default), `0` = one per
+    /// core. Results are bit-identical across settings. Shorthand for
+    /// [`SystemBuilder::scheduler`] with just a worker count.
     pub fn threads(mut self, threads: usize) -> Self {
-        self.config.runtime.threads = threads;
+        self.config.runtime.scheduler.threads = threads;
+        self
+    }
+
+    /// The full scheduler configuration for the block-production runs:
+    /// worker count and per-turn event budget (see
+    /// [`cshard_runtime::SchedulerConfig`]). Results are bit-identical at
+    /// any setting.
+    pub fn scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.config.runtime.scheduler = scheduler;
         self
     }
 

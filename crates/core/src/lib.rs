@@ -44,7 +44,8 @@ pub use assignment::MinerAssignment;
 pub use cshard_runtime::report::{throughput_improvement, RunReport, ShardReport};
 pub use cshard_runtime::{
     simulate, simulate_ethereum, ContractShardDriver, EthereumDriver, Event, PropagationModel,
-    ProtocolDriver, Runtime, RuntimeConfig, SelectionStrategy, ShardSpec,
+    ProtocolDriver, RunBuilder, RunObserver, RunOutcome, RunPhase, RunSchedStats, Runtime,
+    RuntimeConfig, SchedulerConfig, SelectionStrategy, ShardSpec,
 };
 pub use epoch::{EpochManager, EpochOutcome};
 pub use formation::ShardPlan;
@@ -54,3 +55,31 @@ pub use pipeline::{
     StageObserver, StageOutput,
 };
 pub use system::{MinerAllocation, ShardingSystem, SystemBuilder, SystemConfig, SystemReport};
+
+/// The most commonly used items for driving the sharded system — import
+/// `cshard_core::prelude::*` instead of reaching into crate internals.
+///
+/// Fault-injection types (`FaultPlan`, `run_with_faults`, …) live one
+/// level *above* this crate (`cshard-faults` depends on `cshard-core`),
+/// so they are re-exported by the facade crate's `contractshard::prelude`
+/// rather than here.
+pub mod prelude {
+    pub use crate::builder::SystemBuilder;
+    pub use crate::epoch::{EpochManager, EpochOutcome};
+    pub use crate::formation::ShardPlan;
+    pub use crate::longrun::{LongRun, LongRunConfig};
+    pub use crate::pipeline::{
+        EpochInput, EpochPipeline, EpochRun, PipelineConfig, PipelineMetrics, StageKind,
+        StageObserver, StageOutput,
+    };
+    pub use crate::system::{MinerAllocation, ShardingSystem, SystemConfig, SystemReport};
+    pub use crate::{simulate, simulate_ethereum, throughput_improvement, MinerAssignment};
+    pub use cshard_games::dynamics::GameDynamics;
+    pub use cshard_games::{MergingConfig, SelectionConfig, UnifiedParameters};
+    pub use cshard_primitives::{Error, ShardId, SimTime};
+    pub use cshard_runtime::{
+        ContractShardDriver, Ctx, EthereumDriver, Event, PropagationModel, ProtocolDriver,
+        RunBuilder, RunObserver, RunOutcome, RunPhase, RunReport, RunSchedStats, Runtime,
+        RuntimeConfig, SchedulerConfig, SelectionStrategy, ShardSpec,
+    };
+}

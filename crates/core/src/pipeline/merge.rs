@@ -139,6 +139,7 @@ impl PipelineStage for MergeStage {
             },
             warm_hits: u64::from(warm_hit),
             warm_misses: u64::from(self.warm && !warm_hit),
+            ..StageOutput::default()
         };
         ctx.merge = Some(summary);
         Ok(out)

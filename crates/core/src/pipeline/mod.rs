@@ -116,6 +116,14 @@ pub struct StageOutput {
     pub warm_hits: u64,
     /// Warm-start cache misses (computed cold, stored for reuse).
     pub warm_misses: u64,
+    /// Scheduler task slots admitted (they had queued work) while the
+    /// stage ran. Only the unify stage — the one that launches the
+    /// block-production run — reports these; see
+    /// `cshard_runtime::RunSchedStats`.
+    pub tasks_scheduled: u64,
+    /// Scheduler task slots skipped (no queued work, never stepped) — the
+    /// idle-shard saving, as a number.
+    pub tasks_skipped: u64,
 }
 
 /// Cumulative per-stage counters across a pipeline's lifetime.
@@ -131,6 +139,10 @@ pub struct StageCounters {
     pub warm_hits: u64,
     /// Sum of [`StageOutput::warm_misses`].
     pub warm_misses: u64,
+    /// Sum of [`StageOutput::tasks_scheduled`].
+    pub tasks_scheduled: u64,
+    /// Sum of [`StageOutput::tasks_skipped`].
+    pub tasks_skipped: u64,
 }
 
 /// Iteration accounting for a whole pipeline, surfaced in
@@ -160,6 +172,18 @@ impl PipelineMetrics {
         self.counters.iter().map(|c| c.warm_hits).sum()
     }
 
+    /// Total scheduler task slots admitted across all stages and epochs.
+    pub fn total_tasks_scheduled(&self) -> u64 {
+        self.counters.iter().map(|c| c.tasks_scheduled).sum()
+    }
+
+    /// Total scheduler task slots skipped (idle shards never scheduled)
+    /// across all stages and epochs — the number the shard-lifecycle
+    /// scheduler exists to make nonzero on sparse workloads.
+    pub fn total_tasks_skipped(&self) -> u64 {
+        self.counters.iter().map(|c| c.tasks_skipped).sum()
+    }
+
     fn absorb(&mut self, kind: StageKind, out: &StageOutput) {
         let c = &mut self.counters[kind.index()];
         c.runs += 1;
@@ -167,6 +191,8 @@ impl PipelineMetrics {
         c.iterations += out.iterations;
         c.warm_hits += out.warm_hits;
         c.warm_misses += out.warm_misses;
+        c.tasks_scheduled += out.tasks_scheduled;
+        c.tasks_skipped += out.tasks_skipped;
     }
 }
 

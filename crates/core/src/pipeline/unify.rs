@@ -86,7 +86,10 @@ impl PipelineStage for UnifyStage {
                 }
             })
             .collect();
-        let (run, finished) = Runtime::new(ctx.runtime.threads).run_drivers(drivers)?;
+        let outcome = Runtime::builder()
+            .scheduler(ctx.runtime.scheduler)
+            .run(drivers)?;
+        let (run, finished, sched) = (outcome.report, outcome.drivers, outcome.sched);
 
         let mut epoch_rounds = 0;
         for (spec, driver) in ctx.specs.iter().zip(finished) {
@@ -107,6 +110,8 @@ impl PipelineStage for UnifyStage {
             iterations: epoch_rounds,
             warm_hits: hits_after - hits_before,
             warm_misses: misses_after - misses_before,
+            tasks_scheduled: sched.scheduled(),
+            tasks_skipped: sched.skipped(),
         };
         ctx.run = Some(run);
         Ok(out)

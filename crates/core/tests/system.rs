@@ -2,10 +2,7 @@
 //! through the public API (relocated from `system.rs` when the epoch was
 //! carved into pipeline stages).
 
-use cshard_core::{
-    simulate_ethereum, throughput_improvement, EpochInput, EpochPipeline, MinerAllocation,
-    PipelineConfig, PropagationModel, RuntimeConfig, ShardingSystem, StageKind, SystemConfig,
-};
+use cshard_core::prelude::*;
 use cshard_crypto::sha256;
 use cshard_games::MergingConfig;
 use cshard_primitives::SimTime;
@@ -183,7 +180,7 @@ fn builder_sets_every_knob() {
         .conflict_window(SimTime::from_secs(15))
         .empty_block_window(SimTime::from_secs(212))
         .seed(42)
-        .threads(4)
+        .scheduler(SchedulerConfig::new(4).with_turn_events(64))
         .total_miners(20)
         .merging(16)
         .selection(500)
@@ -203,7 +200,8 @@ fn builder_sets_every_knob() {
         Some(SimTime::from_secs(212))
     );
     assert_eq!(cfg.runtime.seed, 42);
-    assert_eq!(cfg.runtime.threads, 4);
+    assert_eq!(cfg.runtime.scheduler.threads, 4);
+    assert_eq!(cfg.runtime.scheduler.turn_events, 64);
     assert!(matches!(
         cfg.allocation,
         MinerAllocation::Proportional { total: 20 }

@@ -287,7 +287,8 @@ mod tests {
                 )
             })
             .collect();
-        let (report, drivers) = Runtime::new(1).run_drivers(wrapped).expect("valid");
+        let outcome = Runtime::builder().run(wrapped).expect("valid");
+        let (report, drivers) = (outcome.report, outcome.drivers);
         assert_eq!(report.fingerprint(), plain.fingerprint());
         assert!(drivers.iter().all(|d| !d.stats().any_faults()));
     }
@@ -308,7 +309,8 @@ mod tests {
             specs[0].shard,
             &plan,
         )];
-        let (report, drivers) = Runtime::new(1).run_drivers(wrapped).expect("no stall");
+        let outcome = Runtime::builder().run(wrapped).expect("no stall");
+        let (report, drivers) = (outcome.report, outcome.drivers);
         let stats = drivers[0].stats().clone();
         assert_eq!(stats.crashes, 1);
         assert!(stats.timed_out, "run must end at the deadline");
@@ -330,7 +332,8 @@ mod tests {
             specs[0].shard,
             &plan,
         )];
-        let (report, drivers) = Runtime::new(1).run_drivers(wrapped).expect("no stall");
+        let outcome = Runtime::builder().run(wrapped).expect("no stall");
+        let (report, drivers) = (outcome.report, outcome.drivers);
         let stats = drivers[0].stats();
         assert_eq!(stats.crashes, 1);
         assert_eq!(stats.recoveries, 1);
@@ -358,7 +361,8 @@ mod tests {
                 s.shard,
                 plan,
             )];
-            Runtime::new(1).run_drivers(wrapped).expect("no stall")
+            let outcome = Runtime::builder().run(wrapped).expect("no stall");
+            (outcome.report, outcome.drivers)
         };
         let window = (SimTime::ZERO, SimTime::from_secs(100_000));
         let drops = FaultPlan::none(21).with_drops(ShardId::new(0), 1.0, window.0, window.1);

@@ -89,7 +89,7 @@ fn partitioned(
 /// fault accounting back out of the wrappers.
 ///
 /// Determinism: the result is a pure function of `(shards, config, plan)`
-/// — bit-identical at any `config.threads`, with runtime randomness keyed
+/// — bit-identical at any `config.scheduler`, with runtime randomness keyed
 /// by `config.seed` and fault randomness keyed by `plan.seed`. Under
 /// `FaultPlan::none(..)` the report fingerprint equals the unwrapped
 /// `simulate`'s exactly.
@@ -120,7 +120,10 @@ pub fn run_with_faults(
         };
         drivers.push(FaultyDriver::new(driver, spec.shard, plan));
     }
-    let (run, finished) = Runtime::new(config.threads).run_drivers(drivers)?;
+    let outcome = Runtime::builder()
+        .scheduler(config.scheduler)
+        .run(drivers)?;
+    let (run, finished) = (outcome.report, outcome.drivers);
     let faults = FaultReport {
         shards: finished.iter().map(|d| d.stats().clone()).collect(),
     };

@@ -38,7 +38,7 @@ use cshard_crypto::Prf;
 use cshard_games::dynamics::{BestReplyDynamics, GameDynamics, SelectInput, SelectionWarmCache};
 use cshard_games::selection::SelectionConfig;
 use cshard_primitives::{Error, ShardId, SimTime};
-use cshard_sim::SimRng;
+use cshard_sim::{SchedulerConfig, SimRng};
 use std::time::Duration;
 
 /// How miners of a shard pick transactions.
@@ -99,12 +99,12 @@ pub struct RuntimeConfig {
     pub empty_block_window: Option<SimTime>,
     /// RNG seed; identical seeds reproduce runs bit-for-bit.
     pub seed: u64,
-    /// Worker threads for the per-shard executor: `1` runs shard drivers
-    /// inline (sequential), `0` uses one worker per available core, any
-    /// other value is an explicit pool size. Results are bit-identical
-    /// across all settings — each shard's randomness is derived from
-    /// `(seed, shard)` by a PRF, never from cross-shard draw order.
-    pub threads: usize,
+    /// How the per-shard drivers are scheduled: worker count (`threads: 1`
+    /// runs shard drivers inline, `0` uses one worker per available core)
+    /// and per-turn event budget. Results are bit-identical across all
+    /// settings — each shard's randomness is derived from `(seed, shard)`
+    /// by a PRF, never from cross-shard draw order or worker interleaving.
+    pub scheduler: SchedulerConfig,
 }
 
 impl RuntimeConfig {
@@ -126,7 +126,7 @@ impl Default for RuntimeConfig {
             propagation: PropagationModel::Window(SimTime::from_secs(60)),
             empty_block_window: None,
             seed: 0,
-            threads: 1,
+            scheduler: SchedulerConfig::sequential(),
         }
     }
 }
@@ -622,8 +622,8 @@ impl ProtocolDriver for EthereumDriver {
 /// them to [`Runtime::run`]. Shards are independent drivers — each derives
 /// its randomness from `(config.seed, shard)` via a PRF and owns its event
 /// queue, so the harness may run them on any number of threads
-/// ([`RuntimeConfig::threads`]) and the report is bit-for-bit identical to
-/// a sequential run.
+/// ([`RuntimeConfig::scheduler`]) and the report is bit-for-bit identical
+/// to a sequential run.
 ///
 /// Errors on an invalid configuration (zero [`RuntimeConfig::block_capacity`],
 /// a minerless spec) or a malformed event stream, instead of panicking.
@@ -641,7 +641,10 @@ pub fn simulate(shards: &[ShardSpec], config: &RuntimeConfig) -> Result<RunRepor
         .iter()
         .map(|spec| ContractShardDriver::new(spec, config))
         .collect();
-    Runtime::new(config.threads).run(drivers)
+    Runtime::builder()
+        .scheduler(config.scheduler)
+        .run(drivers)
+        .map(|outcome| outcome.report)
 }
 
 /// Convenience: the Ethereum baseline — all transactions on one chain,
@@ -659,7 +662,10 @@ pub fn simulate_ethereum(
         });
     }
     let driver = EthereumDriver::new(fees, miners, config);
-    Runtime::new(config.threads).run(vec![driver])
+    Runtime::builder()
+        .scheduler(config.scheduler)
+        .run(vec![driver])
+        .map(|outcome| outcome.report)
 }
 
 #[cfg(test)]
@@ -964,9 +970,10 @@ mod tests {
         let plain = simulate(std::slice::from_ref(&spec), &config);
 
         let cold = ContractShardDriver::with_warm_cache(&spec, &config, SelectionWarmCache::new());
-        let (cold_run, cold_done) = Runtime::new(1)
-            .run_drivers(vec![cold])
+        let outcome = Runtime::builder()
+            .run(vec![cold])
             .expect("valid test config");
+        let (cold_run, cold_done) = (outcome.report, outcome.drivers);
         assert_eq!(cold_run.fingerprint(), plain.fingerprint());
         let cold_stats = cold_done[0].selection_stats();
         assert_eq!(cold_stats.warm_hits, 0);
@@ -979,9 +986,10 @@ mod tests {
         assert_eq!(cache.len() as u64, cold_stats.warm_misses);
 
         let warm = ContractShardDriver::with_warm_cache(&spec, &config, cache);
-        let (warm_run, warm_done) = Runtime::new(1)
-            .run_drivers(vec![warm])
+        let outcome = Runtime::builder()
+            .run(vec![warm])
             .expect("valid test config");
+        let (warm_run, warm_done) = (outcome.report, outcome.drivers);
         let warm_stats = warm_done[0].selection_stats();
         // Bit-identical trajectory and report…
         assert_eq!(warm_run.fingerprint(), plain.fingerprint());

@@ -1,11 +1,12 @@
-//! The two-phase run harness: one driver per shard on the executor.
+//! The two-phase run harness: one driver per shard on the shard-lifecycle
+//! scheduler, launched through [`Runtime::builder`].
 
 use crate::driver::{Ctx, ProtocolDriver};
 use crate::event::Event;
 use crate::report::RunReport;
 use cshard_network::CommStats;
 use cshard_primitives::{Error, SimTime};
-use cshard_sim::{EventQueue, Executor};
+use cshard_sim::{DrainStats, EventQueue, SchedulerConfig, Turn, WorkScheduler};
 // Wall-clock reads are confined to this harness by design (audit rule
 // ND001 allowlists exactly this file): `wall` feeds only the diagnostic
 // fields of the report, never the simulation.
@@ -18,13 +19,175 @@ struct DriverTask<D> {
     queue: EventQueue<Event>,
     events: usize,
     wall: Duration,
+    last_event: Option<Event>,
+}
+
+/// The run's two scheduler passes, as the [`RunObserver`] sees them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunPhase {
+    /// Phase 1: every driver with work runs to [`ProtocolDriver::done`].
+    Active,
+    /// Phase 2: early finishers replay pending events strictly before the
+    /// global completion time (idle-mining accounting).
+    IdleDrain,
+}
+
+/// Caller-side run hooks, mirroring the pipeline's `StageObserver`: the
+/// harness itself reads wall clocks only for the report's diagnostic
+/// fields, so a bench that wants per-phase timing brackets these hooks
+/// with its own `Instant` reads.
+pub trait RunObserver {
+    /// Called immediately before a phase's scheduler drain starts.
+    fn phase_started(&mut self, phase: RunPhase) {
+        let _ = phase;
+    }
+    /// Called after the phase drained, with its scheduling statistics.
+    fn phase_finished(&mut self, phase: RunPhase, stats: &DrainStats) {
+        let _ = (phase, stats);
+    }
+}
+
+/// Scheduling statistics of one completed run: what each of the two
+/// phases admitted, skipped and executed. Sim-clock-free counters
+/// (ND001-clean); deliberately outside the fingerprinted report surface.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunSchedStats {
+    /// Phase 1 (active) drain statistics.
+    pub active: DrainStats,
+    /// Phase 2 (idle drain) statistics.
+    pub idle_drain: DrainStats,
+}
+
+impl RunSchedStats {
+    /// Task slots admitted across both phases.
+    pub fn scheduled(&self) -> u64 {
+        self.active.scheduled + self.idle_drain.scheduled
+    }
+
+    /// Task slots skipped (no queued work) across both phases — the
+    /// idle-shard saving, as a number.
+    pub fn skipped(&self) -> u64 {
+        self.active.skipped + self.idle_drain.skipped
+    }
+
+    /// Scheduled turns across both phases.
+    pub fn turns(&self) -> u64 {
+        self.active.turns + self.idle_drain.turns
+    }
+}
+
+/// Everything a run produced: the fingerprinted [`RunReport`], the
+/// finished drivers (in input order), the communication counter the run
+/// recorded into, and the scheduler's statistics.
+pub struct RunOutcome<D> {
+    /// The standard run report (the fingerprinted surface).
+    pub report: RunReport,
+    /// The finished drivers, in input order. Wrappers that accumulate
+    /// extra per-shard state during the run — the fault-injection layer's
+    /// `FaultyDriver` is the canonical case — read it back out of these.
+    pub drivers: Vec<D>,
+    /// The communication counter the drivers recorded into (Fig. 4(b)).
+    pub comm: CommStats,
+    /// Per-phase scheduling statistics (admitted/skipped/turns).
+    pub sched: RunSchedStats,
+}
+
+// Manual impl: drivers are often not Debug (trait objects, fault
+// wrappers); summarize them by count instead of bounding `D`.
+impl<D> std::fmt::Debug for RunOutcome<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOutcome")
+            .field("report", &self.report)
+            .field("drivers", &self.drivers.len())
+            .field("sched", &self.sched)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The fluent launch surface for a protocol run.
+///
+/// ```
+/// use cshard_runtime::{Runtime, ContractShardDriver, RuntimeConfig, ShardSpec};
+/// use cshard_primitives::ShardId;
+/// use cshard_sim::SchedulerConfig;
+///
+/// let config = RuntimeConfig::default();
+/// let drivers = vec![ContractShardDriver::new(
+///     &ShardSpec::solo_greedy(ShardId::new(0), vec![5, 3, 8]),
+///     &config,
+/// )];
+/// let outcome = Runtime::builder()
+///     .scheduler(SchedulerConfig::per_core())
+///     .run(drivers)
+///     .expect("well-formed");
+/// assert_eq!(outcome.report.total_txs(), 3);
+/// ```
+pub struct RunBuilder<'obs> {
+    config: SchedulerConfig,
+    comm: CommStats,
+    observer: Option<&'obs mut dyn RunObserver>,
+}
+
+impl<'obs> RunBuilder<'obs> {
+    /// The scheduler configuration (worker count + turn budget) for both
+    /// phases. Defaults to sequential.
+    pub fn scheduler(mut self, config: SchedulerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Shorthand for [`RunBuilder::scheduler`] with just a worker count
+    /// (`0` = one per core, `1` = inline/sequential).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Uses an existing communication counter, so callers can read the
+    /// messaging a run emitted (Fig. 4(b)) or pool several runs. A fresh
+    /// counter is created (and handed back in the outcome) otherwise.
+    pub fn comm_stats(mut self, comm: CommStats) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// Installs per-phase hooks for the run (bench-side wall timing).
+    pub fn observer(mut self, observer: &'obs mut dyn RunObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Runs every driver to completion (two phases) and hands back the
+    /// full [`RunOutcome`]. The shard order of the report matches the
+    /// driver order given here.
+    ///
+    /// Errors when a driver's event stream is malformed: the driver
+    /// reports unfinished work with an empty queue
+    /// ([`Error::StalledDriver`], whose payload carries the stall's
+    /// simulated time and the last event handled) or an `on_event` hook
+    /// rejects an event ([`Error::UnexpectedEvent`]). The event loop
+    /// itself never panics.
+    pub fn run<D: ProtocolDriver>(self, drivers: Vec<D>) -> Result<RunOutcome<D>, Error> {
+        let RunBuilder {
+            config,
+            comm,
+            observer,
+        } = self;
+        let (report, drivers, sched) = execute(config, &comm, observer, drivers)?;
+        Ok(RunOutcome {
+            report,
+            drivers,
+            comm,
+            sched,
+        })
+    }
 }
 
 /// Runs a set of [`ProtocolDriver`]s to completion and reports.
 ///
 /// Drivers are independent simulation tasks: each owns its event queue
 /// and (by the driver contract) derives randomness from its own seeded
-/// streams, so the executor may run them on any number of threads with
+/// streams, so the scheduler may run them on any number of threads with
 /// bit-identical results. The run has two phases, exactly as the
 /// pre-refactor simulator had:
 ///
@@ -34,34 +197,54 @@ struct DriverTask<D> {
 ///    events strictly before the global completion time, so idle-mining
 ///    (empty/stale block) accounting matches a fully serialized run.
 ///
-/// All host wall-clock reads happen here, around the driver hooks —
-/// drivers themselves are replayable pure functions of their event
-/// streams, and `wall` feeds only the diagnostic fields of the report.
+/// Each phase is one scheduler drain: only drivers with queued work are
+/// admitted (idle shards are skipped and counted, never scheduled), and
+/// a driver whose turn budget runs out yields the worker and re-enters
+/// the ready queue. All host wall-clock reads happen here, around the
+/// driver hooks — drivers themselves are replayable pure functions of
+/// their event streams, and `wall` feeds only the diagnostic fields of
+/// the report.
+///
+/// Construct runs through [`Runtime::builder`]; the deprecated
+/// constructors remain as byte-identical thin wrappers.
 pub struct Runtime {
-    executor: Executor,
+    config: SchedulerConfig,
     comm: CommStats,
 }
 
 impl Runtime {
+    /// The fluent launch surface: configure scheduler, communication
+    /// counter and observer, then [`RunBuilder::run`].
+    pub fn builder<'obs>() -> RunBuilder<'obs> {
+        RunBuilder {
+            config: SchedulerConfig::default(),
+            comm: CommStats::new(),
+            observer: None,
+        }
+    }
+
     /// A runtime over `threads` workers (`0` = one per core, `1` =
     /// inline/sequential) with a fresh communication counter.
+    #[deprecated(note = "use Runtime::builder().scheduler(SchedulerConfig::new(threads))")]
     pub fn new(threads: usize) -> Self {
         Runtime {
-            executor: Executor::new(threads),
+            config: SchedulerConfig::new(threads),
             comm: CommStats::new(),
         }
     }
 
     /// Uses an existing communication counter, so callers can read the
     /// messaging a run emitted (Fig. 4(b)) or pool several runs.
+    #[deprecated(note = "use Runtime::builder().comm_stats(comm); the outcome carries it back")]
     pub fn with_comm(threads: usize, comm: CommStats) -> Self {
         Runtime {
-            executor: Executor::new(threads),
+            config: SchedulerConfig::new(threads),
             comm,
         }
     }
 
     /// The run-wide communication counter drivers record into.
+    #[deprecated(note = "read RunOutcome::comm from Runtime::builder().run(..) instead")]
     pub fn comm(&self) -> &CommStats {
         &self.comm
     }
@@ -69,101 +252,165 @@ impl Runtime {
     /// Runs every driver to completion (two phases) and reports. The
     /// shard order of the report matches the driver order given here.
     ///
-    /// Errors when a driver's event stream is malformed: the driver
-    /// reports unfinished work with an empty queue
-    /// ([`Error::StalledDriver`], whose payload carries the stall's
-    /// simulated time and the last event handled) or an `on_event` hook
-    /// rejects an event ([`Error::UnexpectedEvent`]). The event loop
-    /// itself never panics.
+    /// Errors as [`RunBuilder::run`] does.
+    #[deprecated(note = "use Runtime::builder().run(drivers) and read RunOutcome::report")]
     pub fn run<D: ProtocolDriver>(&self, drivers: Vec<D>) -> Result<RunReport, Error> {
-        self.run_drivers(drivers).map(|(report, _)| report)
+        execute(self.config, &self.comm, None, drivers).map(|(report, _, _)| report)
     }
 
-    /// Like [`Runtime::run`], but also hands the finished drivers back in
-    /// their original order. Wrappers that accumulate extra per-shard
-    /// state during the run — the fault-injection layer's `FaultyDriver`
-    /// is the canonical case — read it out of the returned drivers after
-    /// the run completes; [`crate::report::ShardReport`] stays exactly the
-    /// fingerprinted surface it always was.
+    /// Like `run`, but also hands the finished drivers back in their
+    /// original order.
+    #[deprecated(note = "use Runtime::builder().run(drivers); RunOutcome carries the drivers")]
     pub fn run_drivers<D: ProtocolDriver>(
         &self,
         drivers: Vec<D>,
     ) -> Result<(RunReport, Vec<D>), Error> {
-        let run_start = Instant::now();
-        let comm = &self.comm;
+        execute(self.config, &self.comm, None, drivers)
+            .map(|(report, drivers, _)| (report, drivers))
+    }
+}
 
-        // Phase 1: each driver to local completion, concurrently.
-        let tasks: Vec<Result<DriverTask<D>, Error>> =
-            self.executor.run(drivers, |index, mut driver| {
-                let start = Instant::now();
-                let mut queue = EventQueue::new();
-                driver.on_start(&mut Ctx::new(&mut queue, comm));
-                let mut events = 0;
-                let mut last_event: Option<Event> = None;
-                while !driver.done() {
-                    let Some((now, ev)) = queue.pop() else {
-                        // The queue drained with work outstanding: surface
-                        // where the stream died — the drain time and the
-                        // event at the head of the queue when the stall
-                        // began (the last one handled).
-                        return Err(Error::StalledDriver {
-                            index,
-                            at: queue.now(),
-                            last_event: last_event.map(|ev| format!("{ev:?}")),
-                        });
-                    };
-                    events += 1;
-                    last_event = Some(ev);
-                    driver.on_event(now, ev, &mut Ctx::new(&mut queue, comm))?;
-                }
-                Ok(DriverTask {
-                    driver,
-                    queue,
-                    events,
-                    wall: start.elapsed(),
-                })
-            });
-        let tasks: Vec<DriverTask<D>> = tasks.into_iter().collect::<Result<_, _>>()?;
+/// The shared two-phase engine behind [`RunBuilder::run`] and the
+/// deprecated entrypoints.
+fn execute<D: ProtocolDriver>(
+    config: SchedulerConfig,
+    comm: &CommStats,
+    mut observer: Option<&mut dyn RunObserver>,
+    drivers: Vec<D>,
+) -> Result<(RunReport, Vec<D>, RunSchedStats), Error> {
+    let run_start = Instant::now();
+    let scheduler = WorkScheduler::new(config);
+    let budget = if config.turn_events == 0 {
+        usize::MAX
+    } else {
+        config.turn_events
+    };
 
-        // Global completion = the last confirmation anywhere.
-        let completion = tasks
-            .iter()
-            .filter_map(|t| t.driver.completion())
-            .max()
-            .unwrap_or(SimTime::ZERO);
+    // Seed every driver's queue. `on_start` is part of every shard's
+    // trajectory — an "idle" shard still schedules its miners' first
+    // ticks, which is what the idle-drain phase replays for empty-block
+    // accounting — so it runs unconditionally, before admission decides
+    // which shards have phase-1 work left.
+    let mut tasks: Vec<DriverTask<D>> = Vec::with_capacity(drivers.len());
+    for mut driver in drivers {
+        let start = Instant::now();
+        let mut queue = EventQueue::new();
+        driver.on_start(&mut Ctx::new(&mut queue, comm));
+        tasks.push(DriverTask {
+            driver,
+            queue,
+            events: 0,
+            wall: start.elapsed(),
+            last_event: None,
+        });
+    }
 
-        // Phase 2: idle-drain early finishers up to the global completion.
-        let tasks: Vec<Result<DriverTask<D>, Error>> = self.executor.run(tasks, |_, mut t| {
+    // Phase 1: admit drivers with unfinished work; each turn processes up
+    // to `budget` events, yielding (and re-enqueueing) in between.
+    if let Some(obs) = observer.as_deref_mut() {
+        obs.phase_started(RunPhase::Active);
+    }
+    let (tasks, active) = scheduler.drain(
+        tasks,
+        |t| !t.driver.done(),
+        |index, t| {
             let start = Instant::now();
-            while t.queue.next_time().is_some_and(|at| at < completion) {
+            let mut processed = 0;
+            let outcome = loop {
+                if t.driver.done() {
+                    break Ok(Turn::Done);
+                }
+                if processed >= budget {
+                    break Ok(Turn::Yield);
+                }
                 let Some((now, ev)) = t.queue.pop() else {
-                    break; // next_time() said Some; drained means done
+                    // The queue drained with work outstanding: surface
+                    // where the stream died — the drain time and the
+                    // event at the head of the queue when the stall
+                    // began (the last one handled).
+                    break Err(Error::StalledDriver {
+                        index,
+                        at: t.queue.now(),
+                        last_event: t.last_event.map(|ev| format!("{ev:?}")),
+                    });
                 };
                 t.events += 1;
-                t.driver
-                    .on_event(now, ev, &mut Ctx::new(&mut t.queue, comm))?;
-            }
+                processed += 1;
+                t.last_event = Some(ev);
+                if let Err(e) = t
+                    .driver
+                    .on_event(now, ev, &mut Ctx::new(&mut t.queue, comm))
+                {
+                    break Err(e);
+                }
+            };
             t.wall += start.elapsed();
-            Ok(t)
-        });
-        let tasks: Vec<DriverTask<D>> = tasks.into_iter().collect::<Result<_, _>>()?;
-
-        let mut drivers = Vec::with_capacity(tasks.len());
-        let mut shards = Vec::with_capacity(tasks.len());
-        for t in tasks {
-            shards.push(t.driver.report(t.events, t.wall));
-            drivers.push(t.driver);
-        }
-        Ok((
-            RunReport {
-                completion,
-                shards,
-                wall: run_start.elapsed(),
-                threads_used: self.executor.threads(),
-            },
-            drivers,
-        ))
+            outcome
+        },
+    )?;
+    if let Some(obs) = observer.as_deref_mut() {
+        obs.phase_finished(RunPhase::Active, &active);
     }
+
+    // Global completion = the last confirmation anywhere.
+    let completion = tasks
+        .iter()
+        .filter_map(|t| t.driver.completion())
+        .max()
+        .unwrap_or(SimTime::ZERO);
+
+    // Phase 2: idle-drain early finishers up to the global completion.
+    // Admission is the same predicate the turn loop re-checks: an event
+    // strictly before the completion time is pending replay.
+    if let Some(obs) = observer.as_deref_mut() {
+        obs.phase_started(RunPhase::IdleDrain);
+    }
+    let pending = |t: &DriverTask<D>| t.queue.next_time().is_some_and(|at| at < completion);
+    let (tasks, idle_drain) = scheduler.drain(tasks, pending, |_, t| {
+        let start = Instant::now();
+        let mut processed = 0;
+        let outcome = loop {
+            if t.queue.next_time().is_none_or(|at| at >= completion) {
+                break Ok(Turn::Done);
+            }
+            if processed >= budget {
+                break Ok(Turn::Yield);
+            }
+            let Some((now, ev)) = t.queue.pop() else {
+                break Ok(Turn::Done); // next_time() said Some; drained means done
+            };
+            t.events += 1;
+            processed += 1;
+            if let Err(e) = t
+                .driver
+                .on_event(now, ev, &mut Ctx::new(&mut t.queue, comm))
+            {
+                break Err(e);
+            }
+        };
+        t.wall += start.elapsed();
+        outcome
+    })?;
+    if let Some(obs) = observer {
+        obs.phase_finished(RunPhase::IdleDrain, &idle_drain);
+    }
+
+    let mut drivers = Vec::with_capacity(tasks.len());
+    let mut shards = Vec::with_capacity(tasks.len());
+    for t in tasks {
+        shards.push(t.driver.report(t.events, t.wall));
+        drivers.push(t.driver);
+    }
+    Ok((
+        RunReport {
+            completion,
+            shards,
+            wall: run_start.elapsed(),
+            threads_used: scheduler.workers(),
+        },
+        drivers,
+        RunSchedStats { active, idle_drain },
+    ))
 }
 
 #[cfg(test)]
@@ -227,10 +474,10 @@ mod tests {
 
     #[test]
     fn runs_all_drivers_and_takes_max_completion() {
-        let rt = Runtime::new(1);
-        let r = rt
+        let outcome = Runtime::builder()
             .run(vec![ticker(0, 3), ticker(1, 7)])
             .expect("well-formed");
+        let r = &outcome.report;
         assert_eq!(r.completion, SimTime::from_millis(70));
         assert_eq!(r.shards[0].confirmed, 3);
         assert_eq!(r.shards[1].confirmed, 7);
@@ -240,16 +487,79 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_results() {
         let mk = || vec![ticker(0, 5), ticker(1, 2), ticker(2, 9)];
-        let seq = Runtime::new(1).run(mk()).expect("well-formed");
-        let par = Runtime::new(4).run(mk()).expect("well-formed");
-        assert_eq!(seq.fingerprint(), par.fingerprint());
+        let seq = Runtime::builder().run(mk()).expect("well-formed");
+        let par = Runtime::builder()
+            .threads(4)
+            .run(mk())
+            .expect("well-formed");
+        assert_eq!(seq.report.fingerprint(), par.report.fingerprint());
+        assert_eq!(seq.sched, par.sched);
+    }
+
+    #[test]
+    fn turn_budget_does_not_change_results_but_adds_turns() {
+        let mk = || vec![ticker(0, 5), ticker(1, 2), ticker(2, 9)];
+        let whole = Runtime::builder().run(mk()).expect("well-formed");
+        let chopped = Runtime::builder()
+            .scheduler(SchedulerConfig::new(4).with_turn_events(2))
+            .run(mk())
+            .expect("well-formed");
+        assert_eq!(whole.report.fingerprint(), chopped.report.fingerprint());
+        assert!(
+            chopped.sched.turns() > whole.sched.turns(),
+            "a 2-event budget must yield between turns"
+        );
+        // Same admissions either way — budgets change only turn granularity.
+        assert_eq!(whole.sched.scheduled(), chopped.sched.scheduled());
+        assert_eq!(whole.sched.skipped(), chopped.sched.skipped());
+    }
+
+    #[test]
+    fn idle_drivers_are_skipped_not_scheduled() {
+        // Shard 0 has no work at all: done() is true from the start and
+        // nothing is queued below the completion time, so both phases
+        // skip it — that is the scheduler's measured saving.
+        let outcome = Runtime::builder()
+            .run(vec![ticker(0, 0), ticker(1, 4)])
+            .expect("well-formed");
+        assert_eq!(outcome.sched.active.skipped, 1);
+        assert_eq!(outcome.sched.active.scheduled, 1);
+        assert_eq!(outcome.sched.active.per_slot_turns[0], 0);
+        assert!(outcome.sched.idle_drain.skipped >= 1);
+        assert_eq!(outcome.report.shards[0].events_processed, 0);
+    }
+
+    #[test]
+    fn observer_sees_both_phases_in_order() {
+        #[derive(Default)]
+        struct Recorder {
+            started: Vec<RunPhase>,
+            finished: Vec<(RunPhase, u64)>,
+        }
+        impl RunObserver for Recorder {
+            fn phase_started(&mut self, phase: RunPhase) {
+                self.started.push(phase);
+            }
+            fn phase_finished(&mut self, phase: RunPhase, stats: &DrainStats) {
+                self.finished.push((phase, stats.scheduled));
+            }
+        }
+        let mut rec = Recorder::default();
+        Runtime::builder()
+            .observer(&mut rec)
+            .run(vec![ticker(0, 3), ticker(1, 7)])
+            .expect("well-formed");
+        assert_eq!(rec.started, vec![RunPhase::Active, RunPhase::IdleDrain]);
+        assert_eq!(rec.finished.len(), 2);
+        assert_eq!(rec.finished[0], (RunPhase::Active, 2));
     }
 
     #[test]
     fn driver_with_no_work_reports_empty() {
-        let r = Runtime::new(1)
+        let r = Runtime::builder()
             .run(vec![ticker(0, 0)])
-            .expect("well-formed");
+            .expect("well-formed")
+            .report;
         assert_eq!(r.completion, SimTime::ZERO);
         assert_eq!(r.shards[0].completion, None);
         assert_eq!(r.shards[0].events_processed, 0);
@@ -259,8 +569,8 @@ mod tests {
     fn boxed_drivers_run_on_the_same_loop() {
         let drivers: Vec<Box<dyn ProtocolDriver>> =
             vec![Box::new(ticker(0, 2)), Box::new(ticker(1, 4))];
-        let r = Runtime::new(1).run(drivers).expect("well-formed");
-        assert_eq!(r.total_txs(), 6);
+        let outcome = Runtime::builder().run(drivers).expect("well-formed");
+        assert_eq!(outcome.report.total_txs(), 6);
     }
 
     /// Regression: a malformed event stream (driver claims unfinished
@@ -283,7 +593,7 @@ mod tests {
                 unreachable!("a stalled driver never reports")
             }
         }
-        let err = Runtime::new(1).run(vec![Stalled]).unwrap_err();
+        let err = Runtime::builder().run(vec![Stalled]).unwrap_err();
         assert_eq!(
             err,
             Error::StalledDriver {
@@ -323,7 +633,7 @@ mod tests {
                 unreachable!("a stalled driver never reports")
             }
         }
-        let err = Runtime::new(1)
+        let err = Runtime::builder()
             .run(vec![DiesAfterOne { handled: 0 }])
             .unwrap_err();
         let Error::StalledDriver {
@@ -342,19 +652,18 @@ mod tests {
         assert!(err.to_string().contains("BlockFound"), "{err}");
     }
 
-    /// `run_drivers` returns the finished drivers in input order, with the
-    /// same report `run` would produce.
+    /// The outcome returns the finished drivers in input order, with the
+    /// same report the plain run would produce.
     #[test]
-    fn run_drivers_returns_drivers_in_order() {
-        let rt = Runtime::new(1);
-        let (report, drivers) = rt
-            .run_drivers(vec![ticker(0, 3), ticker(1, 7)])
+    fn outcome_returns_drivers_in_order() {
+        let outcome = Runtime::builder()
+            .run(vec![ticker(0, 3), ticker(1, 7)])
             .expect("well-formed");
-        assert_eq!(drivers.len(), 2);
-        assert_eq!(drivers[0].shard, ShardId::new(0));
-        assert_eq!(drivers[1].shard, ShardId::new(1));
-        assert!(drivers.iter().all(|d| d.remaining == 0));
-        assert_eq!(report.completion, SimTime::from_millis(70));
+        assert_eq!(outcome.drivers.len(), 2);
+        assert_eq!(outcome.drivers[0].shard, ShardId::new(0));
+        assert_eq!(outcome.drivers[1].shard, ShardId::new(1));
+        assert!(outcome.drivers.iter().all(|d| d.remaining == 0));
+        assert_eq!(outcome.report.completion, SimTime::from_millis(70));
     }
 
     /// Regression: a driver rejecting an event it never schedules aborts
@@ -385,7 +694,7 @@ mod tests {
                 unreachable!("an erroring driver never reports")
             }
         }
-        let err = Runtime::new(1)
+        let err = Runtime::builder()
             .run(vec![Rejects { fired: false }])
             .unwrap_err();
         assert!(matches!(
@@ -395,5 +704,24 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    /// The deprecated entrypoints are thin wrappers over the same engine:
+    /// byte-identical reports, drivers in order.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entrypoints_match_the_builder() {
+        let mk = || vec![ticker(0, 5), ticker(1, 2), ticker(2, 9)];
+        let via_builder = Runtime::builder().run(mk()).expect("well-formed");
+        let via_run = Runtime::new(1).run(mk()).expect("well-formed");
+        assert_eq!(via_builder.report.fingerprint(), via_run.fingerprint());
+        let (via_drivers_report, drivers) = Runtime::new(4).run_drivers(mk()).expect("well-formed");
+        assert_eq!(
+            via_builder.report.fingerprint(),
+            via_drivers_report.fingerprint()
+        );
+        assert_eq!(drivers.len(), 3);
+        let rt = Runtime::with_comm(1, CommStats::new());
+        assert_eq!(rt.comm().total(), 0);
     }
 }

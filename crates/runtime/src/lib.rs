@@ -21,9 +21,14 @@
 //!   simulator) or explicit [`Event::BlockDelivered`] events drawn from a
 //!   [`cshard_network::LatencyModel`];
 //! * [`Runtime`] — the two-phase harness that runs one driver per shard
-//!   on the PR-1 executor and assembles the [`RunReport`]. All host
-//!   wall-clock reads live here, behind the report layer — drivers are
-//!   replayable pure functions of their event streams.
+//!   on the shard-lifecycle scheduler (`cshard_sim::WorkScheduler`) and
+//!   assembles the [`RunReport`]. Runs launch through the fluent
+//!   [`Runtime::builder`] ([`RunBuilder`]), which threads a
+//!   [`SchedulerConfig`] (worker count + turn budget), an optional shared
+//!   [`cshard_network::CommStats`] and an optional [`RunObserver`]
+//!   through both phases. All host wall-clock reads live here, behind the
+//!   report layer — drivers are replayable pure functions of their event
+//!   streams.
 //!
 //! The concrete drivers for the paper's protocols live here too:
 //! [`ContractShardDriver`] (one shard of the contract-centric scheme or,
@@ -48,8 +53,9 @@ pub use contract::{
     shard_stream, simulate, simulate_ethereum, ContractShardDriver, EthereumDriver, RuntimeConfig,
     SelectionDynamicsStats, SelectionStrategy, ShardSpec,
 };
+pub use cshard_sim::{DrainStats, SchedulerConfig};
 pub use driver::{Ctx, ProtocolDriver};
 pub use event::Event;
-pub use harness::Runtime;
+pub use harness::{RunBuilder, RunObserver, RunOutcome, RunPhase, RunSchedStats, Runtime};
 pub use propagation::PropagationModel;
 pub use report::{throughput_improvement, RunReport, ShardReport};

@@ -1,45 +1,45 @@
-//! A work-stealing-style executor for independent simulation tasks.
+//! The legacy fixed-fan-out executor, now a thin wrapper over the
+//! shard-lifecycle [`WorkScheduler`](crate::scheduler::WorkScheduler).
 //!
-//! Sharded runs decompose into per-shard tasks with no shared mutable
-//! state (each shard owns its event queue and PRF-derived RNG streams), so
-//! they can run on any number of threads. The executor preserves *output
-//! determinism*: results are returned in input order, and because tasks do
-//! not communicate, the values themselves are independent of thread count
-//! and scheduling. Tasks are claimed dynamically from a shared index —
-//! cheap work-stealing without a deque per worker — so a few slow tasks
-//! (large shards, 1000-player games) don't idle the other workers.
+//! Kept only for source compatibility: every task becomes a single-turn
+//! scheduler slot, so the semantics (input-order results, inline
+//! execution at one worker, bit-identical outputs at any thread count)
+//! are unchanged. New code should construct a
+//! [`SchedulerConfig`](crate::scheduler::SchedulerConfig) and use the
+//! scheduler — or, for protocol runs, `Runtime::builder()` in
+//! `cshard-runtime` — directly.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::scheduler::{SchedulerConfig, WorkScheduler};
 
 /// Runs independent tasks across a fixed pool of scoped threads.
+#[deprecated(
+    note = "use cshard_sim::WorkScheduler with a SchedulerConfig (or Runtime::builder() for protocol runs)"
+)]
 #[derive(Clone, Copy, Debug)]
 pub struct Executor {
-    threads: usize,
+    inner: WorkScheduler,
 }
 
+#[allow(deprecated)]
 impl Executor {
     /// An executor over `threads` workers. `0` means "use the machine":
     /// one worker per available core.
     pub fn new(threads: usize) -> Self {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            threads
-        };
-        Executor { threads }
+        Executor {
+            inner: WorkScheduler::new(SchedulerConfig::new(threads)),
+        }
     }
 
     /// A single-threaded executor (runs tasks inline, in order).
     pub fn sequential() -> Self {
-        Executor { threads: 1 }
+        Executor {
+            inner: WorkScheduler::new(SchedulerConfig::sequential()),
+        }
     }
 
     /// The worker count this executor resolves to.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.inner.workers()
     }
 
     /// Applies `task` to every item, returning results in input order.
@@ -57,54 +57,12 @@ impl Executor {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
-        let n = items.len();
-        if self.threads <= 1 || n <= 1 {
-            return items
-                .into_iter()
-                .enumerate()
-                .map(|(i, item)| task(i, item))
-                .collect();
-        }
-
-        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        {
-            let task = &task;
-            let slots = &slots;
-            let results = &results;
-            let next = &next;
-            std::thread::scope(|scope| {
-                for _ in 0..self.threads.min(n) {
-                    scope.spawn(move || loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let item = slots[i]
-                            .lock()
-                            .expect("task slot lock")
-                            .take()
-                            .expect("each slot is claimed exactly once");
-                        let out = task(i, item);
-                        *results[i].lock().expect("result slot lock") = Some(out);
-                    });
-                }
-            });
-        }
-
-        results
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("result lock")
-                    .expect("every task completed")
-            })
-            .collect()
+        self.inner.map(items, task)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

@@ -11,7 +11,10 @@
 pub mod engine;
 pub mod executor;
 pub mod rng;
+pub mod scheduler;
 
 pub use engine::{EventQueue, ScheduledEvent};
+#[allow(deprecated)]
 pub use executor::Executor;
 pub use rng::SimRng;
+pub use scheduler::{DrainStats, SchedulerConfig, Turn, WorkScheduler};

@@ -1,0 +1,535 @@
+//! The shard-lifecycle work scheduler.
+//!
+//! The old [`crate::Executor`] fanned a *fixed* task set out: every shard
+//! paid a task slot per phase whether or not it had queued work. This
+//! scheduler replaces that with shard-granular lifecycle scheduling, the
+//! shape execution-sharding designs (Katana-style engines, Shard
+//! Scheduler) use to reach thousands of shards:
+//!
+//! * every slot (one shard's task) carries an atomic lifecycle state,
+//!   `Idle → Pending → Running`;
+//! * only slots that *have work* (the caller's admission predicate) are
+//!   enqueued onto the ready queue — idle shards are skipped and counted,
+//!   never scheduled;
+//! * a worker pool sized to the machine (`threads: 0` = one worker per
+//!   core) drains the queue; a slot whose turn ends with more work
+//!   outstanding ([`Turn::Yield`]) is re-enqueued (`Running → Pending`),
+//!   one that finishes ([`Turn::Done`]) goes back to `Idle`;
+//! * per-slot scheduled-turn counters and the skipped count come back in
+//!   [`DrainStats`], so idle-shard savings are a measured number.
+//!
+//! # Determinism
+//!
+//! The scheduler preserves the workspace's bit-identity contract the same
+//! way the executor did, by construction: slots never share mutable
+//! state, so a slot's trajectory is a pure function of its own inputs and
+//! cannot observe which worker ran it, when, or in what interleaving.
+//! Worker scheduling order decides only *wall-clock* placement. The
+//! sequential path (`threads <= 1`) steps slots in index order on the
+//! caller's thread and runs the *same* step code, so any thread count
+//! yields bit-identical slot states — and identical [`DrainStats`], since
+//! turn counts are per-slot functions of the step logic, not of the
+//! interleaving.
+//!
+//! Within one [`WorkScheduler::drain`] call, "new work arrival" is the
+//! slot's own doing (its step scheduled further events and yielded);
+//! cross-slot work injection would break slot independence and is exactly
+//! what the determinism contract forbids.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// How a run is scheduled: worker pool size and turn granularity.
+///
+/// This is the one configuration surface the whole workspace threads
+/// through — `RuntimeConfig`, `SystemBuilder::scheduler`, and the bench
+/// grids all consume it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Worker threads: `1` runs slots inline on the caller's thread
+    /// (sequential, the default), `0` uses one worker per available core,
+    /// any other value is an explicit pool size. Results are bit-identical
+    /// across all settings.
+    pub threads: usize,
+    /// Maximum events a slot processes per scheduled turn before it yields
+    /// the worker and re-enters the ready queue (`0` = no budget: a slot
+    /// runs to phase completion in one turn). Smaller budgets exercise the
+    /// `Running → Pending` re-enqueue path and interleave slots more
+    /// fairly; the outputs are bit-identical at any setting.
+    pub turn_events: usize,
+}
+
+impl SchedulerConfig {
+    /// A scheduler over `threads` workers with no turn budget.
+    pub fn new(threads: usize) -> Self {
+        SchedulerConfig {
+            threads,
+            turn_events: 0,
+        }
+    }
+
+    /// The sequential scheduler (slots step inline, in index order).
+    pub fn sequential() -> Self {
+        SchedulerConfig::new(1)
+    }
+
+    /// One worker per available core.
+    pub fn per_core() -> Self {
+        SchedulerConfig::new(0)
+    }
+
+    /// Sets the per-turn event budget (see [`SchedulerConfig::turn_events`]).
+    pub fn with_turn_events(mut self, turn_events: usize) -> Self {
+        self.turn_events = turn_events;
+        self
+    }
+
+    /// The worker count this configuration resolves to (`0` → the number
+    /// of available cores).
+    pub fn worker_count(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig::sequential()
+    }
+}
+
+/// What a slot's scheduled turn decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Turn {
+    /// The slot has more work: re-enqueue it (`Running → Pending`).
+    Yield,
+    /// The slot's work for this drain is finished (`Running → Idle`).
+    Done,
+}
+
+/// What one [`WorkScheduler::drain`] measured. Deliberately sim-clock-free
+/// and wall-clock-free (audit rule ND001): pure scheduling arithmetic,
+/// identical at any thread count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Slots admitted to the ready queue (they had work).
+    pub scheduled: u64,
+    /// Slots whose admission predicate was false: never enqueued, never
+    /// stepped — the idle-shard saving, as a number.
+    pub skipped: u64,
+    /// Total scheduled turns across all slots (≥ `scheduled`; each
+    /// [`Turn::Yield`] adds one).
+    pub turns: u64,
+    /// Scheduled turns per slot, in slot order (`0` = the slot was
+    /// skipped).
+    pub per_slot_turns: Vec<u64>,
+}
+
+// Lifecycle encoding for the per-slot atomic.
+const IDLE: u8 = 0;
+const PENDING: u8 = 1;
+const RUNNING: u8 = 2;
+
+/// One resident slot: the caller's item plus its lifecycle atomics.
+struct Slot<T> {
+    item: Mutex<T>,
+    state: AtomicU8,
+    turns: AtomicU64,
+}
+
+/// The shard-lifecycle scheduler: a ready queue of `Pending` slots drained
+/// by a fixed worker pool. See the module docs for the lifecycle and the
+/// determinism argument.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkScheduler {
+    config: SchedulerConfig,
+}
+
+impl WorkScheduler {
+    /// A scheduler with the given configuration.
+    pub fn new(config: SchedulerConfig) -> Self {
+        WorkScheduler { config }
+    }
+
+    /// The configuration this scheduler runs under.
+    pub fn config(&self) -> SchedulerConfig {
+        self.config
+    }
+
+    /// The resolved worker count (see [`SchedulerConfig::worker_count`]).
+    pub fn workers(&self) -> usize {
+        self.config.worker_count()
+    }
+
+    /// Drains every slot that has work, returning the slots (in input
+    /// order) and the drain's scheduling statistics.
+    ///
+    /// * `admit` is evaluated once per slot, up front, in slot order: a
+    ///   `true` slot enters the ready queue `Pending`; a `false` slot is
+    ///   counted skipped and never stepped.
+    /// * `step` runs one scheduled turn of a slot. [`Turn::Yield`]
+    ///   re-enqueues the slot; [`Turn::Done`] retires it to `Idle`. The
+    ///   step owns the turn-budget policy (the scheduler does not count
+    ///   the slot's events — only its turns).
+    ///
+    /// # Errors
+    ///
+    /// A step error retires the slot (no early abort: every other admitted
+    /// slot still drains, exactly as the old executor ran every task
+    /// before reporting) and the drain returns the erroring slot with the
+    /// *lowest index* — deterministic at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lifecycle invariant is violated (a slot claimed from
+    /// the ready queue that is not `Pending` — a scheduler bug, not a
+    /// caller condition).
+    pub fn drain<T, E, A, F>(
+        &self,
+        slots: Vec<T>,
+        admit: A,
+        step: F,
+    ) -> Result<(Vec<T>, DrainStats), E>
+    where
+        T: Send,
+        E: Send,
+        A: Fn(&T) -> bool,
+        F: Fn(usize, &mut T) -> Result<Turn, E> + Sync,
+    {
+        let n = slots.len();
+        let workers = self.workers();
+        if workers <= 1 || n <= 1 {
+            return Self::drain_sequential(slots, admit, step);
+        }
+
+        let slots: Vec<Slot<T>> = slots
+            .into_iter()
+            .map(|item| Slot {
+                item: Mutex::new(item),
+                state: AtomicU8::new(IDLE),
+                turns: AtomicU64::new(0),
+            })
+            .collect();
+
+        // Admission, in slot order: only slots with work enter the queue.
+        let mut stats = DrainStats {
+            per_slot_turns: vec![0; n],
+            ..DrainStats::default()
+        };
+        let mut ready = std::collections::VecDeque::with_capacity(n);
+        for (i, slot) in slots.iter().enumerate() {
+            let has_work = admit(&slot.item.lock().expect("slot lock"));
+            if has_work {
+                slot.state.store(PENDING, Ordering::SeqCst);
+                ready.push_back(i);
+                stats.scheduled += 1;
+            } else {
+                stats.skipped += 1;
+            }
+        }
+
+        // `live` counts slots still Pending or Running; the drain is over
+        // when the queue is empty *and* nothing is running (a running slot
+        // may still yield new queue entries).
+        let admitted = ready.len();
+        let live = AtomicUsize::new(admitted);
+        let queue = Mutex::new(ready);
+        let available = Condvar::new();
+        let errors: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
+
+        if admitted > 0 {
+            let slots = &slots;
+            let step = &step;
+            let live = &live;
+            let queue = &queue;
+            let available = &available;
+            let errors = &errors;
+            let pool = workers.min(admitted);
+            std::thread::scope(|scope| {
+                for _ in 0..pool {
+                    scope.spawn(move || loop {
+                        // Claim the next Pending slot, or exit once the
+                        // drain is over.
+                        let i = {
+                            let mut q = queue.lock().expect("ready-queue lock");
+                            loop {
+                                if let Some(i) = q.pop_front() {
+                                    break i;
+                                }
+                                if live.load(Ordering::SeqCst) == 0 {
+                                    return;
+                                }
+                                q = available.wait(q).expect("ready-queue wait");
+                            }
+                        };
+                        let slot = &slots[i];
+                        // Pending → Running. Exactly one worker pops a
+                        // given queue entry, and a slot is re-enqueued
+                        // only after its previous turn stored a non-
+                        // Running state, so this CAS cannot race.
+                        slot.state
+                            .compare_exchange(PENDING, RUNNING, Ordering::SeqCst, Ordering::SeqCst)
+                            .unwrap_or_else(|s| {
+                                panic!("slot {i} claimed while in state {s} (not Pending)")
+                            });
+                        slot.turns.fetch_add(1, Ordering::SeqCst);
+                        let outcome = {
+                            let mut item = slot.item.lock().expect("slot lock");
+                            step(i, &mut item)
+                        };
+                        match outcome {
+                            Ok(Turn::Yield) => {
+                                // Running → Pending: more work, back in line.
+                                slot.state.store(PENDING, Ordering::SeqCst);
+                                let mut q = queue.lock().expect("ready-queue lock");
+                                q.push_back(i);
+                                available.notify_one();
+                            }
+                            Ok(Turn::Done) | Err(_) => {
+                                if let Err(e) = outcome {
+                                    errors.lock().expect("error lock").push((i, e));
+                                }
+                                // Running → Idle; if this was the last live
+                                // slot, wake every parked worker to exit.
+                                // Taking the queue lock orders the wake
+                                // against workers between their failed pop
+                                // and their wait.
+                                slot.state.store(IDLE, Ordering::SeqCst);
+                                if live.fetch_sub(1, Ordering::SeqCst) == 1 {
+                                    let _q = queue.lock().expect("ready-queue lock");
+                                    available.notify_all();
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut errors = errors.into_inner().expect("error lock");
+        if !errors.is_empty() {
+            errors.sort_by_key(|(i, _)| *i);
+            let (_, first) = errors.swap_remove(0);
+            return Err(first);
+        }
+        let mut out = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            stats.per_slot_turns[i] = slot.turns.into_inner();
+            stats.turns += stats.per_slot_turns[i];
+            out.push(slot.item.into_inner().expect("slot lock"));
+        }
+        Ok((out, stats))
+    }
+
+    /// The inline path: slots step in index order on the caller's thread,
+    /// through the same admission/turn logic as the pool, so the results
+    /// (and the [`DrainStats`]) are bit-identical.
+    fn drain_sequential<T, E, A, F>(
+        mut slots: Vec<T>,
+        admit: A,
+        step: F,
+    ) -> Result<(Vec<T>, DrainStats), E>
+    where
+        A: Fn(&T) -> bool,
+        F: Fn(usize, &mut T) -> Result<Turn, E>,
+    {
+        let mut stats = DrainStats {
+            per_slot_turns: vec![0; slots.len()],
+            ..DrainStats::default()
+        };
+        let mut first_error: Option<(usize, E)> = None;
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if !admit(slot) {
+                stats.skipped += 1;
+                continue;
+            }
+            stats.scheduled += 1;
+            loop {
+                stats.per_slot_turns[i] += 1;
+                stats.turns += 1;
+                match step(i, slot) {
+                    Ok(Turn::Yield) => continue,
+                    Ok(Turn::Done) => break,
+                    Err(e) => {
+                        // Record and keep draining the remaining slots —
+                        // the pool path runs every admitted slot too.
+                        if first_error.is_none() {
+                            first_error = Some((i, e));
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        match first_error {
+            Some((_, e)) => Err(e),
+            None => Ok((slots, stats)),
+        }
+    }
+
+    /// Applies `task` to every item, returning results in input order —
+    /// the old `Executor::run` shape, expressed as a drain where every
+    /// item is one single-turn slot. Grid sweeps (independent experiment
+    /// points) use this.
+    ///
+    /// # Panics
+    /// A panicking task aborts the whole run (the panic propagates).
+    pub fn map<T, R, F>(&self, items: Vec<T>, task: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        enum MapSlot<T, R> {
+            Input(T),
+            Output(R),
+            Taken,
+        }
+        let slots: Vec<MapSlot<T, R>> = items.into_iter().map(MapSlot::Input).collect();
+        let run = self.drain(
+            slots,
+            |_| true,
+            |i, slot| {
+                let MapSlot::Input(item) = std::mem::replace(slot, MapSlot::Taken) else {
+                    unreachable!("map slot stepped twice");
+                };
+                *slot = MapSlot::Output(task(i, item));
+                Ok::<Turn, std::convert::Infallible>(Turn::Done)
+            },
+        );
+        let (slots, _) = match run {
+            Ok(done) => done,
+            Err(never) => match never {},
+        };
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                MapSlot::Output(r) => r,
+                _ => unreachable!("map slot never produced"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A slot that needs `work` turns to finish and records each step.
+    struct Counter {
+        work: u64,
+        stepped: u64,
+    }
+
+    fn drain_counters(threads: usize, work: &[u64]) -> (Vec<u64>, DrainStats) {
+        let slots: Vec<Counter> = work
+            .iter()
+            .map(|&w| Counter {
+                work: w,
+                stepped: 0,
+            })
+            .collect();
+        let sched = WorkScheduler::new(SchedulerConfig::new(threads));
+        let (slots, stats) = sched
+            .drain(
+                slots,
+                |c| c.work > 0,
+                |_, c| {
+                    c.stepped += 1;
+                    Ok::<Turn, std::convert::Infallible>(if c.stepped < c.work {
+                        Turn::Yield
+                    } else {
+                        Turn::Done
+                    })
+                },
+            )
+            .expect("infallible");
+        (slots.into_iter().map(|c| c.stepped).collect(), stats)
+    }
+
+    #[test]
+    fn skipped_slots_are_never_stepped_and_counted() {
+        let work = [3, 0, 1, 0, 0, 5];
+        let (stepped, stats) = drain_counters(4, &work);
+        assert_eq!(stepped, vec![3, 0, 1, 0, 0, 5]);
+        assert_eq!(stats.scheduled, 3);
+        assert_eq!(stats.skipped, 3);
+        assert_eq!(stats.turns, 9);
+        assert_eq!(stats.per_slot_turns, vec![3, 0, 1, 0, 0, 5]);
+    }
+
+    #[test]
+    fn stats_are_identical_across_thread_counts() {
+        let work: Vec<u64> = (0..40).map(|i| i % 7).collect();
+        let seq = drain_counters(1, &work);
+        for threads in [2, 4, 8, 0] {
+            assert_eq!(drain_counters(threads, &work), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn first_slot_order_error_wins_at_any_thread_count() {
+        for threads in [1, 4, 0] {
+            let sched = WorkScheduler::new(SchedulerConfig::new(threads));
+            let err = sched
+                .drain(
+                    vec![0u32; 16],
+                    |_| true,
+                    |i, _| {
+                        if i % 3 == 1 {
+                            Err(i)
+                        } else {
+                            Ok(Turn::Done)
+                        }
+                    },
+                )
+                .unwrap_err();
+            assert_eq!(err, 1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let sched = WorkScheduler::new(SchedulerConfig::new(4));
+        let out = sched.map((0..100).collect(), |i, x: u64| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        let sched = WorkScheduler::new(SchedulerConfig::per_core());
+        let empty: Vec<u32> = sched.map(Vec::<u32>::new(), |_, x| x);
+        assert!(empty.is_empty());
+        assert_eq!(sched.map(vec![7u32], |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_resolves_to_machine_width() {
+        assert!(SchedulerConfig::per_core().worker_count() >= 1);
+        assert_eq!(SchedulerConfig::new(3).worker_count(), 3);
+    }
+
+    #[test]
+    fn all_slots_idle_is_a_no_op_drain() {
+        let (stepped, stats) = drain_counters(4, &[0, 0, 0, 0]);
+        assert_eq!(stepped, vec![0; 4]);
+        assert_eq!(stats.scheduled, 0);
+        assert_eq!(stats.skipped, 4);
+        assert_eq!(stats.turns, 0);
+    }
+
+    #[test]
+    fn more_workers_than_slots() {
+        let (stepped, stats) = drain_counters(64, &[2, 1]);
+        assert_eq!(stepped, vec![2, 1]);
+        assert_eq!(stats.turns, 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the shard-lifecycle work scheduler: the invariants
+//! the runtime's two-phase harness leans on.
+//!
+//! * **Lifecycle** — a slot is never stepped while another worker holds it
+//!   (`Running` is exclusive), an admitted slot is stepped at least once
+//!   (no `Pending → Idle` shortcut), and a skipped slot is never stepped.
+//! * **Determinism** — results, errors and [`DrainStats`] (including the
+//!   per-slot turn counts) are identical at 1 worker, 4 workers and
+//!   one-per-core, for arbitrary work vectors and turn budgets. Worker
+//!   scheduling order must never leak into anything observable.
+//! * **Error order** — when several slots fail, the lowest slot index wins
+//!   at any thread count.
+
+use cshard_sim::{DrainStats, SchedulerConfig, Turn, WorkScheduler};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A slot counting down `work` steps; `stepped` records how often the
+/// scheduler actually ran it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Counter {
+    work: u64,
+    stepped: u64,
+}
+
+/// Drains `works` with one step of work per turn, returning the finished
+/// slots and stats.
+fn drain_counters(works: &[u64], config: SchedulerConfig) -> (Vec<Counter>, DrainStats) {
+    let slots: Vec<Counter> = works
+        .iter()
+        .map(|&work| Counter { work, stepped: 0 })
+        .collect();
+    WorkScheduler::new(config)
+        .drain(
+            slots,
+            |c: &Counter| c.work > 0,
+            |_, c| {
+                c.stepped += 1;
+                c.work -= 1;
+                Ok::<_, std::convert::Infallible>(if c.work == 0 {
+                    Turn::Done
+                } else {
+                    Turn::Yield
+                })
+            },
+        )
+        .expect("infallible drain")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Admitted slots are stepped exactly `work` times (never zero, never
+    /// while idle); skipped slots are never stepped; the counters add up.
+    #[test]
+    fn admitted_slots_drain_fully_and_skipped_slots_are_untouched(
+        works in proptest::collection::vec(0u64..6, 1..40),
+        threads in 0usize..6,
+    ) {
+        let (out, stats) = drain_counters(&works, SchedulerConfig::new(threads));
+        let busy = works.iter().filter(|&&w| w > 0).count() as u64;
+        prop_assert_eq!(stats.scheduled, busy);
+        prop_assert_eq!(stats.skipped, works.len() as u64 - busy);
+        prop_assert_eq!(stats.turns, works.iter().sum::<u64>());
+        for (i, (c, &w)) in out.iter().zip(&works).enumerate() {
+            prop_assert_eq!(c.work, 0, "slot {} not drained", i);
+            prop_assert_eq!(c.stepped, w, "slot {} stepped a wrong number of times", i);
+            prop_assert_eq!(stats.per_slot_turns[i], w);
+        }
+    }
+
+    /// The full observable surface — results, per-slot turn counts, drain
+    /// stats — is identical at every worker count.
+    #[test]
+    fn drains_are_identical_across_thread_counts(
+        works in proptest::collection::vec(0u64..8, 1..32),
+    ) {
+        let sequential = drain_counters(&works, SchedulerConfig::sequential());
+        for threads in [2usize, 4, 0] {
+            let parallel = drain_counters(&works, SchedulerConfig::new(threads));
+            prop_assert_eq!(&sequential, &parallel, "threads={}", threads);
+        }
+    }
+
+    /// When several slots error, the lowest slot index wins — the
+    /// first-input-order error, not the first error in wall-clock order —
+    /// and every thread count agrees on it.
+    #[test]
+    fn lowest_slot_error_wins_at_any_thread_count(
+        fail in proptest::collection::vec(proptest::bool::ANY, 2..24),
+        forced in 0usize..24,
+        threads in 0usize..6,
+    ) {
+        // Guarantee at least one failing slot without discarding cases.
+        let mut fail = fail;
+        let forced = forced % fail.len();
+        fail[forced] = true;
+        let run = |config: SchedulerConfig| {
+            WorkScheduler::new(config)
+                .drain(
+                    fail.clone(),
+                    |_| true,
+                    |i, f| if *f { Err(i) } else { Ok(Turn::Done) },
+                )
+                .expect_err("some slot fails")
+        };
+        let expected = fail.iter().position(|&f| f).expect("one forced failure");
+        prop_assert_eq!(run(SchedulerConfig::sequential()), expected);
+        prop_assert_eq!(run(SchedulerConfig::new(threads)), expected);
+    }
+}
+
+/// `Running` is exclusive: with many workers and yielding slots, no slot
+/// is ever stepped by two workers at once (the entry/exit flag would
+/// trip), and re-enqueued slots keep draining to completion.
+#[test]
+fn no_slot_runs_twice_concurrently_under_yields() {
+    const SLOTS: usize = 24;
+    const TURNS_PER_SLOT: u64 = 16;
+    let in_step: Vec<AtomicBool> = (0..SLOTS).map(|_| AtomicBool::new(false)).collect();
+    let total_steps = AtomicU64::new(0);
+    let slots: Vec<u64> = vec![TURNS_PER_SLOT; SLOTS];
+    let (out, stats) = WorkScheduler::new(SchedulerConfig::new(8))
+        .drain(
+            slots,
+            |&remaining| remaining > 0,
+            |i, remaining| {
+                let was = in_step[i].swap(true, Ordering::SeqCst);
+                assert!(!was, "slot {i} entered by two workers at once");
+                total_steps.fetch_add(1, Ordering::SeqCst);
+                *remaining -= 1;
+                in_step[i].store(false, Ordering::SeqCst);
+                Ok::<_, std::convert::Infallible>(if *remaining == 0 {
+                    Turn::Done
+                } else {
+                    Turn::Yield
+                })
+            },
+        )
+        .expect("infallible drain");
+    assert!(out.iter().all(|&r| r == 0), "every slot drained");
+    assert_eq!(
+        total_steps.load(Ordering::SeqCst),
+        SLOTS as u64 * TURNS_PER_SLOT
+    );
+    assert_eq!(stats.turns, SLOTS as u64 * TURNS_PER_SLOT);
+    assert_eq!(stats.scheduled, SLOTS as u64);
+    assert_eq!(stats.skipped, 0);
+}

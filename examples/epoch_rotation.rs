@@ -4,7 +4,6 @@
 //!
 //! Run with: `cargo run --release --example epoch_rotation`
 
-use contractshard::core::epoch::EpochManager;
 use contractshard::prelude::*;
 
 fn main() {

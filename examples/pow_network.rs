@@ -5,7 +5,6 @@
 //!
 //! Run with: `cargo run --release --example pow_network`
 
-use contractshard::core::assignment::MinerAssignment;
 use contractshard::core::node::{Node, NodeError};
 use contractshard::crypto::VrfPublicKey;
 use contractshard::prelude::*;

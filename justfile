@@ -33,6 +33,13 @@ bench-pipeline:
         pipeline --quick --json /tmp/bench-pipeline
     @echo "wrote /tmp/bench-pipeline/BENCH_pipeline.json"
 
+# Scheduler lifecycle grid: launch throughput and scheduled/skipped task
+# counts on a sparse 10→2000-shard workload, written as BENCH_sched.json.
+bench-sched:
+    cargo run --release -p cshard-bench --bin experiments -- \
+        sched --quick --json /tmp/bench-sched
+    @echo "wrote /tmp/bench-sched/BENCH_sched.json"
+
 # Fast feedback loop: tests only.
 test:
     cargo test -q --workspace

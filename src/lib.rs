@@ -50,8 +50,8 @@
 //! | [`ledger`] | accounts, contracts, transactions, blocks, chains, mempool, call graph |
 //! | [`consensus`] | real PoW + the Poisson mining model |
 //! | [`network`] | latency model + cross-shard communication accounting |
-//! | [`sim`] | deterministic discrete-event engine |
-//! | [`runtime`] | typed events, the `ProtocolDriver` trait, propagation models, the shared run harness |
+//! | [`sim`] | deterministic discrete-event engine + the shard-lifecycle work scheduler |
+//! | [`runtime`] | typed events, the `ProtocolDriver` trait, propagation models, the `Runtime::builder()` run harness |
 //! | [`games`] | merging game (Alg. 1+3), selection game (Alg. 2), parameter unification |
 //! | [`security`] | Fig. 1(d) shard safety and the Eq. (3)–(6) corruption bounds |
 //! | [`workload`] | the Sec. VI injection generators |
@@ -84,6 +84,7 @@ pub mod prelude {
         MinerAssignment, PipelineConfig, RunReport, RuntimeConfig, SelectionStrategy, ShardPlan,
         ShardSpec, ShardingSystem, StageKind, StageObserver, SystemReport,
     };
+    pub use cshard_core::{EpochManager, EpochOutcome, LongRun, LongRunConfig, PipelineMetrics};
     pub use cshard_crypto::{sha256, RandomnessBeacon, Vrf};
     pub use cshard_faults::{
         measure_corruption, run_leader_faults, run_with_faults, FaultPlan, FaultyDriver,
@@ -99,8 +100,10 @@ pub mod prelude {
     pub use cshard_primitives::Error;
     pub use cshard_primitives::{Address, Amount, ContractId, Hash32, MinerId, ShardId, SimTime};
     pub use cshard_runtime::{
-        ContractShardDriver, Ctx, EthereumDriver, Event, PropagationModel, ProtocolDriver, Runtime,
+        ContractShardDriver, Ctx, EthereumDriver, Event, PropagationModel, ProtocolDriver,
+        RunBuilder, RunObserver, RunOutcome, RunPhase, RunSchedStats, Runtime,
     };
     pub use cshard_security::{shard_safety, CorruptionThreshold};
+    pub use cshard_sim::{DrainStats, SchedulerConfig, WorkScheduler};
     pub use cshard_workload::{FeeDistribution, Workload};
 }

@@ -31,7 +31,7 @@ fn zero_fault_plan_reproduces_the_golden_battery_fingerprints() {
     for &threads in &[1usize, 4] {
         let cfg = RuntimeConfig {
             seed: 13,
-            threads,
+            scheduler: SchedulerConfig::new(threads),
             ..RuntimeConfig::default()
         };
         let specs: Vec<ShardSpec> = (0..9)
@@ -47,7 +47,7 @@ fn zero_fault_plan_reproduces_the_golden_battery_fingerprints() {
 
         let cfg = RuntimeConfig {
             seed: 14,
-            threads,
+            scheduler: SchedulerConfig::new(threads),
             ..RuntimeConfig::default()
         };
         let specs: Vec<ShardSpec> = (0..2)
@@ -94,6 +94,57 @@ fn all_twelve_golden_jsons_regenerate_byte_identically() {
             "{id}: quick-mode JSON diverged from results/golden/{id}.json"
         );
     }
+}
+
+/// A partition-mid-epoch plan through the lifecycle scheduler: the run —
+/// including the fault accounting — is bit-identical at 1 worker, 4
+/// workers and one-per-core, with a small per-turn event budget forcing
+/// every shard through the `Running → Pending → Running` re-enqueue path.
+/// Worker scheduling order must never leak into results.
+#[test]
+fn partitioned_runs_are_identical_across_scheduler_configs() {
+    let specs: Vec<ShardSpec> = (0..6u32)
+        .map(|s| ShardSpec {
+            shard: ShardId::new(s),
+            fees: fees(80, 31 + s as u64),
+            miners: 2,
+            strategy: SelectionStrategy::IdenticalGreedy,
+        })
+        .collect();
+    let plan = FaultPlan::none(5)
+        .with_partition(
+            ShardId::new(2),
+            SimTime::from_secs(90),
+            SimTime::from_secs(400),
+        )
+        .with_partition(
+            ShardId::new(4),
+            SimTime::from_secs(30),
+            SimTime::from_secs(200),
+        );
+    let run_at = |scheduler: SchedulerConfig| {
+        let cfg = RuntimeConfig {
+            seed: 23,
+            scheduler,
+            ..RuntimeConfig::default()
+        };
+        run_with_faults(&specs, &cfg, &plan).expect("valid faulted run")
+    };
+    let sequential = run_at(SchedulerConfig::sequential());
+    let pooled = run_at(SchedulerConfig::new(4).with_turn_events(4));
+    let per_core = run_at(SchedulerConfig::per_core().with_turn_events(4));
+    assert_eq!(
+        sequential.run.fingerprint(),
+        pooled.run.fingerprint(),
+        "partitioned run: sequential vs 4 workers"
+    );
+    assert_eq!(
+        sequential.run.fingerprint(),
+        per_core.run.fingerprint(),
+        "partitioned run: sequential vs per-core"
+    );
+    assert_eq!(sequential.faults, pooled.faults);
+    assert_eq!(sequential.faults, per_core.faults);
 }
 
 /// Leader crashes recover through the VRF ranking within one epoch: depth

@@ -74,7 +74,7 @@ fn shard_streams_do_not_depend_on_peer_shards() {
     };
     let cfg = RuntimeConfig {
         seed: 42,
-        threads: 0,
+        scheduler: SchedulerConfig::per_core(),
         ..RuntimeConfig::default()
     };
     let small: Vec<ShardSpec> = (0..9).map(mk_spec).collect();
@@ -124,7 +124,7 @@ fn faulted_runs_are_bit_identical_across_thread_counts() {
     let run_at = |threads: usize| {
         let cfg = RuntimeConfig {
             seed: 99,
-            threads,
+            scheduler: SchedulerConfig::new(threads),
             ..RuntimeConfig::default()
         };
         run_with_faults(&specs, &cfg, &plan).expect("valid faulted run")

@@ -29,7 +29,7 @@ fn battery(threads: usize) -> Vec<(&'static str, String)> {
     // Vanilla Ethereum, single miner: the Table I baseline shape.
     let cfg = RuntimeConfig {
         seed: 11,
-        threads,
+        scheduler: SchedulerConfig::new(threads),
         ..RuntimeConfig::default()
     };
     out.push((
@@ -43,7 +43,7 @@ fn battery(threads: usize) -> Vec<(&'static str, String)> {
     // Vanilla Ethereum, five miners: exercises the contended-stale path.
     let cfg = RuntimeConfig {
         seed: 12,
-        threads,
+        scheduler: SchedulerConfig::new(threads),
         ..RuntimeConfig::default()
     };
     out.push((
@@ -57,7 +57,7 @@ fn battery(threads: usize) -> Vec<(&'static str, String)> {
     // Nine independent greedy shards (the Fig. 3 sharded shape).
     let cfg = RuntimeConfig {
         seed: 13,
-        threads,
+        scheduler: SchedulerConfig::new(threads),
         ..RuntimeConfig::default()
     };
     let specs: Vec<ShardSpec> = (0..9)
@@ -74,7 +74,7 @@ fn battery(threads: usize) -> Vec<(&'static str, String)> {
     // Equilibrium selection with competing miners (Alg. 2 path).
     let cfg = RuntimeConfig {
         seed: 14,
-        threads,
+        scheduler: SchedulerConfig::new(threads),
         ..RuntimeConfig::default()
     };
     let specs: Vec<ShardSpec> = (0..2)
@@ -152,7 +152,7 @@ const GOLDEN: &[(&str, &str)] = &[
 
 #[test]
 fn fingerprints_match_pre_refactor_goldens() {
-    for &threads in &[1usize, 4] {
+    for &threads in &[1usize, 4, 0] {
         let got = battery(threads);
         assert_eq!(got.len(), GOLDEN.len());
         for ((name, hash), (gname, ghash)) in got.iter().zip(GOLDEN) {
