@@ -86,9 +86,9 @@ fn main() -> ExitCode {
         };
         println!("{}", result.to_table());
         if let Some(dir) = &json_dir {
-            // The pipeline and scheduler grids are bench artefacts, not
-            // paper figures — they ship under the BENCH_ prefix.
-            let file = if id == "pipeline" || id == "sched" {
+            // The pipeline, scheduler, and streaming-scale grids are bench
+            // artefacts, not paper figures — they ship under BENCH_.
+            let file = if id == "pipeline" || id == "sched" || id == "scale" {
                 format!("BENCH_{id}.json")
             } else {
                 format!("{id}.json")

@@ -9,6 +9,7 @@ pub mod fig3h;
 pub mod fig4;
 pub mod fig5;
 pub mod pipeline;
+pub mod scale;
 pub mod sched;
 pub mod sec4d;
 pub mod table1;
@@ -45,7 +46,7 @@ pub fn grid_scheduler() -> WorkScheduler {
 /// All experiment ids, in paper order.
 pub const ALL: &[&str] = &[
     "table1", "fig1d", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig3g", "fig3h",
-    "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "sec4d", "faults", "pipeline", "sched",
+    "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "sec4d", "faults", "pipeline", "sched", "scale",
 ];
 
 /// The ablation studies of DESIGN.md §8 (run with `experiments ablations`
@@ -82,6 +83,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentResult> {
         "faults" => faults::run(quick),
         "pipeline" => pipeline::run(quick),
         "sched" => sched::run(quick),
+        "scale" => scale::run(quick),
         "abl-eta" => ablations::run_eta(quick),
         "abl-window" => ablations::run_window(quick),
         "abl-fees" => ablations::run_fees(quick),

@@ -1,0 +1,201 @@
+//! Streaming-scale grid (`BENCH_scale.json`): epoch throughput and
+//! reclassification churn as the account space grows 10³ → 10⁶.
+//!
+//! Each grid point builds a lazy [`cshard_workload::TxStream`] over the
+//! configured account space — the stream materializes only the senders it
+//! actually emits, so the 10⁶-account points cost no more to construct
+//! than the 10³ ones — and drives it through
+//! [`cshard_core::LongRun::run_stream`] under one of three arrival mixes:
+//!
+//! * **steady** — plain Poisson arrivals with light diversification,
+//! * **bursty** — an 8× burst episode mid-run,
+//! * **spam** — an adversarial flood of fresh minimum-fee senders.
+//!
+//! Reported per point and mix:
+//!
+//! * epochs/sec — streamed epochs per host second (wall-clock measured
+//!   here, bench-side, per the ND001 split),
+//! * reclassified fraction — dirty senders over dirty + carried, straight
+//!   from the classify stage's counters. Repeat-sender mixes must sit
+//!   well below 1.0 (the churn-proportionality saving); the spam mix
+//!   pushes toward 1.0 because every flood sender is fresh.
+//!
+//! Everything except the wall-clock series is thread-count invariant — a
+//! test pins that at workers 1/4/0.
+
+use crate::experiments::grid_config;
+use crate::report::{ExperimentResult, Series};
+use cshard_core::{LongRun, LongRunConfig, RuntimeConfig};
+use cshard_primitives::SimTime;
+use cshard_workload::{BurstEpisode, SpamFlood, StreamConfig, TxStream};
+use std::time::Instant;
+
+/// Simulated time per epoch seal.
+const EPOCH_INTERVAL: SimTime = SimTime::from_secs(60);
+
+/// The three arrival mixes of the grid.
+const MIXES: &[&str] = &["steady", "bursty", "spam"];
+
+struct Point {
+    accounts: u64,
+    epochs_per_sec: f64,
+    reclassified_fraction: f64,
+    epochs: u64,
+}
+
+fn stream_for(mix: &str, accounts: u64) -> TxStream {
+    let base = StreamConfig {
+        accounts,
+        contracts: 8,
+        seed: accounts ^ 0xC5_44AD,
+        ..StreamConfig::default()
+    };
+    let config = match mix {
+        "steady" => base,
+        "bursty" => StreamConfig {
+            bursts: vec![BurstEpisode {
+                start: SimTime::from_secs(60),
+                end: SimTime::from_secs(120),
+                rate_multiplier: 8.0,
+            }],
+            ..base
+        },
+        "spam" => StreamConfig {
+            spam: Some(SpamFlood {
+                start: SimTime::from_secs(60),
+                end: SimTime::from_secs(200),
+                fraction: 0.6,
+            }),
+            ..base
+        },
+        other => unreachable!("unknown mix {other}"),
+    };
+    TxStream::new(config)
+}
+
+fn measure(mix: &str, accounts: u64, txs: usize) -> Point {
+    let mut lr = LongRun::new(LongRunConfig {
+        runtime: RuntimeConfig {
+            seed: accounts,
+            scheduler: grid_config(),
+            ..RuntimeConfig::default()
+        },
+        merging: None,
+        ..LongRunConfig::default()
+    });
+    let stream = stream_for(mix, accounts).take(txs);
+    let started = Instant::now();
+    let reports = lr
+        .run_stream(stream, EPOCH_INTERVAL)
+        .expect("valid streamed grid point");
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    let m = lr.pipeline_metrics();
+    let (reclassified, carried) = (m.total_reclassified(), m.total_carried());
+    Point {
+        accounts,
+        epochs_per_sec: reports.len() as f64 / wall,
+        reclassified_fraction: reclassified as f64 / (reclassified + carried).max(1) as f64,
+        epochs: reports.len() as u64,
+    }
+}
+
+/// The `scale` experiment: streamed epoch throughput and reclassification
+/// churn, accounts 10³ → 10⁶ under steady/bursty/spam arrival mixes.
+pub fn run(quick: bool) -> ExperimentResult {
+    let (accounts, txs): (Vec<u64>, usize) = if quick {
+        (vec![1_000, 100_000, 1_000_000], 400)
+    } else {
+        (vec![1_000, 10_000, 100_000, 1_000_000], 2_000)
+    };
+    let mut series = Vec::new();
+    let mut notes = vec![
+        format!(
+            "{txs} transactions/point, {}s epochs, lazy stream (senders \
+             materialized on emission only), scheduler workers from --threads",
+            EPOCH_INTERVAL.as_millis() / 1_000
+        ),
+        "reclassified fraction = dirty senders / (dirty + carried) from the \
+         classify stage; repeat-sender mixes stay below 1.0"
+            .into(),
+    ];
+    for mix in MIXES {
+        let points: Vec<Point> = accounts.iter().map(|&n| measure(mix, n, txs)).collect();
+        // The churn-proportionality invariant: on the repeat-heavy
+        // smallest-account point, carried senders must exist — full
+        // reclassification every epoch would read exactly 1.0.
+        let dense = points.first().expect("non-empty grid");
+        assert!(
+            dense.reclassified_fraction < 1.0,
+            "{mix}: no carried senders at {} accounts (fraction {})",
+            dense.accounts,
+            dense.reclassified_fraction
+        );
+        assert!(dense.epochs >= 2, "{mix}: grid point ran too few epochs");
+        let x = |p: &Point| p.accounts as f64;
+        series.push(Series::new(
+            format!("epochs/sec ({mix})"),
+            points.iter().map(|p| (x(p), p.epochs_per_sec)).collect(),
+        ));
+        series.push(Series::new(
+            format!("reclassified fraction ({mix})"),
+            points
+                .iter()
+                .map(|p| (x(p), p.reclassified_fraction))
+                .collect(),
+        ));
+        notes.push(format!(
+            "{mix}: reclassified fraction {:.3} at 10³ accounts, {:.3} at the top point",
+            points.first().expect("points").reclassified_fraction,
+            points.last().expect("points").reclassified_fraction,
+        ));
+    }
+    ExperimentResult {
+        id: "scale".into(),
+        title: "Streaming million-user scale grid".into(),
+        x_label: "accounts".into(),
+        y_label: "epochs/sec; reclassified fraction".into(),
+        series,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_reaches_a_million_accounts() {
+        let r = run(true);
+        // 3 mixes × 2 series each.
+        assert_eq!(r.series.len(), 6);
+        for s in &r.series {
+            let last = s.points.last().expect("points");
+            assert_eq!(last.0, 1_000_000.0, "{}: top point missing", s.name);
+        }
+        // Repeat-heavy steady point carries senders forward.
+        let steady_fraction = &r.series[1];
+        let dense = steady_fraction.points.first().expect("points");
+        assert!(
+            dense.1 < 1.0,
+            "steady 10³-account point reclassified everything: {dense:?}"
+        );
+    }
+
+    #[test]
+    fn scale_series_are_thread_count_independent() {
+        let fractions_at = |threads: usize| {
+            crate::experiments::set_grid_threads(threads);
+            let r = run(true);
+            crate::experiments::set_grid_threads(0);
+            // Keep only the deterministic series (drop wall-clock ones).
+            r.series
+                .into_iter()
+                .filter(|s| s.name.starts_with("reclassified"))
+                .map(|s| s.points)
+                .collect::<Vec<_>>()
+        };
+        let seq = fractions_at(1);
+        assert_eq!(seq, fractions_at(4));
+        assert_eq!(seq, fractions_at(0));
+    }
+}

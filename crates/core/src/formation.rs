@@ -5,8 +5,8 @@
 //! participate in more than one contract or have directly sent transactions
 //! to other users] form a unique shard, called the MaxShard."
 
-use cshard_ledger::{CallGraph, Transaction};
-use cshard_primitives::{ContractId, ShardId};
+use cshard_ledger::{CallGraph, SenderClass, Transaction, TxKind};
+use cshard_primitives::{Address, ContractId, ShardId};
 use std::collections::BTreeMap;
 
 /// The partition of a transaction batch into shards.
@@ -47,6 +47,54 @@ impl ShardPlan {
         let mut shard_of = Vec::with_capacity(transactions.len());
         for (i, tx) in transactions.iter().enumerate() {
             match graph.isolable_contract(tx) {
+                Some(c) => {
+                    let shard = Self::shard_for_contract(c);
+                    contract_shards.entry(shard).or_default().push(i);
+                    shard_of.push(shard);
+                }
+                None => {
+                    maxshard.push(i);
+                    shard_of.push(ShardId::MAX_SHARD);
+                }
+            }
+        }
+        ShardPlan {
+            contract_shards,
+            maxshard,
+            shard_of,
+        }
+    }
+
+    /// Classifies a batch against *cached* sender classes instead of the
+    /// call graph — the churn-proportional twin of [`ShardPlan::classify`].
+    ///
+    /// `routes` must hold, for every sender in the batch, the class the
+    /// graph would report **after** observing the batch (the classify
+    /// stage maintains exactly this: it refreshes the dirty senders and
+    /// carries the rest forward). Under that contract the plan is
+    /// bit-identical to a full reclassification: the isolable predicate
+    /// ([`CallGraph::isolable_contract`]) reads nothing but the sender's
+    /// class and the transaction's own kind.
+    pub fn classify_cached(
+        transactions: &[Transaction],
+        routes: &BTreeMap<Address, SenderClass>,
+    ) -> ShardPlan {
+        let mut contract_shards: BTreeMap<ShardId, Vec<usize>> = BTreeMap::new();
+        let mut maxshard = Vec::new();
+        let mut shard_of = Vec::with_capacity(transactions.len());
+        for (i, tx) in transactions.iter().enumerate() {
+            let isolable = match &tx.kind {
+                TxKind::ContractCall { contract, .. } => match routes.get(&tx.sender) {
+                    Some(SenderClass::SingleContract(c)) if c == contract => Some(*c),
+                    // Mirrors the graph's Unknown-sender rule; unreachable
+                    // when routes cover the observed batch, kept for the
+                    // same semantics on partial caches.
+                    Some(SenderClass::Unknown) | None => Some(*contract),
+                    _ => None,
+                },
+                _ => None,
+            };
+            match isolable {
                 Some(c) => {
                     let shard = Self::shard_for_contract(c);
                     contract_shards.entry(shard).or_default().push(i);
@@ -294,6 +342,54 @@ mod tests {
         assert_eq!(built.contract_shards, classified.contract_shards);
         assert_eq!(built.maxshard, classified.maxshard);
         assert_eq!(built.shard_of, classified.shard_of);
+    }
+
+    #[test]
+    fn classify_cached_matches_classify_on_full_routes() {
+        use cshard_ledger::Transaction;
+        use cshard_primitives::{Address, Amount};
+        // A mix that exercises every classification branch: single-contract,
+        // multi-contract, direct-then-call, and multi-input side effects.
+        let mut txs = Vec::new();
+        for u in 0..20u64 {
+            txs.push(Transaction::call(
+                Address::user(u),
+                0,
+                ContractId::new((u % 4) as u32),
+                Amount(10),
+                Amount(1),
+            ));
+        }
+        txs.push(Transaction::call(
+            Address::user(1),
+            1,
+            ContractId::new(3),
+            Amount(10),
+            Amount(1),
+        ));
+        txs.push(Transaction::direct(
+            Address::user(2),
+            1,
+            Address::user(50),
+            Amount(5),
+            Amount(1),
+        ));
+        txs.push(Transaction::multi_input(
+            Address::user(3),
+            1,
+            vec![Address::user(3), Address::user(4)],
+            Address::user(51),
+            Amount(6),
+            Amount::ZERO,
+        ));
+        let mut graph = CallGraph::new();
+        graph.observe_all(txs.iter());
+        let full = ShardPlan::classify(&txs, &graph);
+        let routes: BTreeMap<_, _> = graph.senders().map(|a| (a, graph.classify(a))).collect();
+        let cached = ShardPlan::classify_cached(&txs, &routes);
+        assert_eq!(full.contract_shards, cached.contract_shards);
+        assert_eq!(full.maxshard, cached.maxshard);
+        assert_eq!(full.shard_of, cached.shard_of);
     }
 
     #[test]

@@ -16,9 +16,9 @@ use crate::pipeline::{EpochInput, EpochPipeline, PipelineConfig, PipelineMetrics
 use crate::system::MinerAllocation;
 use cshard_games::MergingConfig;
 use cshard_ledger::Transaction;
-use cshard_primitives::{Error, Hash32, MinerId};
+use cshard_primitives::{Error, Hash32, MinerId, SimTime};
 use cshard_runtime::report::throughput_improvement;
-use cshard_runtime::{simulate_ethereum, RuntimeConfig};
+use cshard_runtime::{simulate_ethereum, Runtime, RuntimeConfig, StreamDriver};
 
 /// The randomness an epoch's unified game parameters derive from (the
 /// leader's VRF output is already baked into the assignment; a stable
@@ -153,6 +153,42 @@ impl LongRun {
         Ok(report)
     }
 
+    /// Drives epochs from a lazy arrival stream instead of pre-cut
+    /// batches: arrivals are injected through a
+    /// [`cshard_runtime::StreamDriver`] (one [`cshard_runtime::Event::TxInjected`]
+    /// in flight at a time), sealed into per-epoch batches every
+    /// `epoch_interval` of simulated time, and each non-empty batch is
+    /// replayed through [`LongRun::run_epoch`]. Intervals with no
+    /// arrivals produce no epoch — a long-lived deployment idles through
+    /// quiet periods instead of erroring on empty batches.
+    ///
+    /// Returns the reports of the epochs this call ran, in order (they
+    /// are also appended to [`LongRun::reports`]). The injection run
+    /// uses the configured scheduler; results are bit-identical at any
+    /// thread count.
+    pub fn run_stream(
+        &mut self,
+        stream: impl Iterator<Item = (SimTime, Transaction)> + Send + 'static,
+        epoch_interval: SimTime,
+    ) -> Result<Vec<EpochReport>, Error> {
+        let driver = StreamDriver::new(stream, epoch_interval);
+        let outcome = Runtime::builder()
+            .scheduler(self.config.runtime.scheduler)
+            .run(vec![driver])?;
+        let mut drivers = outcome.drivers;
+        let Some(driver) = drivers.pop() else {
+            return Err(Error::Config {
+                field: "stream",
+                reason: "injection run returned no driver".into(),
+            });
+        };
+        let mut reports = Vec::new();
+        for (_sim_epoch, batch) in driver.into_batches() {
+            reports.push(self.run_epoch(&batch)?);
+        }
+        Ok(reports)
+    }
+
     /// Mean throughput improvement over all completed epochs.
     pub fn mean_improvement(&self) -> f64 {
         if self.reports.is_empty() {
@@ -275,6 +311,80 @@ mod tests {
             improvements
         };
         assert_eq!(run(false), run(true), "warm start must be bit-invisible");
+    }
+
+    #[test]
+    fn stream_fed_epochs_match_batch_fed() {
+        // 120 txs at 40 ms spacing, sealed every 1 600 ms → 3 batches of
+        // 40, identical to hand-cut chunks.
+        let txs = Workload::uniform_contracts(120, 4, FEES, 9).transactions;
+        let stream = txs
+            .clone()
+            .into_iter()
+            .enumerate()
+            .map(|(i, tx)| (SimTime::from_millis(i as u64 * 40), tx));
+        let mut streamed = LongRun::new(LongRunConfig::default());
+        let reports = streamed
+            .run_stream(stream, SimTime::from_millis(1_600))
+            .expect("valid stream");
+        assert_eq!(reports.len(), 3);
+        let mut batched = LongRun::new(LongRunConfig::default());
+        for chunk in txs.chunks(40) {
+            batched.run_epoch(chunk).expect("valid batch");
+        }
+        let a: Vec<f64> = reports.iter().map(|r| r.improvement).collect();
+        let b: Vec<f64> = batched.reports().iter().map(|r| r.improvement).collect();
+        assert_eq!(a, b, "stream-fed epochs must replay batch-fed exactly");
+    }
+
+    #[test]
+    fn quiet_intervals_produce_no_epoch() {
+        let txs = Workload::uniform_contracts(20, 2, FEES, 11).transactions;
+        // Two tight clusters separated by a long silence.
+        let stream = txs.into_iter().enumerate().map(|(i, tx)| {
+            let at = if i < 10 {
+                SimTime::from_millis(i as u64)
+            } else {
+                SimTime::from_millis(10_000 + i as u64)
+            };
+            (at, tx)
+        });
+        let mut lr = LongRun::new(LongRunConfig::default());
+        let reports = lr
+            .run_stream(stream, SimTime::from_millis(1_000))
+            .expect("valid stream");
+        assert_eq!(reports.len(), 2, "silent intervals are skipped, not run");
+        assert_eq!(lr.reports().len(), 2);
+    }
+
+    #[test]
+    fn streamed_epochs_reclassify_only_churn() {
+        // A small account pool repeating into its home contracts: after
+        // the first sightings, most senders are carried, not recomputed.
+        use cshard_workload::{StreamConfig, TxStream};
+        let stream = TxStream::new(StreamConfig {
+            accounts: 50,
+            contracts: 4,
+            seed: 3,
+            ..StreamConfig::default()
+        })
+        .take(400);
+        let mut lr = LongRun::new(LongRunConfig {
+            merging: None,
+            ..LongRunConfig::default()
+        });
+        let reports = lr
+            .run_stream(stream, SimTime::from_secs(60))
+            .expect("valid stream");
+        assert!(reports.len() >= 2, "expected several epochs");
+        let m = lr.pipeline_metrics();
+        assert!(
+            m.total_carried() > m.total_reclassified(),
+            "repeat-sender traffic must be carried, not reclassified: \
+             carried={} reclassified={}",
+            m.total_carried(),
+            m.total_reclassified()
+        );
     }
 
     #[test]

@@ -2,35 +2,46 @@
 
 use super::{EpochCtx, PipelineStage, StageKind, StageOutput};
 use crate::formation::ShardPlan;
-use cshard_ledger::CallGraph;
-use cshard_primitives::Error;
+use cshard_ledger::{CallGraph, SenderClass};
+use cshard_primitives::{Address, Error};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Classifies each epoch's batch against the call graph it **owns** and
-/// keeps across epochs: the batch is absorbed once, then classified in
-/// place ([`ShardPlan::classify`]) — no per-epoch clone of the whole
-/// accumulated history, which is what made the pre-pipeline
-/// `ShardPlan::build` path O(history) per epoch.
+/// keeps across epochs, reclassifying only *dirty* senders.
 ///
-/// A fresh stage starts with an empty graph (single-workload runs); a
-/// long-running pipeline accumulates sender history here, so users who
-/// diversify migrate to the MaxShard exactly as under the old
+/// [`CallGraph::observe_all`] reports exactly the addresses whose
+/// participation record changed; everyone else's cached [`SenderClass`]
+/// is carried forward untouched (classification is a pure function of
+/// the participation record, so a clean sender classifies exactly as
+/// before). The plan is then built from the cache
+/// ([`ShardPlan::classify_cached`]), bit-identical to a full
+/// reclassification but with per-epoch classification work proportional
+/// to *churn* — new or diversifying senders — instead of batch size.
+///
+/// A fresh stage starts with an empty graph and cache (single-workload
+/// runs); a long-running pipeline accumulates sender history here, so
+/// users who diversify migrate to the MaxShard exactly as under the old
 /// `EpochManager`-owned history.
 #[derive(Debug, Default)]
 pub struct ClassifyStage {
     graph: CallGraph,
+    /// Cached class per ever-observed sender; refreshed only for dirty
+    /// addresses each epoch.
+    routes: BTreeMap<Address, SenderClass>,
 }
 
 impl ClassifyStage {
     /// A classifier with no history.
     pub fn new() -> Self {
-        ClassifyStage {
-            graph: CallGraph::new(),
-        }
+        ClassifyStage::default()
     }
 
-    /// A classifier seeded with pre-existing history.
+    /// A classifier seeded with pre-existing history. The route cache is
+    /// rebuilt from the graph so carried-forward assignments agree with
+    /// the seeded history from the first epoch on.
     pub fn with_history(graph: CallGraph) -> Self {
-        ClassifyStage { graph }
+        let routes = graph.senders().map(|a| (a, graph.classify(a))).collect();
+        ClassifyStage { graph, routes }
     }
 
     /// The accumulated cross-epoch call graph.
@@ -45,13 +56,135 @@ impl PipelineStage for ClassifyStage {
     }
 
     fn run(&mut self, ctx: &mut EpochCtx<'_>) -> Result<StageOutput, Error> {
-        self.graph.observe_all(ctx.transactions.iter());
-        let plan = ShardPlan::classify(ctx.transactions, &self.graph);
+        let dirty = self.graph.observe_all(ctx.transactions.iter());
+        for &addr in &dirty {
+            self.routes.insert(addr, self.graph.classify(addr));
+        }
+        let batch_senders: BTreeSet<Address> =
+            ctx.transactions.iter().map(|tx| tx.sender).collect();
+        let carried = batch_senders.iter().filter(|a| !dirty.contains(a)).count() as u64;
+        let plan = ShardPlan::classify_cached(ctx.transactions, &self.routes);
         let out = StageOutput {
             items: plan.active_shard_count() as u64,
+            reclassified: dirty.len() as u64,
+            carried,
             ..StageOutput::default()
         };
         ctx.plan = Some(plan);
         Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cshard_ledger::Transaction;
+    use cshard_primitives::{Amount, ContractId};
+
+    fn call(user: u64, contract: u32, nonce: u64) -> Transaction {
+        Transaction::call(
+            Address::user(user),
+            nonce,
+            ContractId::new(contract),
+            Amount(10),
+            Amount(1),
+        )
+    }
+
+    fn run_stage(stage: &mut ClassifyStage, txs: &[Transaction]) -> (ShardPlan, StageOutput) {
+        let mut ctx = EpochCtx {
+            transactions: txs,
+            fees: &[],
+            randomness: cshard_crypto::sha256(0u64.to_be_bytes()),
+            runtime: cshard_runtime::RuntimeConfig::default(),
+            plan: None,
+            groups: Vec::new(),
+            merge: None,
+            specs: Vec::new(),
+            comm: cshard_network::CommStats::new(),
+            run: None,
+        };
+        let out = stage.run(&mut ctx).expect("classify never fails");
+        (ctx.plan.expect("classify sets the plan"), out)
+    }
+
+    #[test]
+    fn incremental_plan_matches_full_reclassification() {
+        // Run the same epoch sequence through the incremental stage and a
+        // from-scratch classifier; plans must be bit-identical each epoch.
+        let epochs: Vec<Vec<Transaction>> = vec![
+            (0..10).map(|u| call(u, (u % 3) as u32, 0)).collect(),
+            // Repeat senders (clean) + one diversifier (dirty).
+            (0..10)
+                .map(|u| {
+                    if u == 4 {
+                        call(u, 9, 1)
+                    } else {
+                        call(u, (u % 3) as u32, 1)
+                    }
+                })
+                .collect(),
+            // Fresh senders only.
+            (100..110).map(|u| call(u, 0, 0)).collect(),
+        ];
+        let mut stage = ClassifyStage::new();
+        let mut full_graph = CallGraph::new();
+        for batch in &epochs {
+            let (plan, _) = run_stage(&mut stage, batch);
+            full_graph.observe_all(batch.iter());
+            let full = ShardPlan::classify(batch, &full_graph);
+            assert_eq!(plan.shard_of, full.shard_of);
+            assert_eq!(plan.contract_shards, full.contract_shards);
+            assert_eq!(plan.maxshard, full.maxshard);
+        }
+    }
+
+    #[test]
+    fn repeat_senders_are_carried_not_reclassified() {
+        let batch: Vec<Transaction> = (0..8).map(|u| call(u, 0, 0)).collect();
+        let mut stage = ClassifyStage::new();
+        let (_, first) = run_stage(&mut stage, &batch);
+        assert_eq!(first.reclassified, 8, "first sight dirties everyone");
+        assert_eq!(first.carried, 0);
+        let repeat: Vec<Transaction> = (0..8).map(|u| call(u, 0, 1)).collect();
+        let (_, second) = run_stage(&mut stage, &repeat);
+        assert_eq!(second.reclassified, 0, "no participation change");
+        assert_eq!(second.carried, 8);
+    }
+
+    #[test]
+    fn diversifying_sender_is_reclassified_and_moves_to_maxshard() {
+        let mut stage = ClassifyStage::new();
+        run_stage(&mut stage, &[call(1, 0, 0)]);
+        let (plan, out) = run_stage(&mut stage, &[call(1, 1, 1)]);
+        assert_eq!(out.reclassified, 1);
+        assert_eq!(out.carried, 0);
+        assert_eq!(plan.maxshard, vec![0], "multi-contract sender → MaxShard");
+    }
+
+    #[test]
+    fn with_history_seeds_the_route_cache() {
+        // Pre-existing history must constrain the first epoch even though
+        // the batch itself leaves the sender's participation unchanged.
+        let mut graph = CallGraph::new();
+        graph.observe(&Transaction::direct(
+            Address::user(1),
+            0,
+            Address::user(9),
+            Amount(5),
+            Amount(1),
+        ));
+        let mut stage = ClassifyStage::with_history(graph);
+        let (plan, out) = run_stage(&mut stage, &[call(1, 0, 1)]);
+        assert_eq!(
+            plan.maxshard,
+            vec![0],
+            "direct history forces MaxShard on a carried sender"
+        );
+        assert_eq!(out.reclassified, 1, "first call still adds a contract");
+        // A pure repeat afterwards is carried and classifies the same.
+        let (plan2, out2) = run_stage(&mut stage, &[call(1, 0, 2)]);
+        assert_eq!(out2.carried, 1);
+        assert_eq!(plan2.maxshard, vec![0]);
     }
 }

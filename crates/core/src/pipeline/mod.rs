@@ -124,6 +124,13 @@ pub struct StageOutput {
     /// Scheduler task slots skipped (no queued work, never stepped) — the
     /// idle-shard saving, as a number.
     pub tasks_skipped: u64,
+    /// Senders whose classification was recomputed this epoch because
+    /// their call-graph participation changed (classify stage only).
+    pub reclassified: u64,
+    /// Batch senders whose cached classification was carried forward
+    /// unchanged (classify stage only) — the churn-proportionality
+    /// saving, as a number.
+    pub carried: u64,
 }
 
 /// Cumulative per-stage counters across a pipeline's lifetime.
@@ -143,6 +150,10 @@ pub struct StageCounters {
     pub tasks_scheduled: u64,
     /// Sum of [`StageOutput::tasks_skipped`].
     pub tasks_skipped: u64,
+    /// Sum of [`StageOutput::reclassified`].
+    pub reclassified: u64,
+    /// Sum of [`StageOutput::carried`].
+    pub carried: u64,
 }
 
 /// Iteration accounting for a whole pipeline, surfaced in
@@ -184,6 +195,18 @@ impl PipelineMetrics {
         self.counters.iter().map(|c| c.tasks_skipped).sum()
     }
 
+    /// Total senders reclassified across all epochs (classify stage).
+    pub fn total_reclassified(&self) -> u64 {
+        self.counters.iter().map(|c| c.reclassified).sum()
+    }
+
+    /// Total cached sender classifications carried forward across all
+    /// epochs (classify stage) — what churn-proportional classification
+    /// saves over reclassify-everything.
+    pub fn total_carried(&self) -> u64 {
+        self.counters.iter().map(|c| c.carried).sum()
+    }
+
     fn absorb(&mut self, kind: StageKind, out: &StageOutput) {
         let c = &mut self.counters[kind.index()];
         c.runs += 1;
@@ -193,6 +216,8 @@ impl PipelineMetrics {
         c.warm_misses += out.warm_misses;
         c.tasks_scheduled += out.tasks_scheduled;
         c.tasks_skipped += out.tasks_skipped;
+        c.reclassified += out.reclassified;
+        c.carried += out.carried;
     }
 }
 

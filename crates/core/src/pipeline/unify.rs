@@ -112,6 +112,7 @@ impl PipelineStage for UnifyStage {
             warm_misses: misses_after - misses_before,
             tasks_scheduled: sched.scheduled(),
             tasks_skipped: sched.skipped(),
+            ..StageOutput::default()
         };
         ctx.run = Some(run);
         Ok(out)

@@ -49,32 +49,69 @@ impl CallGraph {
 
     /// Records one observed transaction.
     pub fn observe(&mut self, tx: &Transaction) {
+        let mut dirty = BTreeSet::new();
+        self.observe_tracking(tx, &mut dirty);
+    }
+
+    /// Records one transaction, adding every address whose classification
+    /// inputs *changed* (a new contract in its participation set, or a
+    /// fresh direct-transacting flag — including multi-input side effects
+    /// on input accounts) to `dirty`.
+    ///
+    /// [`CallGraph::classify`] is a pure function of the participation
+    /// record, so an address absent from `dirty` is guaranteed to classify
+    /// exactly as it did before the observation — the invariant that lets
+    /// the pipeline's classify stage carry cached assignments forward.
+    fn observe_tracking(&mut self, tx: &Transaction, dirty: &mut BTreeSet<Address>) {
         let p = self.senders.entry(tx.sender).or_default();
         match &tx.kind {
             TxKind::ContractCall { contract, .. } => {
-                p.contracts.insert(*contract);
+                if p.contracts.insert(*contract) {
+                    dirty.insert(tx.sender);
+                }
             }
             TxKind::DirectTransfer { .. } => {
-                p.direct = true;
+                if !p.direct {
+                    p.direct = true;
+                    dirty.insert(tx.sender);
+                }
             }
             TxKind::MultiInput { inputs, .. } => {
                 // Every input account's funds are touched, so each input is
                 // "transacting directly" for classification purposes.
-                p.direct = true;
+                if !p.direct {
+                    p.direct = true;
+                    dirty.insert(tx.sender);
+                }
                 for input in inputs {
                     if *input != tx.sender {
-                        self.senders.entry(*input).or_default().direct = true;
+                        let q = self.senders.entry(*input).or_default();
+                        if !q.direct {
+                            q.direct = true;
+                            dirty.insert(*input);
+                        }
                     }
                 }
             }
         }
     }
 
-    /// Records a whole batch (e.g. an injected workload).
-    pub fn observe_all<'a>(&mut self, txs: impl IntoIterator<Item = &'a Transaction>) {
+    /// Records a whole batch (e.g. an injected workload) and returns the
+    /// set of addresses whose classification inputs changed — the *dirty
+    /// senders*. A first-ever observation always dirties its sender;
+    /// repeat observations that add no new participation (the same sender
+    /// calling its usual contract, or transacting directly again) leave
+    /// the sender clean, so classification work can scale with batch
+    /// churn instead of batch size.
+    pub fn observe_all<'a>(
+        &mut self,
+        txs: impl IntoIterator<Item = &'a Transaction>,
+    ) -> BTreeSet<Address> {
+        let mut dirty = BTreeSet::new();
         for tx in txs {
-            self.observe(tx);
+            self.observe_tracking(tx, &mut dirty);
         }
+        dirty
     }
 
     /// Classifies a sender from its observed history.
@@ -117,6 +154,13 @@ impl CallGraph {
     /// Number of tracked senders.
     pub fn sender_count(&self) -> usize {
         self.senders.len()
+    }
+
+    /// Every tracked address, in ascending order (deterministic: the
+    /// graph is a `BTreeMap`). Callers seeding a classification cache
+    /// from pre-existing history iterate this.
+    pub fn senders(&self) -> impl Iterator<Item = Address> + '_ {
+        self.senders.keys().copied()
     }
 
     /// All contracts a sender participates in, in ascending id order
@@ -251,6 +295,82 @@ mod tests {
         let t = call(1, 1);
         g.observe(&t);
         assert_eq!(g.isolable_contract(&t), None);
+    }
+
+    #[test]
+    fn observe_all_reports_exactly_the_changed_senders() {
+        let mut g = CallGraph::new();
+        // First sight of user 1: dirty.
+        let first = g.observe_all([call(1, 0)].iter());
+        assert_eq!(
+            first.into_iter().collect::<Vec<_>>(),
+            vec![Address::user(1)]
+        );
+        // Same sender, same contract: participation unchanged — clean.
+        let repeat = g.observe_all([call(1, 0), call(1, 0)].iter());
+        assert!(repeat.is_empty(), "repeat observation dirtied: {repeat:?}");
+        // Same sender, NEW contract: dirty again.
+        let diversified = g.observe_all([call(1, 1)].iter());
+        assert!(diversified.contains(&Address::user(1)));
+        // A repeat direct transfer only dirties the first time.
+        let d1 = g.observe_all([direct(2, 3)].iter());
+        assert!(d1.contains(&Address::user(2)));
+        let d2 = g.observe_all([direct(2, 4)].iter());
+        assert!(d2.is_empty(), "repeat direct dirtied: {d2:?}");
+    }
+
+    #[test]
+    fn multi_input_dirties_every_newly_direct_input() {
+        let mut g = CallGraph::new();
+        // User 2 is already direct; users 1 and 3 are not.
+        g.observe(&direct(2, 9));
+        let t = Transaction::multi_input(
+            Address::user(1),
+            0,
+            vec![Address::user(1), Address::user(2), Address::user(3)],
+            Address::user(4),
+            Amount::from_coins(3),
+            Amount::ZERO,
+        );
+        let dirty = g.observe_all([t].iter());
+        assert!(dirty.contains(&Address::user(1)));
+        assert!(!dirty.contains(&Address::user(2)), "already direct");
+        assert!(dirty.contains(&Address::user(3)));
+        assert!(!dirty.contains(&Address::user(4)), "recipient untouched");
+    }
+
+    #[test]
+    fn clean_senders_classify_identically_before_and_after() {
+        // The carry-forward invariant: an address outside the dirty set
+        // classifies exactly as it did before the batch was observed.
+        let mut g = CallGraph::new();
+        g.observe_all([call(1, 0), direct(2, 9), call(3, 1)].iter());
+        let before: Vec<SenderClass> = (1..=3).map(|u| g.classify(Address::user(u))).collect();
+        let dirty = g.observe_all([call(1, 0), direct(2, 5), call(3, 2)].iter());
+        for u in 1..=3u64 {
+            if !dirty.contains(&Address::user(u)) {
+                assert_eq!(
+                    g.classify(Address::user(u)),
+                    before[(u - 1) as usize],
+                    "clean sender {u} changed class"
+                );
+            }
+        }
+        // User 3 diversified and must be dirty.
+        assert!(dirty.contains(&Address::user(3)));
+    }
+
+    #[test]
+    fn senders_iterates_in_address_order() {
+        let mut g = CallGraph::new();
+        g.observe(&call(5, 0));
+        g.observe(&call(2, 0));
+        g.observe(&direct(9, 1));
+        let all: Vec<Address> = g.senders().collect();
+        assert_eq!(
+            all,
+            vec![Address::user(2), Address::user(5), Address::user(9)]
+        );
     }
 
     #[test]

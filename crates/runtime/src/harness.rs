@@ -205,12 +205,8 @@ impl<'obs> RunBuilder<'obs> {
 /// their event streams, and `wall` feeds only the diagnostic fields of
 /// the report.
 ///
-/// Construct runs through [`Runtime::builder`]; the deprecated
-/// constructors remain as byte-identical thin wrappers.
-pub struct Runtime {
-    config: SchedulerConfig,
-    comm: CommStats,
-}
+/// All runs launch through [`Runtime::builder`].
+pub struct Runtime;
 
 impl Runtime {
     /// The fluent launch surface: configure scheduler, communication
@@ -222,56 +218,9 @@ impl Runtime {
             observer: None,
         }
     }
-
-    /// A runtime over `threads` workers (`0` = one per core, `1` =
-    /// inline/sequential) with a fresh communication counter.
-    #[deprecated(note = "use Runtime::builder().scheduler(SchedulerConfig::new(threads))")]
-    pub fn new(threads: usize) -> Self {
-        Runtime {
-            config: SchedulerConfig::new(threads),
-            comm: CommStats::new(),
-        }
-    }
-
-    /// Uses an existing communication counter, so callers can read the
-    /// messaging a run emitted (Fig. 4(b)) or pool several runs.
-    #[deprecated(note = "use Runtime::builder().comm_stats(comm); the outcome carries it back")]
-    pub fn with_comm(threads: usize, comm: CommStats) -> Self {
-        Runtime {
-            config: SchedulerConfig::new(threads),
-            comm,
-        }
-    }
-
-    /// The run-wide communication counter drivers record into.
-    #[deprecated(note = "read RunOutcome::comm from Runtime::builder().run(..) instead")]
-    pub fn comm(&self) -> &CommStats {
-        &self.comm
-    }
-
-    /// Runs every driver to completion (two phases) and reports. The
-    /// shard order of the report matches the driver order given here.
-    ///
-    /// Errors as [`RunBuilder::run`] does.
-    #[deprecated(note = "use Runtime::builder().run(drivers) and read RunOutcome::report")]
-    pub fn run<D: ProtocolDriver>(&self, drivers: Vec<D>) -> Result<RunReport, Error> {
-        execute(self.config, &self.comm, None, drivers).map(|(report, _, _)| report)
-    }
-
-    /// Like `run`, but also hands the finished drivers back in their
-    /// original order.
-    #[deprecated(note = "use Runtime::builder().run(drivers); RunOutcome carries the drivers")]
-    pub fn run_drivers<D: ProtocolDriver>(
-        &self,
-        drivers: Vec<D>,
-    ) -> Result<(RunReport, Vec<D>), Error> {
-        execute(self.config, &self.comm, None, drivers)
-            .map(|(report, drivers, _)| (report, drivers))
-    }
 }
 
-/// The shared two-phase engine behind [`RunBuilder::run`] and the
-/// deprecated entrypoints.
+/// The shared two-phase engine behind [`RunBuilder::run`].
 fn execute<D: ProtocolDriver>(
     config: SchedulerConfig,
     comm: &CommStats,
@@ -704,24 +653,5 @@ mod tests {
                 ..
             }
         ));
-    }
-
-    /// The deprecated entrypoints are thin wrappers over the same engine:
-    /// byte-identical reports, drivers in order.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_entrypoints_match_the_builder() {
-        let mk = || vec![ticker(0, 5), ticker(1, 2), ticker(2, 9)];
-        let via_builder = Runtime::builder().run(mk()).expect("well-formed");
-        let via_run = Runtime::new(1).run(mk()).expect("well-formed");
-        assert_eq!(via_builder.report.fingerprint(), via_run.fingerprint());
-        let (via_drivers_report, drivers) = Runtime::new(4).run_drivers(mk()).expect("well-formed");
-        assert_eq!(
-            via_builder.report.fingerprint(),
-            via_drivers_report.fingerprint()
-        );
-        assert_eq!(drivers.len(), 3);
-        let rt = Runtime::with_comm(1, CommStats::new());
-        assert_eq!(rt.comm().total(), 0);
     }
 }

@@ -48,6 +48,7 @@ pub mod event;
 pub mod harness;
 pub mod propagation;
 pub mod report;
+pub mod stream;
 
 pub use contract::{
     shard_stream, simulate, simulate_ethereum, ContractShardDriver, EthereumDriver, RuntimeConfig,
@@ -59,3 +60,4 @@ pub use event::Event;
 pub use harness::{RunBuilder, RunObserver, RunOutcome, RunPhase, RunSchedStats, Runtime};
 pub use propagation::PropagationModel;
 pub use report::{throughput_improvement, RunReport, ShardReport};
+pub use stream::{ArrivalSource, StreamDriver};

@@ -9,12 +9,9 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
-pub mod executor;
 pub mod rng;
 pub mod scheduler;
 
 pub use engine::{EventQueue, ScheduledEvent};
-#[allow(deprecated)]
-pub use executor::Executor;
 pub use rng::SimRng;
 pub use scheduler::{DrainStats, SchedulerConfig, Turn, WorkScheduler};

@@ -1,6 +1,6 @@
 //! The shard-lifecycle work scheduler.
 //!
-//! The old [`crate::Executor`] fanned a *fixed* task set out: every shard
+//! The old `Executor` (since removed) fanned a *fixed* task set out: every shard
 //! paid a task slot per phase whether or not it had queued work. This
 //! scheduler replaces that with shard-granular lifecycle scheduling, the
 //! shape execution-sharding designs (Katana-style engines, Shard

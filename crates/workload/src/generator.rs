@@ -8,7 +8,10 @@ use rand_chacha::ChaCha8Rng;
 
 /// Which experiment shape a workload was generated for (kept for
 /// reporting/labels).
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Not `Eq`: [`WorkloadKind::HeavyTail`] carries its Zipf exponent, and
+/// floats have no total equality.
+#[derive(Clone, Debug, PartialEq)]
 pub enum WorkloadKind {
     /// Uniform spread over contracts + MaxShard (Sec. VI-B1).
     UniformContracts {
@@ -28,7 +31,24 @@ pub enum WorkloadKind {
         inputs: usize,
     },
     /// Zipf contract popularity.
-    HeavyTail,
+    HeavyTail {
+        /// Number of contract shards.
+        contracts: usize,
+        /// Zipf exponent: contract `k`'s share ∝ `k^-s`.
+        zipf_s: f64,
+    },
+    /// Collected view of a [`crate::stream::TxStream`] prefix.
+    Streamed {
+        /// Configured sender account space.
+        accounts: u64,
+        /// Number of registered contracts.
+        contracts: u32,
+    },
+    /// Materialised from an imported [`crate::trace::Trace`].
+    Replayed {
+        /// Number of contracts the trace references.
+        contracts: u32,
+    },
 }
 
 /// A generated workload: the genesis state, the registered contracts and
@@ -252,7 +272,7 @@ impl Workload {
         for _ in assigned..total {
             b.direct_transfer();
         }
-        b.finish(WorkloadKind::HeavyTail)
+        b.finish(WorkloadKind::HeavyTail { contracts, zipf_s })
     }
 
     /// Transactions per contract, indexed by contract id (isolable calls
@@ -379,6 +399,14 @@ mod tests {
     fn heavy_tail_is_skewed_and_exact() {
         let w = Workload::heavy_tail(1000, 10, 1.1, FEES, 5);
         assert_eq!(w.transactions.len(), 1000);
+        assert_eq!(
+            w.kind,
+            WorkloadKind::HeavyTail {
+                contracts: 10,
+                zipf_s: 1.1
+            },
+            "the kind labels the grid precisely"
+        );
         let counts = w.tx_count_by_contract();
         assert!(counts[0] > counts[9] * 3, "counts {counts:?}");
     }

@@ -19,14 +19,23 @@
 //!
 //! [`fees::FeeDistribution`] covers the fee models: constant, uniform,
 //! binomial (the Sec. IV-D security assumption), exponential and Zipf.
+//!
+//! For million-user scale, [`stream::TxStream`] generates transactions
+//! *lazily* as a seeded `(SimTime, Transaction)` iterator — Poisson
+//! arrivals, Zipf-hot contract communities, burst episodes and an
+//! adversarial spam-flood mode — without materializing a genesis-sized
+//! vector. A bounded prefix collects into an ordinary [`Workload`] via
+//! [`stream::TxStream::take_workload`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod fees;
 pub mod generator;
+pub mod stream;
 pub mod trace;
 
 pub use fees::FeeDistribution;
 pub use generator::{Workload, WorkloadKind};
+pub use stream::{BurstEpisode, SpamFlood, StreamConfig, TxStream};
 pub use trace::{mainnet_shaped, Trace, TraceRecord};

@@ -206,7 +206,9 @@ impl Trace {
             genesis: state,
             contracts,
             transactions,
-            kind: WorkloadKind::HeavyTail,
+            kind: WorkloadKind::Replayed {
+                contracts: self.contracts,
+            },
         }
     }
 }

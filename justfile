@@ -40,6 +40,13 @@ bench-sched:
         sched --quick --json /tmp/bench-sched
     @echo "wrote /tmp/bench-sched/BENCH_sched.json"
 
+# Streaming scale grid: epochs/sec and reclassified fraction, accounts
+# 10^3 -> 10^6 under steady/bursty/spam mixes, as BENCH_scale.json.
+bench-scale:
+    cargo run --release -p cshard-bench --bin experiments -- \
+        scale --quick --json /tmp/bench-scale
+    @echo "wrote /tmp/bench-scale/BENCH_scale.json"
+
 # Fast feedback loop: tests only.
 test:
     cargo test -q --workspace
