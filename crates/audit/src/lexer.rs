@@ -105,6 +105,22 @@ pub fn lex(source: &str) -> Vec<Token> {
                 line += newlines;
                 i = end;
             }
+            b'r' if starts_raw_ident(b, i) => {
+                // A raw identifier (`r#type`, `r#fn`) is one Ident token,
+                // prefix preserved: definitions and call sites then match
+                // each other textually, and the `fn`-like suffix can never
+                // be mistaken for a keyword by token-stream passes.
+                let mut end = i + 2;
+                while end < b.len() && (b[end].is_ascii_alphanumeric() || b[end] == b'_') {
+                    end += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
             b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
                 let (end, newlines) = skip_raw_or_byte_string(b, i);
                 tokens.push(Token {
@@ -202,6 +218,14 @@ fn skip_string(b: &[u8], start: usize) -> (usize, usize) {
     (b.len(), newlines)
 }
 
+fn starts_raw_ident(b: &[u8], i: usize) -> bool {
+    // `r#` followed by an identifier start and NOT by `"` (that would be a
+    // raw string with one hash: `r#"..."#`).
+    b[i..].starts_with(b"r#")
+        && b.get(i + 2)
+            .is_some_and(|&c| c.is_ascii_alphabetic() || c == b'_')
+}
+
 fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
     // r"..."  r#"..."#  br"..."  b"..."  b'..' — anything that opens a
     // string/byte literal with an `r`/`b` prefix.
@@ -237,7 +261,10 @@ fn skip_raw_or_byte_string(b: &[u8], start: usize) -> (usize, usize) {
                 if b[i] == b'\n' {
                     newlines += 1;
                     i += 1;
-                } else if b[i] == b'"' && b[i + 1..].iter().take(hashes).all(|&c| c == b'#') {
+                } else if b[i] == b'"'
+                    && b[i + 1..].len() >= hashes
+                    && b[i + 1..i + 1 + hashes].iter().all(|&c| c == b'#')
+                {
                     return (i + 1 + hashes, newlines);
                 } else {
                     i += 1;
@@ -391,6 +418,55 @@ mod tests {
             kinds,
             vec![true, false, true, true, true, false, false, false, false]
         );
+    }
+
+    #[test]
+    fn raw_idents_are_single_ident_tokens() {
+        // `r#type` must not decay into a bogus `r#` literal followed by a
+        // keyword-looking `type` ident (that corrupted the symbol pass).
+        let toks = lex("fn r#type() { r#fn() }");
+        let raws: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text.starts_with("r#"))
+            .collect();
+        assert_eq!(raws.len(), 2, "{toks:?}");
+        assert_eq!(raws[0].text, "r#type");
+        assert_eq!(raws[1].text, "r#fn");
+        assert!(!toks
+            .iter()
+            .any(|t| t.is_ident("type") || t.is_ident("fn") && t.text == "type"));
+    }
+
+    #[test]
+    fn banned_idents_inside_raw_strings_never_tokenize() {
+        // Multi-hash raw strings with quote-hash runs inside: every banned
+        // name stays inside one Literal token.
+        let src = r####"let x = r##"Instant::now() "# thread_rng() unwrap()"## ; tail"####;
+        let toks = lex(src);
+        for banned in ["Instant", "thread_rng", "unwrap"] {
+            assert!(!toks.iter().any(|t| t.is_ident(banned)), "{banned} leaked");
+        }
+        assert!(toks.iter().any(|t| t.is_ident("tail")));
+    }
+
+    #[test]
+    fn unterminated_raw_string_with_partial_hash_close_consumes_to_eof() {
+        // `r##"..."#` — one hash short of closing. The old lexer's
+        // `take(hashes)` check treated EOF as a match and resumed lexing
+        // mid-literal; everything must stay inside the literal instead.
+        let toks = lex("r##\"body\"# Instant::now()");
+        assert!(!toks.iter().any(|t| t.is_ident("Instant")), "{toks:?}");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokenKind::Literal);
+    }
+
+    #[test]
+    fn banned_idents_inside_nested_block_comments_never_tokenize() {
+        let src = "/* outer /* SystemTime::now() /* deeper unwrap() */ */ still */ fn f() {}";
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("SystemTime")));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.is_ident("f")));
     }
 
     #[test]

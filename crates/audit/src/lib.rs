@@ -8,14 +8,18 @@
 //! `Runtime` harness); this crate enforces it at the source level, as a
 //! CI gate that fails with `file:line` diagnostics.
 //!
-//! The pass is a token-level static analysis: a hand-rolled lexer
-//! ([`lexer`]) feeds per-rule matchers ([`rules`]) configured by the
-//! `policy.toml` at the workspace root ([`policy`]); [`scan`] walks the
-//! crates the policy lists. There is no `syn` here on purpose — the
-//! workspace builds fully offline from an in-tree dependency set, and the
-//! six rules only need token structure, not a full AST.
+//! The analysis is token-level and multi-pass: a hand-rolled lexer
+//! ([`lexer`]) feeds a workspace symbol table ([`symbols`]), a name+arity
+//! call graph ([`callgraph`]), and a source→sink reachability pass
+//! ([`taint`]) on top of the per-line matchers ([`rules`]), all
+//! configured by the `policy.toml` at the workspace root ([`policy`]);
+//! [`scan`] walks the crates the policy lists and [`report`] renders the
+//! stable `AUDIT_report.json` plus the baseline gate. There is no `syn`
+//! here on purpose — the workspace builds fully offline from an in-tree
+//! dependency set, and the rules only need token structure, not a full
+//! AST.
 //!
-//! Rules (see DESIGN.md "Determinism invariants" for the full rationale):
+//! Line-scoped rules (`0xx` — see DESIGN.md "Determinism invariants"):
 //!
 //! | id    | what it forbids                                             |
 //! |-------|-------------------------------------------------------------|
@@ -24,7 +28,21 @@
 //! | ND003 | iteration over `HashMap`/`HashSet` (unordered => replay-unsafe) |
 //! | PH001 | `unwrap`/`expect`/`panic!`-class exits in driver/event code |
 //! | FD001 | `==`/`!=` against float literals (tolerance helpers instead) |
+//! | AR001 | bare `+`/`-`/`*` on `SimTime`/epoch counters (overflow)     |
 //! | AH001 | missing required lint headers in protocol crate roots       |
+//!
+//! Reachability-scoped rules (`1xx` — a source counts only when a
+//! `[callgraph] sinks` root reaches it; findings carry the full
+//! source→…→sink call chain with `file:line` per hop):
+//!
+//! | id    | what it forbids on sink-reachable paths                     |
+//! |-------|-------------------------------------------------------------|
+//! | ND101 | wall-clock reads any number of helper calls below a sink    |
+//! | ND102 | ambient entropy below a sink                                |
+//! | ND103 | hash-order iteration below a sink                           |
+//! | PH101 | panic-class exits below a sink (class list in the policy)   |
+//! | CL001 | lossy `as` narrowing casts below a sink                     |
+//! | DP001 | calls to `#[deprecated]` workspace items (reachability-free)|
 //!
 //! `#[cfg(test)] mod` bodies are exempt everywhere; residual exceptions
 //! live in the policy's `allow` lists, each with a comment saying why.
@@ -32,10 +50,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod lexer;
 pub mod policy;
+pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
+pub mod taint;
 
 pub use policy::{Policy, PolicyError};
 pub use rules::Finding;

@@ -85,6 +85,75 @@ impl RulePolicy {
     }
 }
 
+/// Where an ambiguous call should resolve, per `[callgraph] resolve`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResolveTarget {
+    /// The call is out of workspace scope (`-> external`).
+    External,
+    /// Fan out to every candidate (`-> *`).
+    All,
+    /// The unique candidate whose display id ends with this suffix.
+    To(String),
+}
+
+/// The `[callgraph]` table: sink roots and ambiguity overrides for the
+/// interprocedural passes.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraphPolicy {
+    /// Sink-root specs: `"Trait::method"` (every impl of that trait
+    /// method) or `"calls:Owner::method"` (every fn with a resolved edge
+    /// to `Owner::method` — e.g. the closures handed to
+    /// `WorkScheduler::drain` live in their enclosing fn's body).
+    pub sinks: Vec<String>,
+    /// `(name, arity)` → target for calls the resolver cannot settle.
+    pub resolve: BTreeMap<(String, usize), ResolveTarget>,
+}
+
+impl CallGraphPolicy {
+    /// The override for an ambiguous `(name, arity)` call, if any.
+    pub fn resolve_for(&self, name: &str, arity: usize) -> Option<&ResolveTarget> {
+        self.resolve.get(&(name.to_string(), arity))
+    }
+}
+
+/// Parses one `[callgraph] resolve` entry: `"name/arity -> target"`.
+fn parse_resolve_entry(
+    entry: &str,
+    lineno: usize,
+) -> Result<((String, usize), ResolveTarget), PolicyError> {
+    let (lhs, rhs) = entry.split_once("->").ok_or_else(|| {
+        err(
+            lineno,
+            format!("resolve entry `{entry}` must be `name/arity -> target`"),
+        )
+    })?;
+    let lhs = lhs.trim();
+    let (name, arity) = lhs.split_once('/').ok_or_else(|| {
+        err(
+            lineno,
+            format!("resolve entry `{entry}`: left side must be `name/arity`"),
+        )
+    })?;
+    let arity: usize = arity.trim().parse().map_err(|_| {
+        err(
+            lineno,
+            format!("resolve entry `{entry}`: arity `{arity}` is not a number"),
+        )
+    })?;
+    let target = match rhs.trim() {
+        "" => {
+            return Err(err(
+                lineno,
+                format!("resolve entry `{entry}` is missing a target after `->`"),
+            ))
+        }
+        "external" => ResolveTarget::External,
+        "*" => ResolveTarget::All,
+        suffix => ResolveTarget::To(suffix.to_string()),
+    };
+    Ok(((name.trim().to_string(), arity), target))
+}
+
 /// The whole audit policy.
 #[derive(Clone, Debug, Default)]
 pub struct Policy {
@@ -97,6 +166,8 @@ pub struct Policy {
     pub exempt: Vec<String>,
     /// Per-rule entries, keyed by rule id (`ND001`, ...).
     pub rules: BTreeMap<String, RulePolicy>,
+    /// Call-graph configuration (sinks, ambiguity overrides).
+    pub callgraph: CallGraphPolicy,
 }
 
 impl Policy {
@@ -167,6 +238,22 @@ impl Policy {
                 }
                 ("exempt", _) => Err(err(lineno, "`exempt` must be an array of strings")),
                 (other, _) => Err(err(lineno, format!("unknown key `{other}` in [audit]"))),
+            },
+            Some("callgraph") => match (key, value) {
+                ("sinks", Value::Array(v)) => {
+                    self.callgraph.sinks = v;
+                    Ok(())
+                }
+                ("sinks", _) => Err(err(lineno, "`sinks` must be an array of strings")),
+                ("resolve", Value::Array(v)) => {
+                    for entry in &v {
+                        let (key, target) = parse_resolve_entry(entry, lineno)?;
+                        self.callgraph.resolve.insert(key, target);
+                    }
+                    Ok(())
+                }
+                ("resolve", _) => Err(err(lineno, "`resolve` must be an array of strings")),
+                (other, _) => Err(err(lineno, format!("unknown key `{other}` in [callgraph]"))),
             },
             Some(t) if t.starts_with("rules.") => {
                 let id = &t["rules.".len()..];
@@ -387,6 +474,38 @@ required = ["#![warn(missing_docs)]"]
     fn crate_cannot_be_both_scanned_and_exempt() {
         let e = Policy::parse("[audit]\ncrates = [\"a\", \"b\"]\nexempt = [\"b\"]\n").unwrap_err();
         assert!(e.message.contains("both scanned"), "{e}");
+    }
+
+    #[test]
+    fn callgraph_table_parses_sinks_and_resolve() {
+        let p = Policy::parse(
+            "[audit]\ncrates = [\"a\"]\n[callgraph]\n\
+             sinks = [\"ProtocolDriver::on_event\", \"calls:WorkScheduler::drain\"]\n\
+             resolve = [\n  \"go/1 -> x::go\",  # comment\n  \"step/2 -> *\",\n  \"len/1 -> external\",\n]\n",
+        )
+        .unwrap();
+        assert_eq!(p.callgraph.sinks.len(), 2);
+        assert_eq!(
+            p.callgraph.resolve_for("go", 1),
+            Some(&ResolveTarget::To("x::go".into()))
+        );
+        assert_eq!(
+            p.callgraph.resolve_for("step", 2),
+            Some(&ResolveTarget::All)
+        );
+        assert_eq!(
+            p.callgraph.resolve_for("len", 1),
+            Some(&ResolveTarget::External)
+        );
+        assert_eq!(p.callgraph.resolve_for("go", 2), None);
+    }
+
+    #[test]
+    fn malformed_resolve_entry_is_a_line_diagnostic() {
+        let e = Policy::parse("[audit]\ncrates = [\"a\"]\n[callgraph]\nresolve = [\"nope\"]\n")
+            .unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("name/arity -> target"), "{e}");
     }
 
     #[test]

@@ -22,21 +22,46 @@ pub struct Finding {
     pub line: usize,
     /// Human explanation.
     pub message: String,
+    /// For reachability-scoped rules (`ND101`, ...): the sink→source
+    /// call chain, one `id (file:line)` hop per element, sink root
+    /// first. Empty for file-scoped rules.
+    pub chain: Vec<String>,
+}
+
+impl Finding {
+    /// A chainless (file-scoped) finding.
+    pub fn new(rule: &'static str, path: &str, line: usize, message: String) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+            chain: Vec::new(),
+        }
+    }
 }
 
 impl fmt::Display for Finding {
+    /// `file:line: RULE msg` head line, then one indented line per
+    /// call-chain hop (sink root first, `->`-prefixed below it).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
             "{}:{}: {} {}",
             self.path, self.line, self.rule, self.message
-        )
+        )?;
+        for (i, hop) in self.chain.iter().enumerate() {
+            let arrow = if i == 0 { "" } else { "-> " };
+            write!(f, "\n    {arrow}{hop}")?;
+        }
+        Ok(())
     }
 }
 
 /// Ids of every token-level rule, in reporting order. `AH001` is file-level
-/// (crate headers) and lives in [`crate::scan`].
-pub const TOKEN_RULES: [&str; 5] = ["ND001", "ND002", "ND003", "PH001", "FD001"];
+/// (crate headers) and lives in [`crate::scan`]; the reachability-scoped
+/// rules (`ND101`...) live in [`crate::taint`].
+pub const TOKEN_RULES: [&str; 6] = ["ND001", "ND002", "ND003", "PH001", "FD001", "AR001"];
 
 /// Token index spans (half-open) covered by `#[cfg(test)] mod ... { }`.
 ///
@@ -129,12 +154,7 @@ pub fn apply_token_rule(
     let spans = test_spans(tokens);
     let mut findings = Vec::new();
     let mut emit = |line: usize, message: String| {
-        findings.push(Finding {
-            rule,
-            path: path.to_string(),
-            line,
-            message,
-        })
+        findings.push(Finding::new(rule, path, line, message));
     };
     match rule {
         "ND001" => {
@@ -168,54 +188,11 @@ pub fn apply_token_rule(
             }
         }
         "ND003" => {
-            let names = hash_typed_names(tokens);
-            const ITERS: [&str; 8] = [
-                "iter",
-                "iter_mut",
-                "keys",
-                "values",
-                "values_mut",
-                "drain",
-                "into_keys",
-                "into_values",
-            ];
-            for i in 0..tokens.len() {
-                if in_spans(&spans, i) {
+            for site in hash_iteration_sites(tokens) {
+                if in_spans(&spans, site.index) {
                     continue;
                 }
-                // `name . method (` where `name` has a hash-container type.
-                if i + 3 < tokens.len()
-                    && tokens[i].kind == TokenKind::Ident
-                    && tokens[i + 1].is_punct(".")
-                    && tokens[i + 2].kind == TokenKind::Ident
-                    && tokens[i + 3].is_punct("(")
-                    && names.iter().any(|n| n == &tokens[i].text)
-                    && ITERS.iter().any(|m| tokens[i + 2].is_ident(m))
-                {
-                    emit(
-                        tokens[i].line,
-                        format!(
-                            "iteration `.{}()` over hash container `{}` — {}",
-                            tokens[i + 2].text,
-                            tokens[i].text,
-                            policy.description
-                        ),
-                    );
-                }
-                // `for <pat> in [&][mut] name {` over a hash container.
-                if tokens[i].is_ident("for") {
-                    if let Some(j) = find_for_target(tokens, i) {
-                        if names.iter().any(|n| n == &tokens[j].text) {
-                            emit(
-                                tokens[j].line,
-                                format!(
-                                    "`for` loop over hash container `{}` — {}",
-                                    tokens[j].text, policy.description
-                                ),
-                            );
-                        }
-                    }
-                }
+                emit(site.line, format!("{} — {}", site.what, policy.description));
             }
         }
         "PH001" => {
@@ -242,6 +219,20 @@ pub fn apply_token_rule(
                         format!("`{}!` in protocol code — {}", t.text, policy.description),
                     );
                 }
+            }
+        }
+        "AR001" => {
+            let types = policy
+                .lists
+                .get("types")
+                .cloned()
+                .unwrap_or_else(|| vec!["SimTime".to_string()]);
+            let idents = policy.lists.get("idents").cloned().unwrap_or_default();
+            for site in unchecked_arith_sites(tokens, &types, &idents) {
+                if in_spans(&spans, site.index) {
+                    continue;
+                }
+                emit(site.line, format!("{} — {}", site.what, policy.description));
             }
         }
         "FD001" => {
@@ -276,35 +267,156 @@ pub fn apply_token_rule(
 // A rule id outside TOKEN_RULES is a programming error in the scanner, not
 // a data error — but the audit must never panic, so surface it as text.
 fn unreachable_rule(rule: &str) -> Vec<Finding> {
-    vec![Finding {
-        rule: "AUDIT",
-        path: String::new(),
-        line: 0,
-        message: format!("internal error: unknown token rule id `{rule}`"),
-    }]
+    vec![Finding::new(
+        "AUDIT",
+        "",
+        0,
+        format!("internal error: unknown token rule id `{rule}`"),
+    )]
 }
 
 fn is_float_token(t: &Token) -> bool {
     matches!(t.kind, TokenKind::Number { is_float: true })
 }
 
-/// Collects identifiers declared (as `let` bindings, fields or parameters)
-/// with a `HashMap`/`HashSet` type, plus `HashMap::new()`-style bindings.
-fn hash_typed_names(tokens: &[Token]) -> Vec<String> {
+/// One matched site within a token stream: shared currency between the
+/// file-scoped rules here and the reachability-scoped rules in
+/// [`crate::taint`], which filters sites by function-body span instead of
+/// by test span.
+#[derive(Clone, Debug)]
+pub struct Site {
+    /// Token index of the match (for span filtering).
+    pub index: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// What matched, message-ready (`"iteration `.keys()` over ..."`).
+    pub what: String,
+}
+
+/// ND003/ND103 detector: iteration over names declared with a
+/// `HashMap`/`HashSet` type (method iteration and `for` loops).
+pub fn hash_iteration_sites(tokens: &[Token]) -> Vec<Site> {
+    let names = hash_typed_names(tokens);
+    const ITERS: [&str; 8] = [
+        "iter",
+        "iter_mut",
+        "keys",
+        "values",
+        "values_mut",
+        "drain",
+        "into_keys",
+        "into_values",
+    ];
+    let mut sites = Vec::new();
+    for i in 0..tokens.len() {
+        // `name . method (` where `name` has a hash-container type.
+        if i + 3 < tokens.len()
+            && tokens[i].kind == TokenKind::Ident
+            && tokens[i + 1].is_punct(".")
+            && tokens[i + 2].kind == TokenKind::Ident
+            && tokens[i + 3].is_punct("(")
+            && names.iter().any(|n| n == &tokens[i].text)
+            && ITERS.iter().any(|m| tokens[i + 2].is_ident(m))
+        {
+            sites.push(Site {
+                index: i,
+                line: tokens[i].line,
+                what: format!(
+                    "iteration `.{}()` over hash container `{}`",
+                    tokens[i + 2].text,
+                    tokens[i].text
+                ),
+            });
+        }
+        // `for <pat> in [&][mut] name {` over a hash container.
+        if tokens[i].is_ident("for") {
+            if let Some(j) = find_for_target(tokens, i) {
+                if names.iter().any(|n| n == &tokens[j].text) {
+                    sites.push(Site {
+                        index: j,
+                        line: tokens[j].line,
+                        what: format!("`for` loop over hash container `{}`", tokens[j].text),
+                    });
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// AR001 detector: bare `+`/`-`/`*` where either operand is a name with a
+/// guarded type ascription (`types`, e.g. `SimTime`) or a guarded counter
+/// name (`idents`, e.g. `epoch`). Guarded arithmetic must go through the
+/// `saturating_*`/`checked_*` methods, which carry no bare operator.
+pub fn unchecked_arith_sites(tokens: &[Token], types: &[String], idents: &[String]) -> Vec<Site> {
+    let mut guarded = typed_names(tokens, types);
+    for extra in idents {
+        if !guarded.iter().any(|g| g == extra) {
+            guarded.push(extra.clone());
+        }
+    }
+    if guarded.is_empty() {
+        return Vec::new();
+    }
+    let mut sites = Vec::new();
+    for i in 1..tokens.len() {
+        let t = &tokens[i];
+        if !(t.is_punct("+") || t.is_punct("-") || t.is_punct("*")) {
+            continue;
+        }
+        // Binary position only: the left neighbour must be a value end
+        // (name, literal, `)`/`]`), never `=`/`(`/`,`/operator — that
+        // excludes unary minus, deref `*p` and `&`-of.
+        let prev = &tokens[i - 1];
+        let value_end = prev.kind == TokenKind::Ident
+            || matches!(prev.kind, TokenKind::Number { .. })
+            || prev.is_punct(")")
+            || prev.is_punct("]");
+        if !value_end {
+            continue;
+        }
+        let left_hit = prev.kind == TokenKind::Ident && guarded.iter().any(|g| g == &prev.text);
+        let right_hit = tokens
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokenKind::Ident && guarded.iter().any(|g| g == &n.text));
+        if left_hit || right_hit {
+            let name = if left_hit {
+                &prev.text
+            } else {
+                &tokens[i + 1].text
+            };
+            sites.push(Site {
+                index: i,
+                line: t.line,
+                what: format!(
+                    "unchecked `{}` on guarded counter `{}` (use `saturating_*`/`checked_*`)",
+                    t.text, name
+                ),
+            });
+        }
+    }
+    sites
+}
+
+/// Names declared (via `:` ascription or `let ... = Type...`) with any of
+/// the given type names — the generic engine behind [`hash_typed_names`]
+/// and the AR001 guarded-type tracking.
+fn typed_names(tokens: &[Token], types: &[String]) -> Vec<String> {
     let mut names = Vec::new();
     let mut push = |s: &str| {
         if !names.iter().any(|n| n == s) {
             names.push(s.to_string());
         }
     };
+    let is_type = |t: &Token| t.kind == TokenKind::Ident && types.iter().any(|y| y == &t.text);
     for i in 0..tokens.len() {
-        // `name : [path ::] HashMap/HashSet` — fields, params, ascriptions.
+        // `name : [path ::] Type` — fields, params, ascriptions.
         if tokens[i].kind == TokenKind::Ident && tokens.get(i + 1).is_some_and(|t| t.is_punct(":"))
         {
             let mut j = i + 2;
             let mut hops = 0;
             while j < tokens.len() && hops < 8 {
-                if tokens[j].is_ident("HashMap") || tokens[j].is_ident("HashSet") {
+                if is_type(&tokens[j]) {
                     push(&tokens[i].text);
                     break;
                 }
@@ -317,7 +429,7 @@ fn hash_typed_names(tokens: &[Token]) -> Vec<String> {
                 }
             }
         }
-        // `let [mut] name = ... HashMap/HashSet ... ;` (constructor calls).
+        // `let [mut] name = ... Type ... ;` (constructor calls).
         if tokens[i].is_ident("let") {
             let mut j = i + 1;
             if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
@@ -330,9 +442,21 @@ fn hash_typed_names(tokens: &[Token]) -> Vec<String> {
             if !tokens.get(j + 1).is_some_and(|t| t.is_punct("=")) {
                 continue; // typed `let` handled by the `:` pattern above
             }
+            // Only the initializer's top nesting level names the binding's
+            // type (`let t = SimTime::from_nanos(x)`); a type mentioned
+            // inside nested braces/parens (`let b = Block { at: SimTime::ZERO }`)
+            // types a *field*, not the binding.
             let mut k = j + 2;
-            while k < tokens.len() && !tokens[k].is_punct(";") {
-                if tokens[k].is_ident("HashMap") || tokens[k].is_ident("HashSet") {
+            let mut depth = 0i32;
+            while k < tokens.len() {
+                let t = &tokens[k];
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(";") {
+                    break;
+                } else if depth == 0 && is_type(t) {
                     push(&name.text);
                     break;
                 }
@@ -341,6 +465,12 @@ fn hash_typed_names(tokens: &[Token]) -> Vec<String> {
         }
     }
     names
+}
+
+/// Collects identifiers declared (as `let` bindings, fields or parameters)
+/// with a `HashMap`/`HashSet` type, plus `HashMap::new()`-style bindings.
+fn hash_typed_names(tokens: &[Token]) -> Vec<String> {
+    typed_names(tokens, &["HashMap".to_string(), "HashSet".to_string()])
 }
 
 /// For a `for` token at `i`, finds the index of the loop-target identifier
@@ -464,6 +594,62 @@ mod tests {
         assert_eq!(f.len(), 2, "{f:?}");
         let g = run("FD001", "fn f(x: u64) -> bool { x == 5 }");
         assert!(g.is_empty(), "{g:?}");
+    }
+
+    #[test]
+    fn ar001_flags_bare_arithmetic_on_guarded_types() {
+        let src = "
+            fn f(now: SimTime, delta: u64) -> SimTime {
+                let later = now + delta;
+                later
+            }
+            fn g(now: SimTime, delta: u64) -> SimTime {
+                now.saturating_add(delta)
+            }
+        ";
+        let f = run("AR001", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains('+'), "{f:?}");
+        assert!(f[0].message.contains("now"), "{f:?}");
+    }
+
+    #[test]
+    fn ar001_tracks_policy_idents_and_skips_unary_contexts() {
+        let mut pol = rule("no bare arith");
+        pol.lists
+            .insert("idents".to_string(), vec!["epoch".to_string()]);
+        pol.lists.insert("types".to_string(), Vec::new());
+        let src = "
+            fn f(epoch: u64) -> u64 { epoch + 1 }
+            fn g(epoch: u64) -> u64 { epoch.saturating_add(1) }
+            fn h(p: &u64) -> u64 { *p }
+            fn neg(x: i64) -> i64 { -x }
+        ";
+        let f = apply_token_rule("AR001", &pol, "x.rs", &lex(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn ar001_is_silent_without_guarded_operands() {
+        let f = run("AR001", "fn f(a: u64, b: u64) -> u64 { a + b * 2 }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn finding_display_renders_call_chain_hops() {
+        let mut f = Finding::new("ND101", "crates/x/src/a.rs", 7, "wall clock".to_string());
+        f.chain = vec![
+            "cshard_x::a::Driver::on_event (crates/x/src/a.rs:3)".to_string(),
+            "cshard_x::a::helper (called at crates/x/src/a.rs:5)".to_string(),
+        ];
+        let s = f.to_string();
+        assert!(
+            s.starts_with("crates/x/src/a.rs:7: ND101 wall clock\n"),
+            "{s}"
+        );
+        assert!(s.contains("\n    cshard_x::a::Driver::on_event"), "{s}");
+        assert!(s.contains("\n    -> cshard_x::a::helper"), "{s}");
     }
 
     #[test]

@@ -1,8 +1,16 @@
 //! Walking the workspace and applying the policy.
+//!
+//! Each policy-listed crate's `.rs` files are read and lexed **once**
+//! into [`FileTokens`]; the file-scoped token rules run over each
+//! stream, then the three interprocedural passes run over all of them
+//! together: symbol table ([`crate::symbols`]), call graph
+//! ([`crate::callgraph`]) and taint propagation ([`crate::taint`]).
 
-use crate::lexer::lex;
+use crate::callgraph::{AmbiguousCall, CallGraph, GraphStats};
 use crate::policy::Policy;
 use crate::rules::{apply_token_rule, Finding, TOKEN_RULES};
+use crate::symbols::{FileTokens, SymbolTable};
+use crate::taint;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -13,6 +21,15 @@ pub struct ScanReport {
     pub findings: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Call-graph resolution statistics.
+    pub stats: GraphStats,
+    /// Protocol sink roots the taint pass started from.
+    pub sink_roots: usize,
+    /// Functions reachable from any sink root (roots included).
+    pub reachable: usize,
+    /// Calls the resolver could not settle — a `[callgraph] resolve`
+    /// override is required; the binary treats these as setup errors.
+    pub ambiguous: Vec<AmbiguousCall>,
 }
 
 /// Scans every policy-listed crate under `root` and returns the findings.
@@ -22,16 +39,29 @@ pub struct ScanReport {
 /// gate's job is to fail loudly with diagnostics, not to crash.
 pub fn scan_workspace(root: &Path, policy: &Policy) -> ScanReport {
     let mut report = ScanReport::default();
+    let mut file_tokens: Vec<FileTokens> = Vec::new();
     for krate in &policy.crates {
         let src_dir = root.join("crates").join(krate).join("src");
         let mut files = Vec::new();
         collect_rs_files(&src_dir, &mut files, &mut report.findings);
         files.sort();
         for file in files {
-            scan_file(root, krate, &file, policy, &mut report);
+            if let Some(ft) = scan_file(root, krate, &file, policy, &mut report) {
+                file_tokens.push(ft);
+            }
         }
         check_crate_headers(root, krate, policy, &mut report.findings);
     }
+    // Interprocedural passes over every scanned file at once — symbols
+    // and edges cross crate boundaries, so they cannot run per-crate.
+    let symbols = SymbolTable::build(&file_tokens);
+    let graph = CallGraph::build(&file_tokens, &symbols, &policy.callgraph);
+    let taint = taint::analyze(&file_tokens, &symbols, &graph, policy);
+    report.stats = graph.stats;
+    report.ambiguous = graph.ambiguous;
+    report.sink_roots = taint.sink_roots.len();
+    report.reachable = taint.reachable;
+    report.findings.extend(taint.findings);
     report
         .findings
         .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
@@ -63,17 +93,25 @@ pub fn uncovered_crates(root: &Path, policy: &Policy) -> Vec<String> {
     uncovered
 }
 
-fn scan_file(root: &Path, krate: &str, file: &Path, policy: &Policy, report: &mut ScanReport) {
+/// Reads, lexes and token-rule-checks one file; returns its tokens for
+/// the interprocedural passes (or `None` when unreadable).
+fn scan_file(
+    root: &Path,
+    krate: &str,
+    file: &Path,
+    policy: &Policy,
+    report: &mut ScanReport,
+) -> Option<FileTokens> {
     let rel = workspace_relative(root, file);
     let source = match fs::read_to_string(file) {
         Ok(s) => s,
         Err(e) => {
             report.findings.push(io_finding(&rel, e));
-            return;
+            return None;
         }
     };
     report.files_scanned += 1;
-    let tokens = lex(&source);
+    let ft = FileTokens::new(krate, &rel, &source);
     for rule in TOKEN_RULES {
         let Some(rp) = policy.rules.get(rule) else {
             continue; // a rule absent from the policy is switched off
@@ -83,8 +121,9 @@ fn scan_file(root: &Path, krate: &str, file: &Path, policy: &Policy, report: &mu
         }
         report
             .findings
-            .extend(apply_token_rule(rule, rp, &rel, &tokens));
+            .extend(apply_token_rule(rule, rp, &rel, &ft.tokens));
     }
+    Some(ft)
 }
 
 /// AH001: every protocol crate's `src/lib.rs` must carry the lint headers
@@ -118,15 +157,15 @@ fn check_crate_headers(root: &Path, krate: &str, policy: &Policy, findings: &mut
     }
     for header in required {
         if !source.contains(header.as_str()) {
-            findings.push(Finding {
-                rule: "AH001",
-                path: rel.clone(),
-                line: 1,
-                message: format!(
+            findings.push(Finding::new(
+                "AH001",
+                &rel,
+                1,
+                format!(
                     "missing required crate header `{header}` — {}",
                     rp.description
                 ),
-            });
+            ));
         }
     }
 }
@@ -150,12 +189,7 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>, findings: &mut Vec<Findi
 }
 
 fn io_finding(path: &str, e: std::io::Error) -> Finding {
-    Finding {
-        rule: "AUDIT",
-        path: path.to_string(),
-        line: 0,
-        message: format!("io error: {e}"),
-    }
+    Finding::new("AUDIT", path, 0, format!("io error: {e}"))
 }
 
 fn workspace_relative(root: &Path, file: &Path) -> String {

@@ -1,0 +1,8 @@
+// AR001 fail fixture: bare arithmetic on a guarded time type.
+pub fn deadline(now: SimTime, delay: SimTime) -> SimTime {
+    now + delay
+}
+
+pub fn backdate(t: SimTime) -> SimTime {
+    t - SimTime::from_secs(1)
+}

@@ -1,0 +1,12 @@
+// CL001 fail fixture: a lossy narrowing `as` cast below a sink.
+pub struct Stage;
+
+impl PipelineStage for Stage {
+    fn run(&mut self, ctx: u64) -> u32 {
+        shrink(ctx)
+    }
+}
+
+fn shrink(v: u64) -> u32 {
+    v as u32
+}

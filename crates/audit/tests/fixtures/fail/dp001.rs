@@ -1,0 +1,9 @@
+// DP001 fail fixture: a live call to a deprecated workspace item.
+#[deprecated(note = "use schedule_v2")]
+pub fn schedule(v: u64) -> u64 {
+    v
+}
+
+pub fn caller(v: u64) -> u64 {
+    schedule(v)
+}

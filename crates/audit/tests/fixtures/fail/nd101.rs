@@ -1,0 +1,17 @@
+// ND101 fail fixture: a wall clock two hops below a protocol sink.
+pub struct Driver;
+
+impl ProtocolDriver for Driver {
+    fn on_event(&mut self, ev: u64) -> u64 {
+        helper(ev)
+    }
+}
+
+fn helper(ev: u64) -> u64 {
+    stamp().wrapping_add(ev)
+}
+
+fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs()
+}

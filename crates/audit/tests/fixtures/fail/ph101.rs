@@ -1,0 +1,16 @@
+// PH101 fail fixture: an `unwrap` one hop below a pipeline-stage sink.
+pub struct Stage;
+
+impl PipelineStage for Stage {
+    fn run(&mut self, ctx: u32) -> u32 {
+        decode(ctx)
+    }
+}
+
+fn decode(v: u32) -> u32 {
+    checked(v).unwrap()
+}
+
+fn checked(v: u32) -> Option<u32> {
+    v.checked_add(1)
+}

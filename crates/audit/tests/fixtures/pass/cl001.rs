@@ -1,0 +1,17 @@
+// CL001 pass fixture: narrowing goes through try_from; widening casts
+// are not narrowing and stay legal.
+pub struct Stage;
+
+impl PipelineStage for Stage {
+    fn run(&mut self, ctx: u64) -> u32 {
+        shrink(ctx)
+    }
+}
+
+fn shrink(v: u64) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
+fn widen(v: u32) -> u64 {
+    v as u64
+}

@@ -1,0 +1,14 @@
+// DP001 pass fixture: the deprecated shim still exists but nothing
+// calls it any more.
+#[deprecated(note = "use schedule_v2")]
+pub fn schedule(v: u64) -> u64 {
+    schedule_v2(v)
+}
+
+pub fn schedule_v2(v: u64) -> u64 {
+    v
+}
+
+pub fn caller(v: u64) -> u64 {
+    schedule_v2(v)
+}

@@ -1,0 +1,17 @@
+// ND101 pass fixture: the sink path is clock-free; a wall clock in a fn
+// no sink can reach stays legal (the rule is reachability-scoped).
+pub struct Driver;
+
+impl ProtocolDriver for Driver {
+    fn on_event(&mut self, ev: u64) -> u64 {
+        helper(ev)
+    }
+}
+
+fn helper(ev: u64) -> u64 {
+    ev.wrapping_add(1)
+}
+
+pub fn diagnostics_only() -> u64 {
+    std::time::Instant::now().elapsed().as_secs()
+}

@@ -1,0 +1,21 @@
+// PH101 pass fixture: the sink path degrades gracefully; an `unwrap` in
+// a fn no sink can reach stays legal (the rule is reachability-scoped).
+pub struct Stage;
+
+impl PipelineStage for Stage {
+    fn run(&mut self, ctx: u32) -> u32 {
+        decode(ctx)
+    }
+}
+
+fn decode(v: u32) -> u32 {
+    checked(v).unwrap_or(0)
+}
+
+fn checked(v: u32) -> Option<u32> {
+    v.checked_add(1)
+}
+
+pub fn offline_tool(v: u32) -> u32 {
+    checked(v).unwrap()
+}

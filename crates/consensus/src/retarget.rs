@@ -43,7 +43,7 @@ pub fn converge(start: Difficulty, hashrate: f64, blocks: usize) -> (Difficulty,
     let mut now = SimTime::ZERO;
     for _ in 0..blocks {
         let interval = d.expected_interval(hashrate);
-        let t_next = now + interval;
+        let t_next = now.saturating_add(interval);
         d = next_difficulty(d, now, t_next);
         now = t_next;
     }

@@ -77,7 +77,9 @@ impl PipelineStage for MergeStage {
             .collect();
         let params = UnifiedParameters::from_randomness(
             ctx.randomness,
-            (0..groups.len() as u32).map(MinerId::new).collect(),
+            (0..u32::try_from(groups.len()).unwrap_or(u32::MAX))
+                .map(MinerId::new)
+                .collect(),
             GameInputs::Merge {
                 shard_sizes,
                 config: *mcfg,

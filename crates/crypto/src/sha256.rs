@@ -58,10 +58,9 @@ impl Sha256 {
     /// Absorbs `data` into the hash state.
     pub fn update(&mut self, data: impl AsRef<[u8]>) -> &mut Self {
         let mut data = data.as_ref();
-        self.total_len = self
-            .total_len
-            .checked_add(data.len() as u64)
-            .expect("message longer than 2^64 bytes");
+        // FIPS 180-4 defines the length field modulo 2^64, so wrapping is
+        // the spec behaviour (and keeps this path panic-free).
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
 
         // Fill a partially full buffer first.
         if self.buffer_len > 0 {
@@ -83,7 +82,7 @@ impl Sha256 {
         // Whole blocks straight from the input.
         let mut chunks = data.chunks_exact(64);
         for block in &mut chunks {
-            self.compress(block.try_into().expect("chunk is 64 bytes"));
+            self.compress(&block_64(block));
         }
 
         // Stash the tail.
@@ -95,10 +94,8 @@ impl Sha256 {
 
     /// Finishes the hash and returns the digest.
     pub fn finalize(mut self) -> Hash32 {
-        let bit_len = self
-            .total_len
-            .checked_mul(8)
-            .expect("message longer than 2^61 bytes");
+        // Wrapping by the same FIPS 180-4 modulo-2^64 rule as `update`.
+        let bit_len = self.total_len.wrapping_mul(8);
 
         // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
         let mut pad = [0u8; 128];
@@ -120,7 +117,7 @@ impl Sha256 {
             data = &data[take..];
         }
         for block in data.chunks_exact(64) {
-            self.compress(block.try_into().expect("chunk is 64 bytes"));
+            self.compress(&block_64(block));
         }
 
         let mut out = [0u8; 32];
@@ -134,7 +131,7 @@ impl Sha256 {
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
@@ -178,6 +175,13 @@ impl Sha256 {
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
     }
+}
+
+/// Copies a 64-byte slice (from `chunks_exact(64)`) into a fixed array.
+fn block_64(block: &[u8]) -> [u8; 64] {
+    let mut b = [0u8; 64];
+    b.copy_from_slice(block);
+    b
 }
 
 /// One-shot SHA-256 of `data`.

@@ -26,14 +26,11 @@ impl Amount {
 
     /// Builds an amount from whole coins.
     ///
-    /// # Panics
-    /// Panics if `coins * 10^9` overflows `u64`.
+    /// Saturates at [`u64::MAX`] base units if `coins * 10^9` overflows —
+    /// configuration-scale inputs never get near that, and saturation keeps
+    /// this constructor off the panic path.
     pub fn from_coins(coins: u64) -> Self {
-        Amount(
-            coins
-                .checked_mul(Self::COIN.0)
-                .expect("coin amount overflows u64"),
-        )
+        Amount(coins.saturating_mul(Self::COIN.0))
     }
 
     /// Raw base units.

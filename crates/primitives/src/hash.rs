@@ -30,7 +30,7 @@ impl Hash32 {
     /// Handy for mapping a hash to a number, e.g. PoW target comparison or
     /// deriving a pseudo-random index.
     pub fn leading_u64(&self) -> u64 {
-        u64::from_be_bytes(self.0[..8].try_into().expect("slice is 8 bytes"))
+        be_u64(&self.0, 0)
     }
 
     /// Interprets the whole hash modulo `n` (for `n > 0`).
@@ -39,8 +39,8 @@ impl Hash32 {
     /// `n` (bias < 2^-64 for n < 2^64).
     pub fn mod_u64(&self, n: u64) -> u64 {
         assert!(n > 0, "modulus must be positive");
-        let hi = u64::from_be_bytes(self.0[..8].try_into().expect("8 bytes")) as u128;
-        let lo = u64::from_be_bytes(self.0[8..16].try_into().expect("8 bytes")) as u128;
+        let hi = be_u64(&self.0, 0) as u128;
+        let lo = be_u64(&self.0, 8) as u128;
         let wide = (hi << 64) | lo;
         (wide % n as u128) as u64
     }
@@ -71,6 +71,13 @@ impl Hash32 {
         let arr: [u8; 32] = bytes.try_into().ok()?;
         Some(Hash32(arr))
     }
+}
+
+/// Big-endian `u64` from 8 bytes of the digest starting at `offset`.
+fn be_u64(bytes: &[u8; 32], offset: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[offset..offset + 8]);
+    u64::from_be_bytes(b)
 }
 
 impl fmt::Display for Hash32 {

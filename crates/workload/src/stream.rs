@@ -241,7 +241,7 @@ impl TxStream {
             None => return 0,
         };
         let u = self.shape.unit() * total;
-        self.contract_cdf.partition_point(|&c| c < u) as u32
+        u32::try_from(self.contract_cdf.partition_point(|&c| c < u)).unwrap_or(u32::MAX)
     }
 
     /// Users per contract community (at least 1).

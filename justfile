@@ -8,9 +8,25 @@ verify:
     cargo clippy --workspace --all-targets -- -D warnings
 
 # Determinism & safety lint over every workspace crate (policy.toml is the
-# policy table; exit 1 on findings, each printed as `file:line: RULE message`).
+# policy table; exit 1 on findings, each printed as `file:line: RULE message`
+# followed by the source→…→sink call chain for the reachability rules).
 audit:
     cargo run --release -p cshard-audit
+
+# Audit plus the stable JSON report, gated against the committed baseline
+# (any new finding or a >2% call-resolution drop fails). This is what CI runs.
+audit-json:
+    cargo run --release -p cshard-audit -- \
+        --json /tmp/AUDIT_report.json \
+        --baseline results/audit/AUDIT_baseline.json
+    @echo "wrote /tmp/AUDIT_report.json"
+
+# Regenerate the committed audit baseline after deliberately accepting a new
+# finding or call-graph shape. Review the diff before committing.
+audit-baseline:
+    -cargo run --release -p cshard-audit -- \
+        --json results/audit/AUDIT_baseline.json
+    git diff --stat results/audit/AUDIT_baseline.json
 
 # Quick-mode run of the golden experiments, diffed against results/golden.
 golden:
