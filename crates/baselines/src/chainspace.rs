@@ -20,7 +20,8 @@ use cshard_ledger::Transaction;
 use cshard_network::{CommKind, CommStats, LatencyModel};
 use cshard_primitives::{Error, ShardId, SimTime};
 use cshard_runtime::{
-    ContractShardDriver, Ctx, Event, ProtocolDriver, RuntimeConfig, ShardReport, ShardSpec,
+    Batch, ContractShardDriver, Ctx, Event, FlushOutcome, ProtocolDriver, RuntimeConfig,
+    SettleStats, SettlementBatcher, ShardReport, ShardSpec, Submit,
 };
 use cshard_sim::SimRng;
 use rand::{Rng, SeedableRng};
@@ -130,6 +131,12 @@ impl ChainspacePlacement {
     /// transactions as scheduled events, booking each round into the
     /// run's `CommStats` as it fires. `fees` are the workload's fees by
     /// global transaction index; `latency` spaces the validation rounds.
+    ///
+    /// When `config.settle` enables batching, the per-round booking is
+    /// replaced by crosslink settlement: the commit still runs its two
+    /// rounds, but the cross-shard messaging toward each foreign shard is
+    /// handed to a [`SettlementBatcher`] and ships one
+    /// [`CommKind::Crosslink`] per flushed batch.
     pub fn drivers(
         &self,
         fees: &[u64],
@@ -142,14 +149,34 @@ impl ChainspacePlacement {
             .map(|(s, idxs)| {
                 let shard = ShardId::new(s as u32);
                 let local_fees: Vec<u64> = idxs.iter().map(|&i| fees[i]).collect();
-                let cross: Vec<usize> = idxs
+                let cross: Vec<CrossTx> = idxs
                     .into_iter()
                     .filter(|&i| self.is_cross_shard(i))
+                    .map(|i| CrossTx {
+                        tx: i,
+                        foreign: self.touched[i]
+                            .iter()
+                            .copied()
+                            .filter(|&t| t != self.home_shard[i])
+                            .collect(),
+                    })
                     .collect();
                 ChainspaceDriver::new(shard, local_fees, cross, config, latency)
             })
             .collect()
     }
+}
+
+/// One cross-shard transaction homed at a driver's shard: its global
+/// workload index and the foreign shards its inputs touch (home
+/// excluded). The foreign list is what the batched settlement path keys
+/// its per-destination crosslinks by.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrossTx {
+    /// Global transaction index in the workload.
+    pub tx: usize,
+    /// Foreign input shards (deduplicated, home shard excluded).
+    pub foreign: Vec<ShardId>,
 }
 
 /// One ChainSpace shard as a [`ProtocolDriver`]: home-queue mining plus
@@ -168,8 +195,8 @@ impl ChainspacePlacement {
 pub struct ChainspaceDriver {
     mining: ContractShardDriver,
     shard: ShardId,
-    /// Global indices of the cross-shard transactions homed here.
-    cross_txs: Vec<usize>,
+    /// Cross-shard transactions homed here (sorted by global index).
+    cross_txs: Vec<CrossTx>,
     latency: LatencyModel,
     /// Round-spacing stream, derived from `(seed, shard)` by the PRF —
     /// independent of the mining streams, so validation never perturbs
@@ -178,15 +205,21 @@ pub struct ChainspaceDriver {
     /// Protocol events still owed before the shard's 2PC work is done.
     outstanding: usize,
     rounds_recorded: u64,
+    /// Batched settlement (`Some` iff the run's settle config enables
+    /// it). `None` keeps the per-round booking path byte-identical to the
+    /// pre-settlement driver.
+    settle: Option<SettlementBatcher>,
+    /// Crosslinks shipped, in flush order (batched mode only).
+    settled: Vec<Batch>,
 }
 
 impl ChainspaceDriver {
-    /// A shard driver over its home-queue `fees` (local order) and the
-    /// global indices of its cross-shard transactions.
+    /// A shard driver over its home-queue `fees` (local order) and its
+    /// cross-shard transactions.
     pub fn new(
         shard: ShardId,
         fees: Vec<u64>,
-        cross_txs: Vec<usize>,
+        cross_txs: Vec<CrossTx>,
         config: &RuntimeConfig,
         latency: LatencyModel,
     ) -> ChainspaceDriver {
@@ -196,6 +229,10 @@ impl ChainspaceDriver {
             *prf.eval("chainspace-2pc-v1", shard.0.to_be_bytes())
                 .as_bytes(),
         );
+        let settle = config
+            .settle
+            .enabled
+            .then(|| SettlementBatcher::new(shard, &config.settle));
         ChainspaceDriver {
             mining: ContractShardDriver::new(&spec, config),
             shard,
@@ -204,17 +241,59 @@ impl ChainspaceDriver {
             vrng,
             outstanding: 0,
             rounds_recorded: 0,
+            settle,
+            settled: Vec::new(),
         }
     }
 
     /// Communication rounds this driver has booked so far (2 per
-    /// cross-shard transaction once the run completes).
+    /// cross-shard transaction once the run completes; always 0 in
+    /// batched mode, where crosslinks carry the messaging instead).
     pub fn rounds_recorded(&self) -> u64 {
         self.rounds_recorded
     }
 
+    /// Crosslink batches this shard shipped (empty when settlement is
+    /// disabled).
+    pub fn settled_batches(&self) -> &[Batch] {
+        &self.settled
+    }
+
+    /// Installs partition blackout windows toward `dest` on the batched
+    /// settlement path (no-op when settlement is disabled).
+    pub fn set_blackouts(&mut self, dest: ShardId, windows: Vec<(SimTime, SimTime)>) {
+        if let Some(b) = self.settle.as_mut() {
+            b.set_blackouts(dest, windows);
+        }
+    }
+
     fn round_delay(&mut self) -> SimTime {
         self.latency.delay(self.vrng.unit())
+    }
+
+    /// Books one crosslink for a flushed batch and logs it.
+    fn ship(&mut self, batch: Batch, ctx: &mut Ctx) {
+        ctx.comm().record(self.shard, CommKind::Crosslink);
+        self.settled.push(batch);
+    }
+
+    /// Final-round hook in batched mode: hand the committed transaction's
+    /// messaging toward each foreign shard to the batcher.
+    fn submit_transfers(&mut self, now: SimTime, tx: usize, ctx: &mut Ctx) {
+        let Ok(slot) = self.cross_txs.binary_search_by_key(&tx, |c| c.tx) else {
+            return;
+        };
+        let foreign = self.cross_txs[slot].foreign.clone();
+        for dest in foreign {
+            let Some(batcher) = self.settle.as_mut() else {
+                return;
+            };
+            match batcher.submit(now, dest, tx as u64) {
+                Submit::Queued => {}
+                Submit::Arm(at) => ctx.schedule(at, Event::SettlementFlush { dest }),
+                Submit::Flushed(batch) => self.ship(batch, ctx),
+            }
+        }
     }
 }
 
@@ -238,7 +317,7 @@ impl ProtocolDriver for ChainspaceDriver {
                     ctx.schedule(
                         now,
                         Event::TxInjected {
-                            tx: self.cross_txs[i],
+                            tx: self.cross_txs[i].tx,
                         },
                     );
                 }
@@ -248,11 +327,15 @@ impl ProtocolDriver for ChainspaceDriver {
                 ctx.schedule_in(d, Event::ValidationRound { tx, round: 1 });
             }
             Event::ValidationRound { tx, round } => {
-                // One round of cross-shard leader communication, attributed
-                // to the home shard that drives the commit (Sec. VII).
-                ctx.comm()
-                    .record_many(self.shard, CommKind::CrossShardValidation, 1);
-                self.rounds_recorded += 1;
+                if self.settle.is_none() {
+                    // One round of cross-shard leader communication,
+                    // attributed to the home shard that drives the commit
+                    // (Sec. VII). Batched mode books crosslinks at flush
+                    // time instead, never per round.
+                    ctx.comm()
+                        .record_many(self.shard, CommKind::CrossShardValidation, 1);
+                    self.rounds_recorded += 1;
+                }
                 if u64::from(round) < CROSS_SHARD_ROUNDS_PER_TX {
                     let d = self.round_delay();
                     ctx.schedule_in(
@@ -264,6 +347,22 @@ impl ProtocolDriver for ChainspaceDriver {
                     );
                 } else {
                     self.outstanding -= 1;
+                    if self.settle.is_some() {
+                        self.submit_transfers(now, tx, ctx);
+                    }
+                }
+            }
+            Event::SettlementFlush { dest } => {
+                let Some(batcher) = self.settle.as_mut() else {
+                    return Err(Error::UnexpectedEvent {
+                        driver: "ChainspaceDriver",
+                        event: format!("{ev:?}"),
+                    });
+                };
+                match batcher.on_flush(now, dest) {
+                    FlushOutcome::Stale => {}
+                    FlushOutcome::Deferred(at) => ctx.schedule(at, Event::SettlementFlush { dest }),
+                    FlushOutcome::Flushed(batch) => self.ship(batch, ctx),
                 }
             }
             mining_ev @ (Event::BlockFound { .. } | Event::BlockDelivered { .. }) => {
@@ -280,7 +379,9 @@ impl ProtocolDriver for ChainspaceDriver {
     }
 
     fn done(&self) -> bool {
-        self.mining.done() && self.outstanding == 0
+        self.mining.done()
+            && self.outstanding == 0
+            && self.settle.as_ref().is_none_or(|b| b.is_empty())
     }
 
     fn completion(&self) -> Option<SimTime> {
@@ -289,6 +390,10 @@ impl ProtocolDriver for ChainspaceDriver {
 
     fn report(&self, events: usize, wall: Duration) -> ShardReport {
         self.mining.report(events, wall)
+    }
+
+    fn settle_stats(&self) -> Option<SettleStats> {
+        self.settle.as_ref().map(SettlementBatcher::stats)
     }
 }
 
@@ -461,6 +566,126 @@ mod tests {
             assert_eq!(d.completion, q.completion);
             assert_eq!(d.confirmed, q.confirmed);
         }
+    }
+
+    // ---- batched settlement (async crosslinks) over the same placement ----
+
+    use cshard_runtime::SettleConfig;
+
+    fn settled_outcome(
+        count: usize,
+        shards: usize,
+        seed: u64,
+        settle: SettleConfig,
+        threads: usize,
+    ) -> (
+        ChainspacePlacement,
+        cshard_runtime::RunOutcome<ChainspaceDriver>,
+    ) {
+        let w = W::three_input(count, 3, FeeDistribution::Constant(5), seed);
+        let p = ChainspacePlacement::place(&w.transactions, shards, seed);
+        let cfg = RuntimeConfig {
+            seed,
+            mean_block_interval: SimTime::from_millis(132),
+            settle,
+            ..RuntimeConfig::default()
+        };
+        let fees = w.fees();
+        let outcome = Runtime::builder()
+            .threads(threads)
+            .comm_stats(CommStats::new())
+            .run(p.drivers(&fees, &cfg, LatencyModel::wide_area()))
+            .expect("well-formed drivers");
+        (p, outcome)
+    }
+
+    /// A batched settle config whose timeout comfortably exceeds the
+    /// run's span, so batches fill instead of draining per window.
+    fn wide_batched(cap: usize) -> SettleConfig {
+        SettleConfig {
+            timeout: SimTime::from_secs(10),
+            ..SettleConfig::batched(cap)
+        }
+    }
+
+    #[test]
+    fn batched_mode_settles_every_foreign_leg_exactly_once() {
+        let (p, outcome) = settled_outcome(300, 9, 5, wide_batched(100), 1);
+        // Expected multiset: one transfer per (home tx, foreign shard) leg.
+        let mut expected: Vec<(ShardId, ShardId, u64)> = (0..p.touched.len())
+            .filter(|&i| p.is_cross_shard(i))
+            .flat_map(|i| {
+                let home = p.home_shard[i];
+                p.touched[i]
+                    .iter()
+                    .copied()
+                    .filter(move |&s| s != home)
+                    .map(move |s| (home, s, i as u64))
+            })
+            .collect();
+        expected.sort_unstable();
+        let mut settled: Vec<(ShardId, ShardId, u64)> = outcome
+            .drivers
+            .iter()
+            .flat_map(|d| d.settled_batches())
+            .flat_map(|b| b.transfers.iter().map(|&t| (b.source, b.dest, t)))
+            .collect();
+        settled.sort_unstable();
+        assert_eq!(settled, expected);
+        // Crosslinks are the only messaging; per-round booking is off.
+        assert_eq!(outcome.comm.for_kind(CommKind::CrossShardValidation), 0);
+        assert_eq!(
+            outcome.comm.for_kind(CommKind::Crosslink),
+            outcome.settle.batches
+        );
+        assert_eq!(outcome.settle.txs_settled, expected.len() as u64);
+    }
+
+    #[test]
+    fn cap_100_cuts_messages_at_least_ten_x() {
+        let count = 600;
+        let (p, baseline) = settled_outcome(count, 9, 5, SettleConfig::disabled(), 1);
+        let x = p.cross_shard_count() as u64;
+        assert_eq!(baseline.comm.total(), CROSS_SHARD_ROUNDS_PER_TX * x);
+        let (_, batched) = settled_outcome(count, 9, 5, wide_batched(100), 1);
+        let links = batched.comm.total();
+        assert!(
+            links * 10 <= baseline.comm.total(),
+            "cap 100 must cut messages 10x: {links} crosslinks vs {} rounds",
+            baseline.comm.total()
+        );
+        // And batching never changes the mining trajectory.
+        assert_eq!(baseline.report.completion, batched.report.completion);
+    }
+
+    #[test]
+    fn batched_run_is_thread_count_independent() {
+        let base = settled_outcome(200, 9, 3, wide_batched(50), 1).1;
+        for threads in [4, 0] {
+            let other = settled_outcome(200, 9, 3, wide_batched(50), threads).1;
+            assert_eq!(base.report.fingerprint(), other.report.fingerprint());
+            assert_eq!(base.settle, other.settle);
+            assert_eq!(base.comm.snapshot(), other.comm.snapshot());
+            for (a, b) in base.drivers.iter().zip(&other.drivers) {
+                assert_eq!(a.settled_batches(), b.settled_batches());
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_settlement_leaves_the_driver_untouched() {
+        let (p, outcome) = settled_outcome(150, 9, 2, SettleConfig::disabled(), 1);
+        assert!(outcome.settle.is_empty());
+        assert!(outcome.drivers.iter().all(|d| d.settle_stats().is_none()));
+        assert!(outcome
+            .drivers
+            .iter()
+            .all(|d| d.settled_batches().is_empty()));
+        assert_eq!(outcome.comm.for_kind(CommKind::Crosslink), 0);
+        assert_eq!(
+            outcome.comm.total(),
+            CROSS_SHARD_ROUNDS_PER_TX * p.cross_shard_count() as u64
+        );
     }
 
     #[test]

@@ -86,9 +86,10 @@ fn main() -> ExitCode {
         };
         println!("{}", result.to_table());
         if let Some(dir) = &json_dir {
-            // The pipeline, scheduler, and streaming-scale grids are bench
-            // artefacts, not paper figures — they ship under BENCH_.
-            let file = if id == "pipeline" || id == "sched" || id == "scale" {
+            // The pipeline, scheduler, streaming-scale, and settlement
+            // grids are bench artefacts, not paper figures — they ship
+            // under BENCH_.
+            let file = if id == "pipeline" || id == "sched" || id == "scale" || id == "settle" {
                 format!("BENCH_{id}.json")
             } else {
                 format!("{id}.json")

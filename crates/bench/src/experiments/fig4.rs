@@ -19,14 +19,16 @@ use cshard_core::system::SystemConfig;
 use cshard_core::throughput_improvement;
 use cshard_core::{PropagationModel, Runtime, RuntimeConfig, ShardingSystem};
 use cshard_games::MergingConfig;
-use cshard_network::{CommStats, LatencyModel};
+use cshard_network::{CommKind, CommStats, LatencyModel};
 use cshard_primitives::SimTime;
 use cshard_workload::Workload;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-/// Sec. VI-B2: one miner confirms 76 transactions per second.
-fn chainspace_runtime(seed: u64, capacity: usize) -> RuntimeConfig {
+/// Sec. VI-B2: one miner confirms 76 transactions per second. Shared
+/// with the settlement grid (`experiments settle`), which runs the same
+/// fig4(b)-style point under batched crosslinks.
+pub(crate) fn chainspace_runtime(seed: u64, capacity: usize) -> RuntimeConfig {
     let interval = capacity as f64 / 76.0;
     RuntimeConfig {
         block_capacity: capacity,
@@ -118,12 +120,17 @@ pub fn run_b(quick: bool) -> ExperimentResult {
                 .comm_stats(CommStats::new())
                 .run(placement.drivers(&fees, &cfg, LatencyModel::wide_area()))
                 .expect("well-formed drivers");
+            // One snapshot per run instead of ad-hoc per-kind reads: the
+            // 2PC rounds are the only kind booked, and the snapshot is
+            // what the settle grid diffs against its crosslink runs.
+            let cs = outcome.comm.snapshot();
+            assert_eq!(cs.total(), cs.for_kind(CommKind::CrossShardValidation));
 
             // Ours: every 3-input tx is MaxShard-internal → zero rounds.
             let sharded = ShardingSystem::testbed(chainspace_runtime(seed, 10));
             let report = sharded.run(&w).expect("valid config");
-            assert_eq!(report.comm.total(), 0);
-            outcome.comm.per_shard_average(shards)
+            assert_eq!(report.comm.snapshot().total(), 0);
+            cs.per_shard_average(shards)
         });
         let cs_avg: f64 = per_seed.iter().sum();
         ours_pts.push((count as f64, 0.0));

@@ -12,6 +12,7 @@ pub mod pipeline;
 pub mod scale;
 pub mod sched;
 pub mod sec4d;
+pub mod settle;
 pub mod table1;
 
 use crate::report::ExperimentResult;
@@ -47,6 +48,7 @@ pub fn grid_scheduler() -> WorkScheduler {
 pub const ALL: &[&str] = &[
     "table1", "fig1d", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig3g", "fig3h",
     "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "sec4d", "faults", "pipeline", "sched", "scale",
+    "settle",
 ];
 
 /// The ablation studies of DESIGN.md §8 (run with `experiments ablations`
@@ -84,6 +86,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentResult> {
         "pipeline" => pipeline::run(quick),
         "sched" => sched::run(quick),
         "scale" => scale::run(quick),
+        "settle" => settle::run(quick),
         "abl-eta" => ablations::run_eta(quick),
         "abl-window" => ablations::run_window(quick),
         "abl-fees" => ablations::run_fees(quick),

@@ -18,7 +18,7 @@
 use crate::system::{MinerAllocation, ShardingSystem, SystemConfig};
 use cshard_games::MergingConfig;
 use cshard_primitives::{Error, SimTime};
-use cshard_runtime::{PropagationModel, SchedulerConfig};
+use cshard_runtime::{PropagationModel, SchedulerConfig, SettleConfig};
 
 /// Builds a validated [`ShardingSystem`].
 #[derive(Clone, Debug)]
@@ -154,6 +154,14 @@ impl SystemBuilder {
         self
     }
 
+    /// Cross-shard settlement batching (default disabled). Only
+    /// settlement-aware drivers (the settling wrapper, ChainSpace's
+    /// batched mode) read this; the plain sharded runs ignore it.
+    pub fn settlement(mut self, settle: SettleConfig) -> Self {
+        self.config.runtime.settle = settle;
+        self
+    }
+
     /// Validates the combination and builds the system.
     pub fn build(self) -> Result<ShardingSystem, Error> {
         let rt = &self.config.runtime;
@@ -209,6 +217,7 @@ impl SystemBuilder {
         if let Some(m) = &self.config.merging {
             m.validate()?;
         }
+        rt.settle.validate()?;
         Ok(ShardingSystem::new(self.config))
     }
 }
@@ -328,6 +337,22 @@ mod tests {
                 "zero merge slot cap",
                 bad_merge(|m| m.max_slots = 0),
                 Want::Config("merging.max_slots"),
+            ),
+            (
+                "zero settlement batch cap",
+                SystemBuilder::new().settlement(SettleConfig {
+                    batch_cap: 0,
+                    ..SettleConfig::batched(1)
+                }),
+                Want::Config("settle.batch_cap"),
+            ),
+            (
+                "zero settlement timeout",
+                SystemBuilder::new().settlement(SettleConfig {
+                    timeout: SimTime::ZERO,
+                    ..SettleConfig::batched(100)
+                }),
+                Want::Config("settle.timeout"),
             ),
         ];
         for (label, builder, want) in cases {

@@ -45,7 +45,8 @@ pub use cshard_runtime::report::{throughput_improvement, RunReport, ShardReport}
 pub use cshard_runtime::{
     simulate, simulate_ethereum, ContractShardDriver, EthereumDriver, Event, PropagationModel,
     ProtocolDriver, RunBuilder, RunObserver, RunOutcome, RunPhase, RunSchedStats, Runtime,
-    RuntimeConfig, SchedulerConfig, SelectionStrategy, ShardSpec, StreamDriver,
+    RuntimeConfig, SchedulerConfig, SelectionStrategy, SettleConfig, SettleStats,
+    SettlingShardDriver, ShardSpec, StreamDriver,
 };
 pub use epoch::{EpochManager, EpochOutcome};
 pub use formation::ShardPlan;
@@ -80,7 +81,8 @@ pub mod prelude {
     pub use cshard_runtime::{
         ContractShardDriver, Ctx, EthereumDriver, Event, PropagationModel, ProtocolDriver,
         RunBuilder, RunObserver, RunOutcome, RunPhase, RunReport, RunSchedStats, Runtime,
-        RuntimeConfig, SchedulerConfig, SelectionStrategy, ShardSpec, StreamDriver,
+        RuntimeConfig, SchedulerConfig, SelectionStrategy, SettleConfig, SettleStats,
+        SettlingShardDriver, ShardSpec, StreamDriver,
     };
     pub use cshard_workload::{StreamConfig, TxStream};
 }

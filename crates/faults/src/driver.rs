@@ -22,7 +22,7 @@ use crate::plan::{FaultAction, FaultPlan};
 use crate::report::ShardFaultStats;
 use cshard_crypto::Prf;
 use cshard_primitives::{Error, ShardId, SimTime};
-use cshard_runtime::{Ctx, Event, ProtocolDriver, ShardReport};
+use cshard_runtime::{Ctx, Event, ProtocolDriver, SettleStats, ShardReport};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -246,6 +246,12 @@ impl<D: ProtocolDriver> ProtocolDriver for FaultyDriver<D> {
         // The inner driver reports; under a non-empty plan `events`
         // includes the wrapper's control events (diagnostic only).
         self.inner.report(events, wall)
+    }
+
+    fn settle_stats(&self) -> Option<SettleStats> {
+        // Settlement accounting lives in the inner driver (the wrapper
+        // forwards `SettlementFlush` events like any foreign event).
+        self.inner.settle_stats()
     }
 }
 

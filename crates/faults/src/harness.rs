@@ -12,10 +12,12 @@ use crate::driver::FaultyDriver;
 use crate::plan::FaultPlan;
 use crate::report::FaultReport;
 use cshard_network::{LatencyModel, PartitionModel, PartitionWindow};
-use cshard_primitives::Error;
+use cshard_primitives::{Error, ShardId, SimTime};
 use cshard_runtime::{
-    ContractShardDriver, PropagationModel, RunReport, Runtime, RuntimeConfig, ShardSpec,
+    Batch, ContractShardDriver, PropagationModel, RunReport, Runtime, RuntimeConfig, SettleStats,
+    SettlingShardDriver, ShardSpec,
 };
+use std::collections::BTreeSet;
 
 /// A faulted run: the ordinary run report plus the fault accounting.
 #[derive(Clone, Debug)]
@@ -130,6 +132,104 @@ pub fn run_with_faults(
     Ok(FaultRun { run, faults })
 }
 
+/// A faulted run with batched cross-shard settlement: the ordinary run
+/// report, the fault accounting, the aggregate settlement accounting and
+/// every crosslink each shard shipped.
+#[derive(Clone, Debug)]
+pub struct SettledFaultRun {
+    /// The standard run report.
+    pub run: RunReport,
+    /// What the injected faults did.
+    pub faults: FaultReport,
+    /// Settlement accounting folded over all shards.
+    pub settle: SettleStats,
+    /// Per shard (spec order): the batches it flushed, in flush order.
+    pub batches: Vec<Vec<Batch>>,
+}
+
+/// [`run_with_faults`] with batched cross-shard settlement
+/// (`cshard-settle`) layered on each shard.
+///
+/// `transfers[i]` lists shard `i`'s outbound transfers as
+/// `(local tx index, destination shard)`: each becomes eligible when its
+/// transaction confirms and ships inside a crosslink batch. Partition
+/// windows from the plan black out settlement pairs on *either* endpoint
+/// — a flush falling inside a blackout defers to the heal and settles
+/// exactly once there, which the returned [`SettledFaultRun::batches`]
+/// lets callers assert transfer-for-transfer.
+///
+/// Determinism matches [`run_with_faults`]: the result is a pure function
+/// of `(shards, transfers, config, plan)` at any `config.scheduler`.
+pub fn run_with_settlement(
+    shards: &[ShardSpec],
+    transfers: &[Vec<(usize, ShardId)>],
+    config: &RuntimeConfig,
+    plan: &FaultPlan,
+) -> Result<SettledFaultRun, Error> {
+    plan.validate()?;
+    config.settle.validate()?;
+    if transfers.len() != shards.len() {
+        return Err(Error::Config {
+            field: "transfers",
+            reason: format!(
+                "one transfer list per shard: got {} lists for {} shards",
+                transfers.len(),
+                shards.len()
+            ),
+        });
+    }
+    if config.block_capacity == 0 {
+        return Err(Error::Config {
+            field: "block_capacity",
+            reason: "must be positive".into(),
+        });
+    }
+    if let Some(spec) = shards.iter().find(|s| s.miners == 0) {
+        return Err(Error::NoMiners { shard: spec.shard });
+    }
+    let mut drivers = Vec::with_capacity(shards.len());
+    for (spec, outbound) in shards.iter().zip(transfers) {
+        let windows = plan.partitions_for(spec.shard);
+        let mut driver = if windows.is_empty() {
+            SettlingShardDriver::new(spec, config, outbound.clone())
+        } else {
+            let mut shard_config = config.clone();
+            shard_config.propagation = partitioned(&config.propagation, windows)?;
+            SettlingShardDriver::new(spec, &shard_config, outbound.clone())
+        };
+        // A settlement pair is blacked out while *either* endpoint is
+        // partitioned: the source cannot send, the destination cannot
+        // receive.
+        let dests: BTreeSet<ShardId> = outbound.iter().map(|&(_, d)| d).collect();
+        for dest in dests {
+            let mut pair: Vec<(SimTime, SimTime)> = plan.partitions_for(spec.shard);
+            pair.extend(plan.partitions_for(dest));
+            driver.set_blackouts(dest, pair);
+        }
+        drivers.push(FaultyDriver::new(driver, spec.shard, plan));
+    }
+    let outcome = Runtime::builder()
+        .scheduler(config.scheduler)
+        .run(drivers)?;
+    let settle = outcome.settle;
+    let (run, finished) = (outcome.report, outcome.drivers);
+    let mut shard_stats = Vec::with_capacity(finished.len());
+    let mut batches = Vec::with_capacity(finished.len());
+    for wrapper in finished {
+        let (stats, inner) = wrapper.into_parts();
+        shard_stats.push(stats);
+        batches.push(inner.settled_batches().to_vec());
+    }
+    Ok(SettledFaultRun {
+        run,
+        faults: FaultReport {
+            shards: shard_stats,
+        },
+        settle,
+        batches,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +307,126 @@ mod tests {
         );
         // Both still confirm everything (the partition heals).
         assert_eq!(parted.unconfirmed_fraction(), 0.0);
+    }
+
+    // ---- batched settlement under faults ----
+
+    use cshard_runtime::SettleConfig;
+
+    /// Two shards; shard 0 sends one transfer per tx to shard 1.
+    fn settled_fixture() -> (Vec<ShardSpec>, Vec<Vec<(usize, ShardId)>>) {
+        let shards = vec![
+            ShardSpec::solo_greedy(ShardId::new(0), (1..=50u64).collect()),
+            ShardSpec::solo_greedy(ShardId::new(1), (1..=40u64).collect()),
+        ];
+        let transfers = vec![
+            (0..50).map(|tx| (tx, ShardId::new(1))).collect(),
+            Vec::new(),
+        ];
+        (shards, transfers)
+    }
+
+    fn settled_config(seed: u64, cap: usize, threads: usize) -> RuntimeConfig {
+        RuntimeConfig {
+            settle: SettleConfig::batched(cap),
+            scheduler: cshard_runtime::SchedulerConfig::new(threads),
+            ..config(seed)
+        }
+    }
+
+    #[test]
+    fn partition_mid_batch_defers_and_settles_exactly_once_on_heal() {
+        let (shards, transfers) = settled_fixture();
+        let cfg = settled_config(23, 100, 1);
+        // Black out the destination across the whole mining span: every
+        // flush deadline fires inside the partition and must defer.
+        let heal = SimTime::from_secs(20_000);
+        let plan = FaultPlan::none(0).with_partition(ShardId::new(1), SimTime::ZERO, heal);
+        let out = run_with_settlement(&shards, &transfers, &cfg, &plan).expect("valid");
+        assert!(
+            out.settle.deferred_flushes >= 1,
+            "every deadline fired mid-partition: {:?}",
+            out.settle
+        );
+        // Exactly once: each transfer slot appears in exactly one batch.
+        let mut slots: Vec<u64> = out.batches[0]
+            .iter()
+            .flat_map(|b| b.transfers.iter().copied())
+            .collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..50).collect::<Vec<u64>>());
+        // And never inside the blackout.
+        for b in &out.batches[0] {
+            assert!(b.at >= heal, "batch flushed mid-partition at {}", b.at);
+        }
+        assert!(out.batches[1].is_empty());
+        assert_eq!(out.settle.txs_settled, 50);
+    }
+
+    #[test]
+    fn settled_fault_runs_are_thread_count_invariant() {
+        let (shards, transfers) = settled_fixture();
+        let plan = FaultPlan::none(9)
+            .with_partition(
+                ShardId::new(1),
+                SimTime::from_secs(30),
+                SimTime::from_secs(400),
+            )
+            .with_crash(
+                ShardId::new(1),
+                0,
+                SimTime::from_secs(60),
+                Some(SimTime::from_secs(120)),
+            );
+        let base = run_with_settlement(&shards, &transfers, &settled_config(23, 10, 1), &plan)
+            .expect("valid");
+        for threads in [4, 0] {
+            let other =
+                run_with_settlement(&shards, &transfers, &settled_config(23, 10, threads), &plan)
+                    .expect("valid");
+            assert_eq!(base.run.fingerprint(), other.run.fingerprint());
+            assert_eq!(base.faults, other.faults);
+            assert_eq!(base.settle, other.settle);
+            assert_eq!(base.batches, other.batches);
+        }
+    }
+
+    #[test]
+    fn settlement_harness_rejects_mismatched_transfer_lists() {
+        let (shards, _) = settled_fixture();
+        let err = run_with_settlement(
+            &shards,
+            &[Vec::new()],
+            &settled_config(1, 10, 1),
+            &FaultPlan::none(0),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Config {
+                field: "transfers",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fault_free_settled_run_matches_unfaulted_driver() {
+        let (shards, transfers) = settled_fixture();
+        let cfg = settled_config(23, 10, 1);
+        let faulted =
+            run_with_settlement(&shards, &transfers, &cfg, &FaultPlan::none(0)).expect("valid");
+        assert!(faulted.faults.is_clean());
+        assert_eq!(faulted.settle.txs_settled, 50);
+        // Same trajectory as the bare settling driver on the plain harness.
+        let bare = Runtime::builder()
+            .run(vec![
+                SettlingShardDriver::new(&shards[0], &cfg, transfers[0].clone()),
+                SettlingShardDriver::new(&shards[1], &cfg, transfers[1].clone()),
+            ])
+            .expect("valid");
+        assert_eq!(faulted.run.fingerprint(), bare.report.fingerprint());
+        assert_eq!(faulted.settle, bare.settle);
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub use driver::FaultyDriver;
 pub use epochs::{
     equivocation_detected, run_leader_faults, EpochFaultOutcome, EpochFaultReport, LeaderFaultPlan,
 };
-pub use harness::{run_with_faults, FaultRun};
+pub use harness::{run_with_faults, run_with_settlement, FaultRun, SettledFaultRun};
 pub use plan::{FaultAction, FaultPlan};
 pub use report::{FaultReport, ShardFaultStats};

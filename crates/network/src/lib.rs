@@ -19,4 +19,4 @@ pub mod stats;
 pub use gossip::GossipNet;
 pub use latency::LatencyModel;
 pub use partition::{PartitionModel, PartitionWindow};
-pub use stats::{CommKind, CommStats};
+pub use stats::{CommKind, CommSnapshot, CommStats};

@@ -15,6 +15,11 @@ pub enum CommKind {
     StatSubmission,
     /// The leader's broadcast of unified parameters (step 2).
     ParameterBroadcast,
+    /// One batched settlement flush: a crosslink carrying every pending
+    /// cross-shard transfer of one `(source, dest)` shard pair
+    /// (`cshard-settle`). Batched runs book one of these per flush
+    /// instead of per-transaction validation rounds.
+    Crosslink,
     /// Anything else (labelled ad hoc in tests).
     Other,
 }
@@ -102,6 +107,83 @@ impl CommStats {
         inner.per_kind.clear();
         inner.total = 0;
     }
+
+    /// A point-in-time copy of every counter. Experiments bracket a run
+    /// with snapshots instead of re-reading individual kinds ad hoc, and
+    /// diff them with [`CommSnapshot::since`] / [`CommStats::delta`].
+    pub fn snapshot(&self) -> CommSnapshot {
+        let inner = self.inner.lock();
+        CommSnapshot {
+            per_shard: inner.per_shard.clone(),
+            per_kind: inner.per_kind.clone(),
+            total: inner.total,
+        }
+    }
+
+    /// What was recorded since `earlier` was taken — per shard, per kind
+    /// and in total. Counters are monotone, so the delta saturates at
+    /// zero only if `earlier` came from a different (or reset) counter.
+    pub fn delta(&self, earlier: &CommSnapshot) -> CommSnapshot {
+        self.snapshot().since(earlier)
+    }
+}
+
+/// An immutable copy of a [`CommStats`] counter set, taken with
+/// [`CommStats::snapshot`]. Supports the same per-shard/per-kind reads as
+/// the live counter plus subtraction ([`CommSnapshot::since`]) for
+/// measuring one phase of a longer run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommSnapshot {
+    per_shard: BTreeMap<ShardId, u64>,
+    per_kind: BTreeMap<CommKind, u64>,
+    total: u64,
+}
+
+impl CommSnapshot {
+    /// Total rounds at snapshot time.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Rounds in which `shard` participated.
+    pub fn for_shard(&self, shard: ShardId) -> u64 {
+        self.per_shard.get(&shard).copied().unwrap_or(0)
+    }
+
+    /// Rounds of a specific kind.
+    pub fn for_kind(&self, kind: CommKind) -> u64 {
+        self.per_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Average rounds per shard over `shard_count` shards (Fig. 4(b)'s
+    /// y-axis, read off a snapshot instead of the live counter).
+    pub fn per_shard_average(&self, shard_count: usize) -> f64 {
+        assert!(shard_count > 0);
+        self.total as f64 / shard_count as f64
+    }
+
+    /// The counter-wise difference `self - earlier`, dropping zero
+    /// entries (saturating: counters are monotone under one live
+    /// counter, so a negative difference only means mismatched sources).
+    pub fn since(&self, earlier: &CommSnapshot) -> CommSnapshot {
+        let diff_shard: BTreeMap<ShardId, u64> = self
+            .per_shard
+            .iter()
+            .map(|(k, v)| (*k, v.saturating_sub(earlier.for_shard(*k))))
+            .filter(|&(_, v)| v > 0)
+            .collect();
+        let diff_kind: BTreeMap<CommKind, u64> = self
+            .per_kind
+            .iter()
+            .map(|(k, v)| (*k, v.saturating_sub(earlier.for_kind(*k))))
+            .filter(|&(_, v)| v > 0)
+            .collect();
+        CommSnapshot {
+            per_shard: diff_shard,
+            per_kind: diff_kind,
+            total: self.total.saturating_sub(earlier.total),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +245,50 @@ mod tests {
         s.reset();
         assert_eq!(s.total(), 0);
         assert_eq!(s.for_shard(ShardId::new(0)), 0);
+    }
+
+    #[test]
+    fn snapshot_copies_all_counters() {
+        let s = CommStats::new();
+        s.record(ShardId::new(0), CommKind::CrossShardValidation);
+        s.record_many(ShardId::new(1), CommKind::Crosslink, 4);
+        let snap = s.snapshot();
+        assert_eq!(snap.total(), 5);
+        assert_eq!(snap.for_shard(ShardId::new(0)), 1);
+        assert_eq!(snap.for_shard(ShardId::new(1)), 4);
+        assert_eq!(snap.for_kind(CommKind::Crosslink), 4);
+        assert_eq!(snap.for_kind(CommKind::Other), 0);
+        assert!((snap.per_shard_average(5) - 1.0).abs() < 1e-12);
+        // The snapshot is a copy: later records do not change it.
+        s.record(ShardId::new(0), CommKind::Other);
+        assert_eq!(snap.total(), 5);
+        assert_eq!(s.total(), 6);
+    }
+
+    #[test]
+    fn delta_isolates_one_phase() {
+        let s = CommStats::new();
+        s.record_many(ShardId::new(0), CommKind::StatSubmission, 3);
+        let before = s.snapshot();
+        s.record_many(ShardId::new(0), CommKind::StatSubmission, 2);
+        s.record(ShardId::new(2), CommKind::Crosslink);
+        let d = s.delta(&before);
+        assert_eq!(d.total(), 3);
+        assert_eq!(d.for_shard(ShardId::new(0)), 2);
+        assert_eq!(d.for_shard(ShardId::new(2)), 1);
+        assert_eq!(d.for_kind(CommKind::StatSubmission), 2);
+        assert_eq!(d.for_kind(CommKind::Crosslink), 1);
+        assert_eq!(d.for_kind(CommKind::CrossShardValidation), 0);
+        // since() is the same operation on two snapshots.
+        assert_eq!(s.snapshot().since(&before), d);
+    }
+
+    #[test]
+    fn empty_delta_is_default() {
+        let s = CommStats::new();
+        s.record(ShardId::new(0), CommKind::Other);
+        let snap = s.snapshot();
+        assert_eq!(s.delta(&snap), CommSnapshot::default());
     }
 
     #[test]

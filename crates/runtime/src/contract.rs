@@ -38,6 +38,7 @@ use cshard_crypto::Prf;
 use cshard_games::dynamics::{BestReplyDynamics, GameDynamics, SelectInput, SelectionWarmCache};
 use cshard_games::selection::SelectionConfig;
 use cshard_primitives::{Error, ShardId, SimTime};
+use cshard_settle::SettleConfig;
 use cshard_sim::{SchedulerConfig, SimRng};
 use std::time::Duration;
 
@@ -105,6 +106,11 @@ pub struct RuntimeConfig {
     /// settings — each shard's randomness is derived from `(seed, shard)`
     /// by a PRF, never from cross-shard draw order or worker interleaving.
     pub scheduler: SchedulerConfig,
+    /// Cross-shard settlement batching (`cshard-settle`). Disabled by
+    /// default; only drivers that opt into settlement (the settling
+    /// wrapper, ChainSpace's batched mode) read it, so the golden paths
+    /// are untouched.
+    pub settle: SettleConfig,
 }
 
 impl RuntimeConfig {
@@ -127,6 +133,7 @@ impl Default for RuntimeConfig {
             empty_block_window: None,
             seed: 0,
             scheduler: SchedulerConfig::sequential(),
+            settle: SettleConfig::disabled(),
         }
     }
 }
@@ -389,6 +396,13 @@ impl ContractShardDriver {
     /// next epoch's driver). `None` when the driver ran cold.
     pub fn into_warm_cache(self) -> Option<SelectionWarmCache> {
         self.st.warm_cache
+    }
+
+    /// Whether local transaction `tx` has been confirmed. Settlement
+    /// wrappers poll this after each event to decide when a cross-shard
+    /// transfer attached to `tx` becomes eligible for batching.
+    pub fn is_confirmed(&self, tx: usize) -> bool {
+        self.st.confirmed.get(tx).is_some_and(|c| c.is_some())
     }
 
     /// Iteration accounting of this shard's selection dynamics.

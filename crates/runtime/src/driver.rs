@@ -4,6 +4,7 @@ use crate::event::Event;
 use crate::report::ShardReport;
 use cshard_network::CommStats;
 use cshard_primitives::{Error, SimTime};
+use cshard_settle::SettleStats;
 use cshard_sim::EventQueue;
 use std::time::Duration;
 
@@ -97,6 +98,14 @@ pub trait ProtocolDriver: Send {
     /// harness: events popped for this driver and host time spent in its
     /// hooks (diagnostic only, excluded from fingerprints).
     fn report(&self, events: usize, wall: Duration) -> ShardReport;
+
+    /// Settlement accounting, for drivers that batch cross-shard
+    /// transfers through a `cshard_settle::SettlementBatcher`. The run
+    /// outcome aggregates these across drivers; the default (`None`) is
+    /// for the overwhelming majority of drivers that do not settle.
+    fn settle_stats(&self) -> Option<SettleStats> {
+        None
+    }
 }
 
 impl<D: ProtocolDriver + ?Sized> ProtocolDriver for Box<D> {
@@ -114,5 +123,8 @@ impl<D: ProtocolDriver + ?Sized> ProtocolDriver for Box<D> {
     }
     fn report(&self, events: usize, wall: Duration) -> ShardReport {
         (**self).report(events, wall)
+    }
+    fn settle_stats(&self) -> Option<SettleStats> {
+        (**self).settle_stats()
     }
 }

@@ -1,5 +1,7 @@
 //! The typed event vocabulary shared by every protocol driver.
 
+use cshard_primitives::ShardId;
+
 /// One scheduled occurrence in a shard's simulation.
 ///
 /// Every protocol in the repository — vanilla Ethereum, contract-centric
@@ -51,6 +53,16 @@ pub enum Event {
         /// 1-based round number, up to the protocol's round count.
         round: u32,
     },
+    /// A settlement-batch flush deadline for one destination shard
+    /// (`cshard-settle`): the batcher armed a size-or-timeout flush and
+    /// the driver adjudicates it when it fires — flush, defer past a
+    /// partition blackout, or ignore as stale. Scheduled only by
+    /// settlement-enabled drivers; like every event, simulated time only
+    /// (ND001).
+    SettlementFlush {
+        /// Destination shard of the batch whose deadline fired.
+        dest: ShardId,
+    },
     /// A fault-plan control point (crash, recovery, partition heal,
     /// deadline, …) fires. Scheduled and consumed exclusively by the
     /// fault-injection wrapper (`cshard-faults`); protocol drivers never
@@ -76,6 +88,14 @@ mod tests {
         assert_ne!(
             Event::ValidationRound { tx: 1, round: 1 },
             Event::ValidationRound { tx: 1, round: 2 }
+        );
+        assert_ne!(
+            Event::SettlementFlush {
+                dest: ShardId::new(1)
+            },
+            Event::SettlementFlush {
+                dest: ShardId::new(2)
+            }
         );
     }
 }

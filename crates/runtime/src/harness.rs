@@ -6,6 +6,7 @@ use crate::event::Event;
 use crate::report::RunReport;
 use cshard_network::CommStats;
 use cshard_primitives::{Error, SimTime};
+use cshard_settle::SettleStats;
 use cshard_sim::{DrainStats, EventQueue, SchedulerConfig, Turn, WorkScheduler};
 // Wall-clock reads are confined to this harness by design (audit rule
 // ND001 allowlists exactly this file): `wall` feeds only the diagnostic
@@ -90,6 +91,10 @@ pub struct RunOutcome<D> {
     pub comm: CommStats,
     /// Per-phase scheduling statistics (admitted/skipped/turns).
     pub sched: RunSchedStats,
+    /// Settlement accounting, folded over every driver's
+    /// [`ProtocolDriver::settle_stats`]. All-zero (and
+    /// [`SettleStats::is_empty`]) for runs without settling drivers.
+    pub settle: SettleStats,
 }
 
 // Manual impl: drivers are often not Debug (trait objects, fault
@@ -100,6 +105,7 @@ impl<D> std::fmt::Debug for RunOutcome<D> {
             .field("report", &self.report)
             .field("drivers", &self.drivers.len())
             .field("sched", &self.sched)
+            .field("settle", &self.settle)
             .finish_non_exhaustive()
     }
 }
@@ -174,11 +180,16 @@ impl<'obs> RunBuilder<'obs> {
             observer,
         } = self;
         let (report, drivers, sched) = execute(config, &comm, observer, drivers)?;
+        let mut settle = SettleStats::new();
+        for stats in drivers.iter().filter_map(|d| d.settle_stats()) {
+            settle.merge(&stats);
+        }
         Ok(RunOutcome {
             report,
             drivers,
             comm,
             sched,
+            settle,
         })
     }
 }

@@ -48,11 +48,15 @@ pub mod event;
 pub mod harness;
 pub mod propagation;
 pub mod report;
+pub mod settle;
 pub mod stream;
 
 pub use contract::{
     shard_stream, simulate, simulate_ethereum, ContractShardDriver, EthereumDriver, RuntimeConfig,
     SelectionDynamicsStats, SelectionStrategy, ShardSpec,
+};
+pub use cshard_settle::{
+    Batch, FlushOutcome, SettleConfig, SettleStats, SettlementBatcher, Submit,
 };
 pub use cshard_sim::{DrainStats, SchedulerConfig};
 pub use driver::{Ctx, ProtocolDriver};
@@ -60,4 +64,5 @@ pub use event::Event;
 pub use harness::{RunBuilder, RunObserver, RunOutcome, RunPhase, RunSchedStats, Runtime};
 pub use propagation::PropagationModel;
 pub use report::{throughput_improvement, RunReport, ShardReport};
+pub use settle::SettlingShardDriver;
 pub use stream::{ArrivalSource, StreamDriver};

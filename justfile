@@ -29,11 +29,14 @@ audit-baseline:
     git diff --stat results/audit/AUDIT_baseline.json
 
 # Quick-mode run of the golden experiments, diffed against results/golden.
+# fig4a exercises the ChainSpace driver with settlement disabled: the diff
+# pins the settle subsystem bit-invisible on the unbatched path.
 golden:
     cargo run --release -p cshard-bench --bin experiments -- \
-        table1 fig3a --quick --json /tmp/golden-smoke
+        table1 fig3a fig4a --quick --json /tmp/golden-smoke
     diff results/golden/table1.json /tmp/golden-smoke/table1.json
     diff results/golden/fig3a.json /tmp/golden-smoke/fig3a.json
+    diff results/golden/fig4a.json /tmp/golden-smoke/fig4a.json
 
 # Fault-injection gate: the chaos suite (zero-fault transparency, VRF
 # failover, corruption bounds) plus the faults experiment grid as JSON.
@@ -62,6 +65,13 @@ bench-scale:
     cargo run --release -p cshard-bench --bin experiments -- \
         scale --quick --json /tmp/bench-scale
     @echo "wrote /tmp/bench-scale/BENCH_scale.json"
+
+# Settlement grid: messages per cross-shard tx, per-tx 2PC baseline vs a
+# crosslink batch-cap sweep on the fig4(b) point, as BENCH_settle.json.
+bench-settle:
+    cargo run --release -p cshard-bench --bin experiments -- \
+        settle --quick --json /tmp/bench-settle
+    @echo "wrote /tmp/bench-settle/BENCH_settle.json"
 
 # Fast feedback loop: tests only.
 test:
