@@ -368,7 +368,7 @@ impl ProtocolDriver for ChainspaceDriver {
             mining_ev @ (Event::BlockFound { .. } | Event::BlockDelivered { .. }) => {
                 self.mining.on_event(now, mining_ev, ctx)?;
             }
-            other @ Event::Fault { .. } => {
+            other @ (Event::Fault { .. } | Event::Migration { .. }) => {
                 return Err(Error::UnexpectedEvent {
                     driver: "ChainspaceDriver",
                     event: format!("{other:?}"),

@@ -86,10 +86,14 @@ fn main() -> ExitCode {
         };
         println!("{}", result.to_table());
         if let Some(dir) = &json_dir {
-            // The pipeline, scheduler, streaming-scale, and settlement
-            // grids are bench artefacts, not paper figures — they ship
-            // under BENCH_.
-            let file = if id == "pipeline" || id == "sched" || id == "scale" || id == "settle" {
+            // The pipeline, scheduler, streaming-scale, settlement and
+            // migration grids are bench artefacts, not paper figures —
+            // they ship under BENCH_.
+            let bench_grid = matches!(
+                id.as_str(),
+                "pipeline" | "sched" | "scale" | "settle" | "migrate"
+            );
+            let file = if bench_grid {
                 format!("BENCH_{id}.json")
             } else {
                 format!("{id}.json")

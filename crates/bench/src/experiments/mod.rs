@@ -8,6 +8,7 @@ pub mod fig3cg;
 pub mod fig3h;
 pub mod fig4;
 pub mod fig5;
+pub mod migrate;
 pub mod pipeline;
 pub mod scale;
 pub mod sched;
@@ -48,7 +49,7 @@ pub fn grid_scheduler() -> WorkScheduler {
 pub const ALL: &[&str] = &[
     "table1", "fig1d", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig3g", "fig3h",
     "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "sec4d", "faults", "pipeline", "sched", "scale",
-    "settle",
+    "settle", "migrate",
 ];
 
 /// The ablation studies of DESIGN.md §8 (run with `experiments ablations`
@@ -87,6 +88,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentResult> {
         "sched" => sched::run(quick),
         "scale" => scale::run(quick),
         "settle" => settle::run(quick),
+        "migrate" => migrate::run(quick),
         "abl-eta" => ablations::run_eta(quick),
         "abl-window" => ablations::run_window(quick),
         "abl-fees" => ablations::run_fees(quick),

@@ -30,7 +30,7 @@ use std::time::Instant;
 #[derive(Default)]
 struct StageTimer {
     started: Option<Instant>,
-    ns: [u128; 5],
+    ns: [u128; 6],
 }
 
 fn stage_index(stage: StageKind) -> usize {
@@ -53,7 +53,7 @@ struct Point {
     cold_iters_per_epoch: f64,
     warm_iters_per_epoch: f64,
     warm_hits_per_epoch: f64,
-    stage_ns_per_epoch: [f64; 5],
+    stage_ns_per_epoch: [f64; 6],
 }
 
 fn measure(contracts: usize, epochs: u64) -> Point {
@@ -72,6 +72,7 @@ fn measure(contracts: usize, epochs: u64) -> Point {
         selection: Some(500),
         allocation: MinerAllocation::PerShard(3),
         warm_start: warm,
+        ..PipelineConfig::default()
     };
     let drive = |warm: bool| {
         let mut pipeline = EpochPipeline::new(config(warm));

@@ -17,6 +17,7 @@
 
 use crate::system::{MinerAllocation, ShardingSystem, SystemConfig};
 use cshard_games::MergingConfig;
+use cshard_place::PlacementConfig;
 use cshard_primitives::{Error, SimTime};
 use cshard_runtime::{PropagationModel, SchedulerConfig, SettleConfig};
 
@@ -162,6 +163,14 @@ impl SystemBuilder {
         self
     }
 
+    /// The cross-epoch placement engine: merge-group carry-over plus
+    /// hot-account migration (default disabled). Off, the pipeline is
+    /// bit-identical to a build without the engine.
+    pub fn placement(mut self, placement: PlacementConfig) -> Self {
+        self.config.placement = placement;
+        self
+    }
+
     /// Validates the combination and builds the system.
     pub fn build(self) -> Result<ShardingSystem, Error> {
         let rt = &self.config.runtime;
@@ -218,6 +227,7 @@ impl SystemBuilder {
             m.validate()?;
         }
         rt.settle.validate()?;
+        self.config.placement.validate()?;
         Ok(ShardingSystem::new(self.config))
     }
 }
@@ -353,6 +363,38 @@ mod tests {
                     ..SettleConfig::batched(100)
                 }),
                 Want::Config("settle.timeout"),
+            ),
+            (
+                "zero placement dominance",
+                SystemBuilder::new().placement(PlacementConfig {
+                    min_dominance_percent: 0,
+                    ..PlacementConfig::engaged()
+                }),
+                Want::Config("placement.min_dominance_percent"),
+            ),
+            (
+                "placement dominance above 100",
+                SystemBuilder::new().placement(PlacementConfig {
+                    min_dominance_percent: 101,
+                    ..PlacementConfig::engaged()
+                }),
+                Want::Config("placement.min_dominance_percent"),
+            ),
+            (
+                "zero placement activity floor",
+                SystemBuilder::new().placement(PlacementConfig {
+                    min_account_txs: 0,
+                    ..PlacementConfig::engaged()
+                }),
+                Want::Config("placement.min_account_txs"),
+            ),
+            (
+                "NaN placement imbalance threshold",
+                SystemBuilder::new().placement(PlacementConfig {
+                    min_imbalance: f64::NAN,
+                    ..PlacementConfig::engaged()
+                }),
+                Want::Config("placement.min_imbalance"),
             ),
         ];
         for (label, builder, want) in cases {

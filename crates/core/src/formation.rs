@@ -79,11 +79,33 @@ impl ShardPlan {
         transactions: &[Transaction],
         routes: &BTreeMap<Address, SenderClass>,
     ) -> ShardPlan {
+        static NO_PINS: BTreeMap<Address, ShardId> = BTreeMap::new();
+        Self::classify_placed(transactions, routes, &NO_PINS)
+    }
+
+    /// [`ShardPlan::classify_cached`] with placement pins on top.
+    ///
+    /// A pinned sender was migrated off the MaxShard to a contract's home
+    /// shard: its calls *to that contract* route home regardless of its
+    /// cached class, while everything else (calls to other contracts,
+    /// direct transfers, multi-input) still follows the cached rules —
+    /// those touch cross-contract state and belong on the MaxShard. With
+    /// no pins this is exactly `classify_cached`.
+    pub fn classify_placed(
+        transactions: &[Transaction],
+        routes: &BTreeMap<Address, SenderClass>,
+        pins: &BTreeMap<Address, ShardId>,
+    ) -> ShardPlan {
         let mut contract_shards: BTreeMap<ShardId, Vec<usize>> = BTreeMap::new();
         let mut maxshard = Vec::new();
         let mut shard_of = Vec::with_capacity(transactions.len());
         for (i, tx) in transactions.iter().enumerate() {
             let isolable = match &tx.kind {
+                TxKind::ContractCall { contract, .. }
+                    if pins.get(&tx.sender) == Some(&Self::shard_for_contract(*contract)) =>
+                {
+                    Some(*contract)
+                }
                 TxKind::ContractCall { contract, .. } => match routes.get(&tx.sender) {
                     Some(SenderClass::SingleContract(c)) if c == contract => Some(*c),
                     // Mirrors the graph's Unknown-sender rule; unreachable
@@ -390,6 +412,45 @@ mod tests {
         assert_eq!(full.contract_shards, cached.contract_shards);
         assert_eq!(full.maxshard, cached.maxshard);
         assert_eq!(full.shard_of, cached.shard_of);
+    }
+
+    #[test]
+    fn classify_placed_routes_only_pinned_home_calls() {
+        use cshard_ledger::{SenderClass, Transaction};
+        use cshard_primitives::{Address, Amount};
+        // A multi-contract sender, pinned to contract 0's home shard.
+        let txs = vec![
+            Transaction::call(
+                Address::user(1),
+                0,
+                ContractId::new(0),
+                Amount(10),
+                Amount(1),
+            ),
+            Transaction::call(
+                Address::user(1),
+                1,
+                ContractId::new(1),
+                Amount(10),
+                Amount(1),
+            ),
+            Transaction::direct(Address::user(1), 2, Address::user(9), Amount(5), Amount(1)),
+        ];
+        let routes: BTreeMap<_, _> = [(Address::user(1), SenderClass::MultiContract)].into();
+        let pins: BTreeMap<_, _> = [(Address::user(1), ShardId::new(0))].into();
+        let placed = ShardPlan::classify_placed(&txs, &routes, &pins);
+        assert_eq!(placed.shard_of[0], ShardId::new(0), "home call routes home");
+        assert_eq!(placed.shard_of[1], ShardId::MAX_SHARD, "foreign call stays");
+        assert_eq!(
+            placed.shard_of[2],
+            ShardId::MAX_SHARD,
+            "direct transfer stays"
+        );
+        // With no pins, classify_placed IS classify_cached.
+        let unpinned = ShardPlan::classify_placed(&txs, &routes, &BTreeMap::new());
+        let cached = ShardPlan::classify_cached(&txs, &routes);
+        assert_eq!(unpinned.shard_of, cached.shard_of);
+        assert_eq!(unpinned.maxshard, vec![0, 1, 2]);
     }
 
     #[test]

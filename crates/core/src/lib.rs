@@ -8,10 +8,11 @@
 //!   leader randomness, proportionally to each shard's transaction
 //!   fraction, and any claimed assignment is publicly checkable.
 //! * [`pipeline`] — the staged epoch: `Classify → Form → Merge → Select →
-//!   Unify`, each stage a struct with persistent cross-epoch state
-//!   (call-graph history, merge memoization, selection warm caches) and
-//!   per-stage counters. This is the *only* epoch implementation in the
-//!   workspace; everything below drives it.
+//!   Unify → Place`, each stage a struct with persistent cross-epoch state
+//!   (call-graph history, merge memoization and carried merge groups,
+//!   selection warm caches, placement traffic counters) and per-stage
+//!   counters. This is the *only* epoch implementation in the workspace;
+//!   everything below drives it.
 //! * [`system`] — [`system::ShardingSystem`]: the workload-level facade
 //!   over one cold pipeline epoch, with every stage optional so
 //!   experiments can ablate each mechanism; [`builder`] holds its
@@ -41,19 +42,20 @@ pub mod pipeline;
 pub mod system;
 
 pub use assignment::MinerAssignment;
+pub use cshard_place::{HotAccount, Migration, PlacementConfig, PlacementEngine};
 pub use cshard_runtime::report::{throughput_improvement, RunReport, ShardReport};
 pub use cshard_runtime::{
-    simulate, simulate_ethereum, ContractShardDriver, EthereumDriver, Event, PropagationModel,
-    ProtocolDriver, RunBuilder, RunObserver, RunOutcome, RunPhase, RunSchedStats, Runtime,
-    RuntimeConfig, SchedulerConfig, SelectionStrategy, SettleConfig, SettleStats,
-    SettlingShardDriver, ShardSpec, StreamDriver,
+    simulate, simulate_ethereum, ContractShardDriver, EthereumDriver, Event, MigratingShardDriver,
+    MigrationStats, MigrationTicket, PropagationModel, ProtocolDriver, RunBuilder, RunObserver,
+    RunOutcome, RunPhase, RunSchedStats, Runtime, RuntimeConfig, SchedulerConfig,
+    SelectionStrategy, SettleConfig, SettleStats, SettlingShardDriver, ShardSpec, StreamDriver,
 };
 pub use epoch::{EpochManager, EpochOutcome};
 pub use formation::ShardPlan;
 pub use longrun::{LongRun, LongRunConfig};
 pub use pipeline::{
-    EpochInput, EpochPipeline, EpochRun, MergeSummary, PipelineConfig, PipelineMetrics, StageKind,
-    StageObserver, StageOutput,
+    EpochInput, EpochPipeline, EpochRun, MergeSummary, PipelineConfig, PipelineMetrics,
+    PlacementStage, StageKind, StageObserver, StageOutput,
 };
 pub use system::{MinerAllocation, ShardingSystem, SystemBuilder, SystemConfig, SystemReport};
 
@@ -70,19 +72,20 @@ pub mod prelude {
     pub use crate::formation::ShardPlan;
     pub use crate::longrun::{LongRun, LongRunConfig};
     pub use crate::pipeline::{
-        EpochInput, EpochPipeline, EpochRun, PipelineConfig, PipelineMetrics, StageKind,
-        StageObserver, StageOutput,
+        EpochInput, EpochPipeline, EpochRun, PipelineConfig, PipelineMetrics, PlacementStage,
+        StageKind, StageObserver, StageOutput,
     };
     pub use crate::system::{MinerAllocation, ShardingSystem, SystemConfig, SystemReport};
     pub use crate::{simulate, simulate_ethereum, throughput_improvement, MinerAssignment};
     pub use cshard_games::dynamics::GameDynamics;
     pub use cshard_games::{MergingConfig, SelectionConfig, UnifiedParameters};
+    pub use cshard_place::{Migration, PlacementConfig, PlacementEngine};
     pub use cshard_primitives::{Error, ShardId, SimTime};
     pub use cshard_runtime::{
-        ContractShardDriver, Ctx, EthereumDriver, Event, PropagationModel, ProtocolDriver,
-        RunBuilder, RunObserver, RunOutcome, RunPhase, RunReport, RunSchedStats, Runtime,
-        RuntimeConfig, SchedulerConfig, SelectionStrategy, SettleConfig, SettleStats,
-        SettlingShardDriver, ShardSpec, StreamDriver,
+        ContractShardDriver, Ctx, EthereumDriver, Event, MigratingShardDriver, MigrationStats,
+        MigrationTicket, PropagationModel, ProtocolDriver, RunBuilder, RunObserver, RunOutcome,
+        RunPhase, RunReport, RunSchedStats, Runtime, RuntimeConfig, SchedulerConfig,
+        SelectionStrategy, SettleConfig, SettleStats, SettlingShardDriver, ShardSpec, StreamDriver,
     };
     pub use cshard_workload::{StreamConfig, TxStream};
 }

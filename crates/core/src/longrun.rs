@@ -16,6 +16,7 @@ use crate::pipeline::{EpochInput, EpochPipeline, PipelineConfig, PipelineMetrics
 use crate::system::MinerAllocation;
 use cshard_games::MergingConfig;
 use cshard_ledger::Transaction;
+use cshard_place::PlacementConfig;
 use cshard_primitives::{Error, Hash32, MinerId, SimTime};
 use cshard_runtime::report::throughput_improvement;
 use cshard_runtime::{simulate_ethereum, Runtime, RuntimeConfig, StreamDriver};
@@ -61,6 +62,9 @@ pub struct LongRunConfig {
     /// Consult cross-epoch warm-start state in the pipeline (bit-identical
     /// results, fewer game iterations on repeated inputs). Off by default.
     pub warm_start: bool,
+    /// The cross-epoch placement engine (merge-group carry-over +
+    /// hot-account migration). Disabled by default.
+    pub placement: PlacementConfig,
 }
 
 impl Default for LongRunConfig {
@@ -70,6 +74,7 @@ impl Default for LongRunConfig {
             merging: Some(MergingConfig::default()),
             miners: 32,
             warm_start: false,
+            placement: PlacementConfig::disabled(),
         }
     }
 }
@@ -92,6 +97,7 @@ impl LongRun {
             selection: None,
             allocation: MinerAllocation::OnePerShard,
             warm_start: config.warm_start,
+            placement: config.placement,
         });
         LongRun {
             config,

@@ -3,7 +3,8 @@
 use super::{EpochCtx, PipelineStage, StageKind, StageOutput};
 use crate::formation::ShardPlan;
 use cshard_ledger::{CallGraph, SenderClass};
-use cshard_primitives::{Address, Error};
+use cshard_place::Migration;
+use cshard_primitives::{Address, Error, ShardId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Classifies each epoch's batch against the call graph it **owns** and
@@ -22,12 +23,20 @@ use std::collections::{BTreeMap, BTreeSet};
 /// runs); a long-running pipeline accumulates sender history here, so
 /// users who diversify migrate to the MaxShard exactly as under the old
 /// `EpochManager`-owned history.
+/// When placement is enabled, migrations feed back into the stage between
+/// epochs ([`ClassifyStage::apply_migrations`]): a moved sender's cached
+/// route is *invalidated* — dirty-sender churn alone would never touch it,
+/// since a migration changes where the sender lives, not what it calls —
+/// and a pin records its new home so [`ShardPlan::classify_placed`] routes
+/// its home-contract calls there from the next epoch on.
 #[derive(Debug, Default)]
 pub struct ClassifyStage {
     graph: CallGraph,
     /// Cached class per ever-observed sender; refreshed only for dirty
     /// addresses each epoch.
     routes: BTreeMap<Address, SenderClass>,
+    /// Placement pins: migrated senders and the shard they moved to.
+    pins: BTreeMap<Address, ShardId>,
 }
 
 impl ClassifyStage {
@@ -41,12 +50,31 @@ impl ClassifyStage {
     /// the seeded history from the first epoch on.
     pub fn with_history(graph: CallGraph) -> Self {
         let routes = graph.senders().map(|a| (a, graph.classify(a))).collect();
-        ClassifyStage { graph, routes }
+        ClassifyStage {
+            graph,
+            routes,
+            pins: BTreeMap::new(),
+        }
     }
 
     /// The accumulated cross-epoch call graph.
     pub fn history(&self) -> &CallGraph {
         &self.graph
+    }
+
+    /// Applies the epoch's migrations: each moved sender's cached route is
+    /// dropped — it must reclassify next epoch even with zero call-graph
+    /// churn — and a pin records its new home shard.
+    pub fn apply_migrations(&mut self, moves: &[Migration]) {
+        for m in moves {
+            self.routes.remove(&m.account);
+            self.pins.insert(m.account, m.to);
+        }
+    }
+
+    /// The currently pinned senders and their home shards.
+    pub fn pins(&self) -> &BTreeMap<Address, ShardId> {
+        &self.pins
     }
 }
 
@@ -62,11 +90,25 @@ impl PipelineStage for ClassifyStage {
         }
         let batch_senders: BTreeSet<Address> =
             ctx.transactions.iter().map(|tx| tx.sender).collect();
-        let carried = batch_senders.iter().filter(|a| !dirty.contains(a)).count() as u64;
-        let plan = ShardPlan::classify_cached(ctx.transactions, &self.routes);
+        // A clean sender missing from the cache was invalidated by a
+        // migration (first sight always dirties): reclassify it now.
+        let mut reclassified = dirty.len() as u64;
+        let mut carried = 0u64;
+        for &addr in &batch_senders {
+            if dirty.contains(&addr) {
+                continue;
+            }
+            if self.routes.contains_key(&addr) {
+                carried += 1;
+            } else {
+                self.routes.insert(addr, self.graph.classify(addr));
+                reclassified += 1;
+            }
+        }
+        let plan = ShardPlan::classify_placed(ctx.transactions, &self.routes, &self.pins);
         let out = StageOutput {
             items: plan.active_shard_count() as u64,
-            reclassified: dirty.len() as u64,
+            reclassified,
             carried,
             ..StageOutput::default()
         };
@@ -103,6 +145,7 @@ mod tests {
             specs: Vec::new(),
             comm: cshard_network::CommStats::new(),
             run: None,
+            migrations: Vec::new(),
         };
         let out = stage.run(&mut ctx).expect("classify never fails");
         (ctx.plan.expect("classify sets the plan"), out)
@@ -160,6 +203,38 @@ mod tests {
         assert_eq!(out.reclassified, 1);
         assert_eq!(out.carried, 0);
         assert_eq!(plan.maxshard, vec![0], "multi-contract sender → MaxShard");
+    }
+
+    #[test]
+    fn migrated_sender_is_invalidated_and_routed_to_its_pin() {
+        use cshard_primitives::ShardId;
+        let mut stage = ClassifyStage::new();
+        // Sender 1 calls two contracts: MultiContract, lands on MaxShard.
+        let (plan0, _) = run_stage(&mut stage, &[call(1, 0, 0), call(1, 1, 1)]);
+        assert_eq!(plan0.maxshard, vec![0, 1]);
+        // Placement moves sender 1 home to contract 0's shard.
+        stage.apply_migrations(&[Migration {
+            account: Address::user(1),
+            from: ShardId::MAX_SHARD,
+            to: ShardId::new(0),
+            txs: 2,
+        }]);
+        // Next epoch repeats the same participation — zero call-graph
+        // churn — yet the mover must be reclassified, not carried, and its
+        // home-contract call must route to the pinned shard.
+        let (plan, out) = run_stage(&mut stage, &[call(1, 0, 2), call(1, 1, 3)]);
+        assert_eq!(out.reclassified, 1, "moved sender reclassifies");
+        assert_eq!(out.carried, 0);
+        assert_eq!(
+            plan.shard_of[0],
+            ShardId::new(0),
+            "home call follows the pin"
+        );
+        assert_eq!(plan.shard_of[1], ShardId::MAX_SHARD, "foreign call stays");
+        // A further epoch with unchanged behaviour is carried again.
+        let (_, out2) = run_stage(&mut stage, &[call(1, 0, 4)]);
+        assert_eq!(out2.carried, 1);
+        assert_eq!(out2.reclassified, 0);
     }
 
     #[test]

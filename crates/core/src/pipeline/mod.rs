@@ -6,19 +6,24 @@
 //! harness replaying the same drivers — runs the *same* fixed sequence:
 //!
 //! ```text
-//! Classify → Form → Merge → Select → Unify
+//! Classify → Form → Merge → Select → Unify → Place
 //! ```
 //!
 //! * [`ClassifyStage`] (Sec. III-A) — absorb the batch into the owned call
 //!   graph and classify every transaction into contract shards + MaxShard.
 //! * [`FormStage`] — materialize per-shard local fee queues from the plan.
 //! * [`MergeStage`] (Sec. IV-A) — run Algorithm 1 over the small shards
-//!   under unified parameters and fuse the merged queues.
+//!   under unified parameters and fuse the merged queues. With placement
+//!   enabled it carries merge groups across epochs, re-validating each
+//!   carried group and re-running the dynamics only where sizes moved.
 //! * [`SelectStage`] (Sec. III-B / IV-B) — allocate miners to shards and
 //!   attach each shard's selection strategy.
 //! * [`UnifyStage`] (Sec. IV-C) — every miner replays the agreed
 //!   parameters; the block-production runtime drives all shards to
 //!   completion.
+//! * [`PlacementStage`] — observe the epoch's MaxShard traffic and, when
+//!   placement is enabled, propose hot-account migrations that take
+//!   effect next epoch (off by default; bit-invisible when off).
 //!
 //! Each stage is a struct implementing [`PipelineStage`]: it reads and
 //! writes the epoch's [`EpochCtx`] and may carry **persistent cross-epoch
@@ -38,12 +43,14 @@
 pub mod classify;
 pub mod form;
 pub mod merge;
+pub mod place;
 pub mod select;
 pub mod unify;
 
 pub use classify::ClassifyStage;
 pub use form::FormStage;
 pub use merge::{MergeStage, MergeSummary};
+pub use place::PlacementStage;
 pub use select::SelectStage;
 pub use unify::UnifyStage;
 
@@ -52,10 +59,11 @@ use crate::system::MinerAllocation;
 use cshard_games::MergingConfig;
 use cshard_ledger::Transaction;
 use cshard_network::CommStats;
+use cshard_place::{Migration, PlacementConfig};
 use cshard_primitives::{Error, Hash32, ShardId};
 use cshard_runtime::{RunReport, RuntimeConfig, ShardSpec};
 
-/// The five stages, in execution order.
+/// The six stages, in execution order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StageKind {
     /// Call-graph classification into shards.
@@ -68,16 +76,19 @@ pub enum StageKind {
     Select,
     /// Unified replay: the block-production run.
     Unify,
+    /// Cross-epoch placement: migration proposals for the next epoch.
+    Place,
 }
 
 impl StageKind {
     /// Every stage, in pipeline order.
-    pub const ALL: [StageKind; 5] = [
+    pub const ALL: [StageKind; 6] = [
         StageKind::Classify,
         StageKind::Form,
         StageKind::Merge,
         StageKind::Select,
         StageKind::Unify,
+        StageKind::Place,
     ];
 
     /// The stage's display name.
@@ -88,6 +99,7 @@ impl StageKind {
             StageKind::Merge => "merge",
             StageKind::Select => "select",
             StageKind::Unify => "unify",
+            StageKind::Place => "place",
         }
     }
 
@@ -98,6 +110,7 @@ impl StageKind {
             StageKind::Merge => 2,
             StageKind::Select => 3,
             StageKind::Unify => 4,
+            StageKind::Place => 5,
         }
     }
 }
@@ -163,7 +176,7 @@ pub struct StageCounters {
 pub struct PipelineMetrics {
     /// Epochs completed end to end.
     pub epochs: u64,
-    counters: [StageCounters; 5],
+    counters: [StageCounters; 6],
 }
 
 impl PipelineMetrics {
@@ -255,6 +268,9 @@ pub struct PipelineConfig {
     /// equilibrium caches). Results are bit-identical either way; only
     /// iteration counts differ. Off by default.
     pub warm_start: bool,
+    /// The cross-epoch placement engine: merge-group carry-over and
+    /// hot-account migration. Off by default; bit-invisible when off.
+    pub placement: PlacementConfig,
 }
 
 impl Default for PipelineConfig {
@@ -264,6 +280,7 @@ impl Default for PipelineConfig {
             selection: None,
             allocation: MinerAllocation::OnePerShard,
             warm_start: false,
+            placement: PlacementConfig::disabled(),
         }
     }
 }
@@ -306,6 +323,8 @@ pub struct EpochCtx<'a> {
     pub comm: CommStats,
     /// Set by [`UnifyStage`]: the epoch's block-production report.
     pub run: Option<RunReport>,
+    /// Set by [`PlacementStage`]: migrations to take effect next epoch.
+    pub migrations: Vec<Migration>,
 }
 
 /// One completed epoch, as the pipeline hands it back.
@@ -321,6 +340,11 @@ pub struct EpochRun {
     pub comm: CommStats,
     /// The block-production report.
     pub run: RunReport,
+    /// Migrations the placement stage proposed this epoch. Already applied
+    /// to the classify stage's route map — routing changes next epoch —
+    /// and handed out so a runtime harness can execute the moves (drain,
+    /// re-key, switch) through `Event::Migration`.
+    pub migrations: Vec<Migration>,
 }
 
 /// One pipeline stage: reads and writes the [`EpochCtx`], may keep
@@ -328,7 +352,7 @@ pub struct EpochRun {
 /// counters. See the module docs for the "writing a new stage" contract
 /// (DESIGN.md §4 walks through an example).
 pub trait PipelineStage {
-    /// Which of the five slots this stage fills.
+    /// Which of the six slots this stage fills.
     fn kind(&self) -> StageKind;
     /// Executes the stage for one epoch.
     fn run(&mut self, ctx: &mut EpochCtx<'_>) -> Result<StageOutput, Error>;
@@ -344,7 +368,7 @@ pub(crate) fn missing_product(stage: &'static str, needs: &'static str) -> Error
     }
 }
 
-/// The staged epoch driver: owns the five stages and their cross-epoch
+/// The staged epoch driver: owns the six stages and their cross-epoch
 /// state, and runs them in order once per [`EpochPipeline::run_epoch`].
 #[derive(Debug)]
 pub struct EpochPipeline {
@@ -353,18 +377,21 @@ pub struct EpochPipeline {
     merge: MergeStage,
     select: SelectStage,
     unify: UnifyStage,
+    place: PlacementStage,
     metrics: PipelineMetrics,
 }
 
 impl EpochPipeline {
     /// Builds a pipeline; each stage takes its slice of the configuration.
     pub fn new(config: PipelineConfig) -> Self {
+        let carry = config.placement.enabled && config.placement.carry_merge_groups;
         EpochPipeline {
             classify: ClassifyStage::new(),
             form: FormStage::new(),
-            merge: MergeStage::new(config.merging, config.warm_start),
+            merge: MergeStage::new(config.merging, config.warm_start, carry),
             select: SelectStage::new(config.allocation, config.selection),
             unify: UnifyStage::new(config.warm_start),
+            place: PlacementStage::new(config.placement),
             metrics: PipelineMetrics::default(),
         }
     }
@@ -374,7 +401,7 @@ impl EpochPipeline {
         &self.metrics
     }
 
-    /// Runs one epoch through all five stages.
+    /// Runs one epoch through all six stages.
     pub fn run_epoch(&mut self, input: EpochInput<'_>) -> Result<EpochRun, Error> {
         self.run_epoch_observed(input, &mut SilentObserver)
     }
@@ -404,6 +431,7 @@ impl EpochPipeline {
             specs: Vec::new(),
             comm: CommStats::new(),
             run: None,
+            migrations: Vec::new(),
         };
         let EpochPipeline {
             classify,
@@ -411,9 +439,11 @@ impl EpochPipeline {
             merge,
             select,
             unify,
+            place,
             metrics,
         } = self;
-        let stages: [&mut dyn PipelineStage; 5] = [classify, form, merge, select, unify];
+        let stages: [&mut dyn PipelineStage; 6] =
+            [&mut *classify, form, merge, select, unify, place];
         for stage in stages {
             let kind = stage.kind();
             observer.stage_started(kind);
@@ -422,6 +452,9 @@ impl EpochPipeline {
             observer.stage_finished(kind, &out);
         }
         metrics.epochs += 1;
+        // Feed the epoch's migrations back into the classifier so the
+        // moves take effect from the next epoch on.
+        classify.apply_migrations(&ctx.migrations);
         let (Some(plan), Some(run)) = (ctx.plan.take(), ctx.run.take()) else {
             return Err(missing_product("report", "a mandatory stage"));
         };
@@ -435,6 +468,7 @@ impl EpochPipeline {
             merge: ctx.merge,
             comm: ctx.comm,
             run,
+            migrations: ctx.migrations,
         })
     }
 }

@@ -26,6 +26,7 @@ use crate::pipeline::{EpochInput, EpochPipeline, PipelineConfig, PipelineMetrics
 use cshard_crypto::sha256;
 use cshard_games::MergingConfig;
 use cshard_network::CommStats;
+use cshard_place::PlacementConfig;
 use cshard_primitives::{Error, ShardId};
 use cshard_runtime::{RunReport, RuntimeConfig};
 use cshard_workload::Workload;
@@ -65,6 +66,9 @@ pub struct SystemConfig {
     pub selection: Option<usize>,
     /// Miner spread.
     pub allocation: MinerAllocation,
+    /// The cross-epoch placement engine (merge-group carry-over +
+    /// hot-account migration). Off by default and bit-invisible when off.
+    pub placement: PlacementConfig,
     /// Epoch label — seeds leader randomness, so two systems with the same
     /// config and workload are bit-identical.
     pub epoch: u64,
@@ -77,6 +81,7 @@ impl Default for SystemConfig {
             merging: None,
             selection: None,
             allocation: MinerAllocation::OnePerShard,
+            placement: PlacementConfig::disabled(),
             epoch: 0,
         }
     }
@@ -151,6 +156,7 @@ impl ShardingSystem {
             selection: self.config.selection,
             allocation: self.config.allocation,
             warm_start: false,
+            placement: self.config.placement,
         }
     }
 

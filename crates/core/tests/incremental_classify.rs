@@ -28,6 +28,7 @@ fn classify_incremental(stage: &mut ClassifyStage, batch: &[Transaction]) -> (Sh
         specs: Vec::new(),
         comm: CommStats::new(),
         run: None,
+        migrations: Vec::new(),
     };
     let out = stage.run(&mut ctx).expect("classification is total");
     (

@@ -184,6 +184,7 @@ fn builder_sets_every_knob() {
         .total_miners(20)
         .merging(16)
         .selection(500)
+        .placement(PlacementConfig::engaged())
         .epoch(3)
         .build()
         .expect("valid configuration");
@@ -208,6 +209,7 @@ fn builder_sets_every_knob() {
     ));
     assert_eq!(cfg.merging.as_ref().map(|m| m.lower_bound), Some(16));
     assert_eq!(cfg.selection, Some(500));
+    assert_eq!(cfg.placement, PlacementConfig::engaged());
     assert_eq!(cfg.epoch, 3);
 }
 
@@ -275,6 +277,86 @@ fn total_txs_preserved_through_merging() {
     assert_eq!(report.run.total_txs(), 200);
 }
 
+/// The placement engine's merge-carry pin, fuzzed over 200 seeds: with
+/// carry-only placement (`max_moves_per_epoch: 0` — no migrations, just
+/// persistent merge groups), repeated identical epochs must be
+/// **bit-identical** to a cold pipeline while spending strictly fewer
+/// replicator-dynamics iterations — the carried partition is reused, not
+/// recomputed. This is the contract that lets merge decisions persist
+/// across epochs without perturbing a single golden result.
+#[test]
+fn carried_merge_groups_match_cold_recompute_over_200_seeds() {
+    let carry_only = PlacementConfig {
+        max_moves_per_epoch: 0,
+        ..PlacementConfig::engaged()
+    };
+    for seed in 0..200u64 {
+        // Seed-indexed small-shard patterns: every point gives the merge
+        // game real work, with varying group shapes.
+        let shards = [6usize, 8, 9][(seed % 3) as usize];
+        let smalls: &[u64] = [
+            &[3u64, 4, 5, 4][..],
+            &[2u64, 3, 4, 5, 6][..],
+            &[4u64, 4, 4][..],
+        ][((seed / 3) % 3) as usize];
+        // Every small-size pattern sums past both bounds, so the game
+        // always has at least one mergeable group to work on.
+        let lower_bound = [8u64, 10][((seed / 9) % 2) as usize];
+        let w = Workload::with_small_shards(120, shards, smalls.len(), smalls, FEES, seed);
+        let fees = w.fees();
+        let config = |placement: PlacementConfig| PipelineConfig {
+            merging: Some(MergingConfig {
+                lower_bound,
+                ..MergingConfig::default()
+            }),
+            placement,
+            ..PipelineConfig::default()
+        };
+        let drive = |placement: PlacementConfig| {
+            let mut pipeline = EpochPipeline::new(config(placement));
+            let mut runs = Vec::new();
+            for _ in 0..2 {
+                let out = pipeline
+                    .run_epoch(EpochInput {
+                        transactions: &w.transactions,
+                        fees: &fees,
+                        randomness: sha256(seed.to_be_bytes()),
+                        runtime: runtime(seed),
+                    })
+                    .expect("valid config");
+                runs.push((out.run.fingerprint(), out.shard_sizes, out.migrations));
+            }
+            let merge = *pipeline.metrics().stage(StageKind::Merge);
+            (runs, merge)
+        };
+        let (cold_runs, cold_merge) = drive(PlacementConfig::disabled());
+        let (carry_runs, carry_merge) = drive(carry_only);
+        assert_eq!(
+            cold_runs, carry_runs,
+            "seed {seed}: carry-only placement changed a result"
+        );
+        assert!(
+            carry_runs.iter().all(|(_, _, m)| m.is_empty()),
+            "seed {seed}: carry-only mode must propose no migrations"
+        );
+        assert!(
+            cold_merge.iterations > 0,
+            "seed {seed}: grid point gave the merge game no work"
+        );
+        assert!(
+            carry_merge.iterations < cold_merge.iterations,
+            "seed {seed}: carried {} !< cold {}",
+            carry_merge.iterations,
+            cold_merge.iterations
+        );
+        assert!(
+            carry_merge.carried > 0,
+            "seed {seed}: the second epoch must reuse carried groups"
+        );
+        assert_eq!(cold_merge.carried, 0, "seed {seed}: cold never carries");
+    }
+}
+
 /// The warm-start acceptance check on the Fig. 3(a)-style grid: repeated
 /// identical epochs through one pipeline reach bit-identical results with
 /// strictly fewer total game-dynamics iterations when warm starts are on.
@@ -294,6 +376,7 @@ fn warm_start_is_bit_identical_with_strictly_fewer_iterations() {
             selection: Some(500),
             allocation: MinerAllocation::PerShard(3),
             warm_start: warm,
+            placement: PlacementConfig::disabled(),
         };
         let drive = |warm: bool| {
             let mut pipeline = EpochPipeline::new(config(warm));

@@ -14,8 +14,9 @@ use crate::report::FaultReport;
 use cshard_network::{LatencyModel, PartitionModel, PartitionWindow};
 use cshard_primitives::{Error, ShardId, SimTime};
 use cshard_runtime::{
-    Batch, ContractShardDriver, PropagationModel, RunReport, Runtime, RuntimeConfig, SettleStats,
-    SettlingShardDriver, ShardSpec,
+    Batch, ContractShardDriver, MigratingShardDriver, MigrationStats, MigrationTicket,
+    PropagationModel, RunReport, Runtime, RuntimeConfig, SettleStats, SettlingShardDriver,
+    ShardSpec,
 };
 use std::collections::BTreeSet;
 
@@ -230,6 +231,137 @@ pub fn run_with_settlement(
     })
 }
 
+/// A faulted run with batched settlement *and* scheduled hot-account
+/// migration: everything [`SettledFaultRun`] carries, plus the migration
+/// accounting and per-ticket apply times.
+#[derive(Clone, Debug)]
+pub struct MigratedFaultRun {
+    /// The standard run report.
+    pub run: RunReport,
+    /// What the injected faults did.
+    pub faults: FaultReport,
+    /// Settlement accounting folded over all shards.
+    pub settle: SettleStats,
+    /// Per shard (spec order): the batches it flushed, in flush order.
+    pub batches: Vec<Vec<Batch>>,
+    /// Migration accounting folded over all shards.
+    pub migrations: MigrationStats,
+    /// Per shard (spec order), per ticket (schedule order): when the
+    /// ticket applied — the exactly-once surface the fault tests assert.
+    pub applied: Vec<Vec<Option<SimTime>>>,
+}
+
+/// [`run_with_settlement`] with a hot-account migration schedule layered
+/// on each shard (`cshard_runtime::MigratingShardDriver`).
+///
+/// `schedules[i]` lists shard `i`'s [`MigrationTicket`]s. Each apply
+/// drains the moving account's open settlement pairs, re-keys its
+/// unsubmitted transfers to the new home shard and books the move as one
+/// crosslink. Partition windows from the plan black out the pair toward a
+/// ticket's destination exactly as they black out settlement flushes: an
+/// apply falling inside a blackout defers to the heal and applies exactly
+/// once there, which [`MigratedFaultRun::applied`] lets callers assert
+/// ticket-for-ticket.
+///
+/// Determinism matches [`run_with_settlement`]: the result is a pure
+/// function of `(shards, transfers, schedules, config, plan)` at any
+/// `config.scheduler`.
+pub fn run_with_migration(
+    shards: &[ShardSpec],
+    transfers: &[Vec<(usize, ShardId)>],
+    schedules: &[Vec<MigrationTicket>],
+    config: &RuntimeConfig,
+    plan: &FaultPlan,
+) -> Result<MigratedFaultRun, Error> {
+    plan.validate()?;
+    config.settle.validate()?;
+    if transfers.len() != shards.len() {
+        return Err(Error::Config {
+            field: "transfers",
+            reason: format!(
+                "one transfer list per shard: got {} lists for {} shards",
+                transfers.len(),
+                shards.len()
+            ),
+        });
+    }
+    if schedules.len() != shards.len() {
+        return Err(Error::Config {
+            field: "schedules",
+            reason: format!(
+                "one migration schedule per shard: got {} schedules for {} shards",
+                schedules.len(),
+                shards.len()
+            ),
+        });
+    }
+    if config.block_capacity == 0 {
+        return Err(Error::Config {
+            field: "block_capacity",
+            reason: "must be positive".into(),
+        });
+    }
+    if let Some(spec) = shards.iter().find(|s| s.miners == 0) {
+        return Err(Error::NoMiners { shard: spec.shard });
+    }
+    let mut drivers = Vec::with_capacity(shards.len());
+    for ((spec, outbound), schedule) in shards.iter().zip(transfers).zip(schedules) {
+        let windows = plan.partitions_for(spec.shard);
+        let settling = if windows.is_empty() {
+            SettlingShardDriver::new(spec, config, outbound.clone())
+        } else {
+            let mut shard_config = config.clone();
+            shard_config.propagation = partitioned(&config.propagation, windows)?;
+            SettlingShardDriver::new(spec, &shard_config, outbound.clone())
+        };
+        let mut driver = MigratingShardDriver::new(settling, schedule.clone());
+        // A pair is blacked out while *either* endpoint is partitioned —
+        // settlement pairs toward transfer destinations and migration
+        // pairs toward ticket destinations alike.
+        let dests: BTreeSet<ShardId> = outbound
+            .iter()
+            .map(|&(_, d)| d)
+            .chain(schedule.iter().map(|t| t.to))
+            .collect();
+        for dest in dests {
+            let mut pair: Vec<(SimTime, SimTime)> = plan.partitions_for(spec.shard);
+            pair.extend(plan.partitions_for(dest));
+            driver.set_blackouts(dest, pair);
+        }
+        drivers.push(FaultyDriver::new(driver, spec.shard, plan));
+    }
+    let outcome = Runtime::builder()
+        .scheduler(config.scheduler)
+        .run(drivers)?;
+    let settle = outcome.settle;
+    let (run, finished) = (outcome.report, outcome.drivers);
+    let mut shard_stats = Vec::with_capacity(finished.len());
+    let mut batches = Vec::with_capacity(finished.len());
+    let mut migrations = MigrationStats::default();
+    let mut applied = Vec::with_capacity(finished.len());
+    for wrapper in finished {
+        let (stats, inner) = wrapper.into_parts();
+        shard_stats.push(stats);
+        batches.push(inner.inner().settled_batches().to_vec());
+        migrations = migrations.merge(&inner.stats());
+        applied.push(
+            (0..inner.schedule().len())
+                .map(|slot| inner.applied_at(slot))
+                .collect(),
+        );
+    }
+    Ok(MigratedFaultRun {
+        run,
+        faults: FaultReport {
+            shards: shard_stats,
+        },
+        settle,
+        batches,
+        migrations,
+        applied,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +559,137 @@ mod tests {
             .expect("valid");
         assert_eq!(faulted.run.fingerprint(), bare.report.fingerprint());
         assert_eq!(faulted.settle, bare.settle);
+    }
+
+    // ---- hot-account migration under faults ----
+
+    /// The settled fixture plus one ticket on shard 0: the account owning
+    /// transfer slots 0..10 moves to shard 1 at t = 60 s.
+    #[allow(clippy::type_complexity)]
+    fn migrated_fixture() -> (
+        Vec<ShardSpec>,
+        Vec<Vec<(usize, ShardId)>>,
+        Vec<Vec<MigrationTicket>>,
+    ) {
+        let (shards, transfers) = settled_fixture();
+        let schedules = vec![
+            vec![MigrationTicket {
+                account: 7,
+                from: ShardId::new(0),
+                to: ShardId::new(1),
+                at: SimTime::from_secs(60),
+                transfers: (0..10).collect(),
+            }],
+            Vec::new(),
+        ];
+        (shards, transfers, schedules)
+    }
+
+    #[test]
+    fn migration_mid_partition_defers_and_applies_exactly_once_on_heal() {
+        let (shards, transfers, schedules) = migrated_fixture();
+        let cfg = settled_config(23, 100, 1);
+        // Black out the destination across the apply time: the migration
+        // event fires mid-partition and must defer to the heal.
+        let heal = SimTime::from_secs(20_000);
+        let plan = FaultPlan::none(0).with_partition(ShardId::new(1), SimTime::ZERO, heal);
+        let out = run_with_migration(&shards, &transfers, &schedules, &cfg, &plan).expect("valid");
+        assert!(out.migrations.deferred >= 1, "{:?}", out.migrations);
+        assert_eq!(out.migrations.scheduled, 1);
+        assert_eq!(out.migrations.applied, 1, "exactly once");
+        assert_eq!(out.applied[0], vec![Some(heal)], "applies at the heal");
+        // The settlement ledger still covers every transfer exactly once,
+        // none of it inside the blackout.
+        let mut slots: Vec<u64> = out.batches[0]
+            .iter()
+            .flat_map(|b| b.transfers.iter().copied())
+            .collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..50).collect::<Vec<u64>>());
+        for b in &out.batches[0] {
+            assert!(b.at >= heal, "batch flushed mid-partition at {}", b.at);
+        }
+    }
+
+    #[test]
+    fn migrated_fault_runs_are_thread_count_invariant() {
+        let (shards, transfers, schedules) = migrated_fixture();
+        let plan = FaultPlan::none(9)
+            .with_partition(
+                ShardId::new(1),
+                SimTime::from_secs(30),
+                SimTime::from_secs(400),
+            )
+            .with_crash(
+                ShardId::new(1),
+                0,
+                SimTime::from_secs(60),
+                Some(SimTime::from_secs(120)),
+            );
+        let base = run_with_migration(
+            &shards,
+            &transfers,
+            &schedules,
+            &settled_config(23, 10, 1),
+            &plan,
+        )
+        .expect("valid");
+        for threads in [4, 0] {
+            let other = run_with_migration(
+                &shards,
+                &transfers,
+                &schedules,
+                &settled_config(23, 10, threads),
+                &plan,
+            )
+            .expect("valid");
+            assert_eq!(base.run.fingerprint(), other.run.fingerprint());
+            assert_eq!(base.faults, other.faults);
+            assert_eq!(base.settle, other.settle);
+            assert_eq!(base.batches, other.batches);
+            assert_eq!(base.migrations, other.migrations);
+            assert_eq!(base.applied, other.applied);
+        }
+    }
+
+    #[test]
+    fn empty_schedules_match_run_with_settlement_exactly() {
+        let (shards, transfers) = settled_fixture();
+        let cfg = settled_config(23, 10, 1);
+        let plan = FaultPlan::none(0).with_partition(
+            ShardId::new(1),
+            SimTime::from_secs(30),
+            SimTime::from_secs(400),
+        );
+        let settled = run_with_settlement(&shards, &transfers, &cfg, &plan).expect("valid");
+        let migrated =
+            run_with_migration(&shards, &transfers, &[Vec::new(), Vec::new()], &cfg, &plan)
+                .expect("valid");
+        assert_eq!(migrated.run.fingerprint(), settled.run.fingerprint());
+        assert_eq!(migrated.faults, settled.faults);
+        assert_eq!(migrated.settle, settled.settle);
+        assert_eq!(migrated.batches, settled.batches);
+        assert_eq!(migrated.migrations, MigrationStats::default());
+    }
+
+    #[test]
+    fn migration_harness_rejects_mismatched_schedule_lists() {
+        let (shards, transfers) = settled_fixture();
+        let err = run_with_migration(
+            &shards,
+            &transfers,
+            &[Vec::new()],
+            &settled_config(1, 10, 1),
+            &FaultPlan::none(0),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Config {
+                field: "schedules",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub use driver::FaultyDriver;
 pub use epochs::{
     equivocation_detected, run_leader_faults, EpochFaultOutcome, EpochFaultReport, LeaderFaultPlan,
 };
-pub use harness::{run_with_faults, run_with_settlement, FaultRun, SettledFaultRun};
+pub use harness::{
+    run_with_faults, run_with_migration, run_with_settlement, FaultRun, MigratedFaultRun,
+    SettledFaultRun,
+};
 pub use plan::{FaultAction, FaultPlan};
 pub use report::{FaultReport, ShardFaultStats};

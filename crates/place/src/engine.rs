@@ -1,0 +1,257 @@
+//! Hot-account tracking and migration proposals.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cshard_network::CommSnapshot;
+use cshard_primitives::{Address, ContractId, ShardId};
+
+use crate::config::PlacementConfig;
+
+/// A migration-eligible sender: the contract that dominates its observed
+/// traffic and how many calls back the decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotAccount {
+    /// The sender to move.
+    pub account: Address,
+    /// The contract whose home shard the sender should move to.
+    pub contract: ContractId,
+    /// Observed calls from the sender to that contract.
+    pub txs: u64,
+}
+
+/// Persistent placement state, carried across epochs.
+///
+/// The engine sees only what the classify stage routes to the MaxShard:
+/// a sender whose contract calls land on a contract shard already sits
+/// where its traffic is. Counters accumulate across epochs so a sender
+/// slowly concentrating on one contract eventually crosses the dominance
+/// threshold, and an account is proposed at most once — after a move its
+/// calls are no longer MaxShard traffic, and the `moved` set keeps
+/// re-proposals out even if stale observations linger.
+#[derive(Clone, Debug, Default)]
+pub struct PlacementEngine {
+    config: PlacementConfig,
+    /// Per-sender, per-contract observed MaxShard-routed calls.
+    traffic: BTreeMap<Address, BTreeMap<ContractId, u64>>,
+    /// Accounts already proposed for migration.
+    moved: BTreeSet<Address>,
+}
+
+impl PlacementEngine {
+    /// A fresh engine with the given knobs.
+    pub fn new(config: PlacementConfig) -> Self {
+        PlacementEngine {
+            config,
+            traffic: BTreeMap::new(),
+            moved: BTreeSet::new(),
+        }
+    }
+
+    /// The knobs the engine was built with.
+    pub fn config(&self) -> &PlacementConfig {
+        &self.config
+    }
+
+    /// Records one MaxShard-routed contract call.
+    pub fn observe(&mut self, sender: Address, contract: ContractId) {
+        *self
+            .traffic
+            .entry(sender)
+            .or_default()
+            .entry(contract)
+            .or_insert(0) += 1;
+    }
+
+    /// Number of distinct senders observed so far.
+    pub fn tracked_senders(&self) -> usize {
+        self.traffic.len()
+    }
+
+    /// Number of accounts proposed for migration over the engine's life.
+    pub fn moved_accounts(&self) -> usize {
+        self.moved.len()
+    }
+
+    /// The epoch's load-imbalance metric: `max(load) / mean(load) - 1`,
+    /// where a shard's load is its planned transaction count plus its
+    /// recorded cross-shard messages. `0.0` means perfectly balanced; a
+    /// value of `1.0` means the hottest shard carries twice the mean.
+    /// Deterministic: folds in `sizes` order, reads the snapshot per key.
+    pub fn imbalance(sizes: &[(ShardId, u64)], comm: &CommSnapshot) -> f64 {
+        if sizes.is_empty() {
+            return 0.0;
+        }
+        let loads: Vec<u64> = sizes
+            .iter()
+            .map(|&(id, size)| size + comm.for_shard(id))
+            .collect();
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / loads.len() as f64;
+        let max = loads.iter().copied().max().unwrap_or(0);
+        max as f64 / mean - 1.0
+    }
+
+    /// Proposes up to `max_moves_per_epoch` hot accounts, hottest first
+    /// (ties broken by address). A sender qualifies when it has at least
+    /// `min_account_txs` observed calls and one contract holds at least
+    /// `min_dominance_percent` of them. Proposed accounts are marked
+    /// moved and never proposed again.
+    pub fn propose(&mut self) -> Vec<HotAccount> {
+        if !self.config.enabled || self.config.max_moves_per_epoch == 0 {
+            return Vec::new();
+        }
+        let mut candidates: Vec<HotAccount> = Vec::new();
+        for (&account, calls) in &self.traffic {
+            if self.moved.contains(&account) {
+                continue;
+            }
+            let total: u64 = calls.values().sum();
+            if total < self.config.min_account_txs {
+                continue;
+            }
+            // Ascending ContractId iteration + strict `>` keeps the
+            // smallest dominant contract on a tie.
+            let Some((&contract, &txs)) =
+                calls
+                    .iter()
+                    .reduce(|best, cur| if cur.1 > best.1 { cur } else { best })
+            else {
+                continue;
+            };
+            if txs * 100 >= total * u64::from(self.config.min_dominance_percent) {
+                candidates.push(HotAccount {
+                    account,
+                    contract,
+                    txs,
+                });
+            }
+        }
+        candidates.sort_by(|a, b| b.txs.cmp(&a.txs).then(a.account.cmp(&b.account)));
+        candidates.truncate(self.config.max_moves_per_epoch);
+        for hot in &candidates {
+            self.moved.insert(hot.account);
+        }
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cshard_network::CommStats;
+
+    fn addr(n: u8) -> Address {
+        Address([n; 20])
+    }
+
+    fn engine() -> PlacementEngine {
+        PlacementEngine::new(PlacementConfig::engaged())
+    }
+
+    #[test]
+    fn dominant_sender_is_proposed_once() {
+        let mut e = engine();
+        for _ in 0..5 {
+            e.observe(addr(1), ContractId::new(2));
+        }
+        e.observe(addr(1), ContractId::new(3));
+        let first = e.propose();
+        assert_eq!(
+            first,
+            vec![HotAccount {
+                account: addr(1),
+                contract: ContractId::new(2),
+                txs: 5
+            }]
+        );
+        // Same traffic, second epoch: already moved, nothing proposed.
+        assert!(e.propose().is_empty());
+        assert_eq!(e.moved_accounts(), 1);
+    }
+
+    #[test]
+    fn non_dominant_or_cold_senders_are_skipped() {
+        let mut e = engine();
+        // 50/50 split: below the 60% dominance bar.
+        for _ in 0..4 {
+            e.observe(addr(1), ContractId::new(0));
+            e.observe(addr(1), ContractId::new(1));
+        }
+        // Dominant but only 2 calls: below min_account_txs = 4.
+        e.observe(addr(2), ContractId::new(0));
+        e.observe(addr(2), ContractId::new(0));
+        assert!(e.propose().is_empty());
+        // Two more calls push the cold sender over the activity bar.
+        e.observe(addr(2), ContractId::new(0));
+        e.observe(addr(2), ContractId::new(0));
+        assert_eq!(e.propose().len(), 1);
+    }
+
+    #[test]
+    fn proposals_rank_by_traffic_then_address_and_respect_the_cap() {
+        let mut e = PlacementEngine::new(PlacementConfig {
+            max_moves_per_epoch: 2,
+            ..PlacementConfig::engaged()
+        });
+        for _ in 0..4 {
+            e.observe(addr(9), ContractId::new(0));
+            e.observe(addr(3), ContractId::new(1));
+        }
+        for _ in 0..7 {
+            e.observe(addr(5), ContractId::new(2));
+        }
+        let hot = e.propose();
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].account, addr(5));
+        // addr(3) and addr(9) tie on traffic; the smaller address wins.
+        assert_eq!(hot[1].account, addr(3));
+        // The loser stays eligible for the next epoch.
+        assert_eq!(
+            e.propose(),
+            vec![HotAccount {
+                account: addr(9),
+                contract: ContractId::new(0),
+                txs: 4
+            }]
+        );
+    }
+
+    #[test]
+    fn disabled_or_zero_cap_engines_propose_nothing() {
+        for config in [
+            PlacementConfig::disabled(),
+            PlacementConfig {
+                max_moves_per_epoch: 0,
+                ..PlacementConfig::engaged()
+            },
+        ] {
+            let mut e = PlacementEngine::new(config);
+            for _ in 0..10 {
+                e.observe(addr(1), ContractId::new(0));
+            }
+            assert!(e.propose().is_empty());
+            assert_eq!(e.moved_accounts(), 0);
+        }
+    }
+
+    #[test]
+    fn imbalance_is_zero_when_balanced_and_scales_with_skew() {
+        let comm = CommStats::new();
+        let even = [(ShardId::new(0), 10), (ShardId::new(1), 10)];
+        assert_eq!(PlacementEngine::imbalance(&even, &comm.snapshot()), 0.0);
+        let skewed = [(ShardId::new(0), 30), (ShardId::new(1), 10)];
+        // loads 30/10, mean 20, max 30 -> 0.5
+        assert!((PlacementEngine::imbalance(&skewed, &comm.snapshot()) - 0.5).abs() < 1e-12);
+        // Communication counts toward load.
+        comm.record_many(ShardId::new(1), cshard_network::CommKind::Crosslink, 20);
+        assert!((PlacementEngine::imbalance(&even, &comm.snapshot()) - 0.5).abs() < 1e-12);
+        assert_eq!(PlacementEngine::imbalance(&[], &comm.snapshot()), 0.0);
+        assert_eq!(
+            PlacementEngine::imbalance(&[(ShardId::new(0), 0)], &CommStats::new().snapshot()),
+            0.0
+        );
+    }
+}

@@ -63,6 +63,18 @@ pub enum Event {
         /// Destination shard of the batch whose deadline fired.
         dest: ShardId,
     },
+    /// A scheduled hot-account migration reaches its apply time
+    /// (`cshard-runtime`'s `MigratingShardDriver`): the account's open
+    /// settlement pairs are drained, its unsubmitted transfers re-keyed
+    /// to the new home shard, and the move booked as one crosslink.
+    /// Staleness and blackout deferral follow the same deadline rules as
+    /// [`Event::SettlementFlush`] — an event applies its ticket only when
+    /// its timestamp matches the recorded deadline, and a mid-partition
+    /// apply re-arms at the heal instant.
+    Migration {
+        /// Index into the driver's migration schedule.
+        slot: usize,
+    },
     /// A fault-plan control point (crash, recovery, partition heal,
     /// deadline, …) fires. Scheduled and consumed exclusively by the
     /// fault-injection wrapper (`cshard-faults`); protocol drivers never
@@ -97,5 +109,6 @@ mod tests {
                 dest: ShardId::new(2)
             }
         );
+        assert_ne!(Event::Migration { slot: 0 }, Event::Migration { slot: 1 });
     }
 }

@@ -46,6 +46,7 @@ pub mod contract;
 pub mod driver;
 pub mod event;
 pub mod harness;
+pub mod migrate;
 pub mod propagation;
 pub mod report;
 pub mod settle;
@@ -62,6 +63,7 @@ pub use cshard_sim::{DrainStats, SchedulerConfig};
 pub use driver::{Ctx, ProtocolDriver};
 pub use event::Event;
 pub use harness::{RunBuilder, RunObserver, RunOutcome, RunPhase, RunSchedStats, Runtime};
+pub use migrate::{MigratingShardDriver, MigrationStats, MigrationTicket};
 pub use propagation::PropagationModel;
 pub use report::{throughput_improvement, RunReport, ShardReport};
 pub use settle::SettlingShardDriver;

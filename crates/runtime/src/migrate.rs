@@ -1,0 +1,462 @@
+//! The migrating shard driver: hot-account migration layered on batched
+//! settlement.
+//!
+//! [`MigratingShardDriver`] wraps a [`SettlingShardDriver`] and executes a
+//! schedule of [`MigrationTicket`]s — the placement engine's proposals,
+//! turned into simulated moves. Each ticket names an account, its old and
+//! new home shards, and the outbound transfer slots it owns; at the
+//! ticket's apply time an [`Event::Migration`] fires and the driver runs
+//! the in-flight story in one atomic step:
+//!
+//! 1. **drain** — every open settlement pair holding one of the account's
+//!    transfers is force-flushed ([`SettlementBatcher::drain`] via
+//!    [`SettlingShardDriver::drain_pair`]), so nothing settles later under
+//!    the account's stale routing;
+//! 2. **re-key** — the account's not-yet-submitted transfers are re-keyed
+//!    to the new home shard ([`SettlingShardDriver::rekey_transfers`]);
+//! 3. **book** — the move itself ships one
+//!    [`cshard_network::CommKind::Crosslink`] (state handoff), and the
+//!    ticket is marked applied.
+//!
+//! Exactly-once and partition tolerance reuse the settlement layer's
+//! deadline discipline verbatim: a migration event applies its ticket
+//! only when its timestamp matches the recorded deadline (anything else
+//! is stale), and an apply landing inside a partition blackout re-arms at
+//! the heal instant — chaining through overlapping windows exactly like
+//! the batcher's deferred flushes. Everything runs on simulated time via
+//! the shard's own event queue (ND001), so migrating runs stay
+//! bit-identical across thread counts.
+
+use crate::driver::{Ctx, ProtocolDriver};
+use crate::event::Event;
+use crate::report::ShardReport;
+use crate::settle::SettlingShardDriver;
+use cshard_network::CommKind;
+use cshard_primitives::{Error, ShardId, SimTime};
+use cshard_settle::SettleStats;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// One scheduled hot-account move, as the runtime executes it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MigrationTicket {
+    /// Caller-scoped account tag (the bench maps addresses onto these);
+    /// the runtime treats it as opaque.
+    pub account: u64,
+    /// The shard the account is leaving.
+    pub from: ShardId,
+    /// The account's new home shard.
+    pub to: ShardId,
+    /// Scheduled apply time (simulated).
+    pub at: SimTime,
+    /// Outbound transfer slots of the wrapped driver owned by this
+    /// account — the ones to drain and re-key before the switch.
+    pub transfers: Vec<usize>,
+}
+
+/// Migration accounting for one shard's run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Tickets scheduled at start.
+    pub scheduled: u64,
+    /// Tickets applied (each exactly once).
+    pub applied: u64,
+    /// Apply attempts deferred past a partition blackout.
+    pub deferred: u64,
+    /// Transfers force-flushed out of open pairs by applies.
+    pub drained_transfers: u64,
+    /// Unsubmitted transfers re-keyed to new home shards by applies.
+    pub rekeyed_transfers: u64,
+}
+
+/// One shard of the contract-centric scheme with batched settlement and
+/// scheduled hot-account migration. See the module docs for the
+/// lifecycle.
+pub struct MigratingShardDriver {
+    inner: SettlingShardDriver,
+    schedule: Vec<MigrationTicket>,
+    /// The one live apply deadline per ticket; an event applies its
+    /// ticket only if its timestamp matches (the settlement staleness
+    /// rule).
+    deadlines: Vec<Option<SimTime>>,
+    applied: Vec<bool>,
+    /// When each ticket actually applied (the fault tests read this).
+    applied_at: Vec<Option<SimTime>>,
+    /// Blackout windows per destination pair, `[from, until)` — same
+    /// shape the settlement batcher carries, kept locally so the apply
+    /// path defers exactly like a flush.
+    blackouts: BTreeMap<ShardId, Vec<(SimTime, SimTime)>>,
+    stats: MigrationStats,
+}
+
+impl MigratingShardDriver {
+    /// Wraps a settling driver with a migration `schedule`.
+    ///
+    /// # Panics
+    /// Panics when a ticket references a transfer slot the wrapped driver
+    /// does not have — schedules are built from the same transfer table,
+    /// so a mismatch is a harness bug, caught at construction rather than
+    /// mid-run.
+    pub fn new(inner: SettlingShardDriver, schedule: Vec<MigrationTicket>) -> MigratingShardDriver {
+        let slots = inner.transfers().len();
+        for (i, ticket) in schedule.iter().enumerate() {
+            for &slot in &ticket.transfers {
+                assert!(
+                    slot < slots,
+                    "migration ticket {i} references transfer slot {slot} outside the \
+                     shard's table ({slots} slots)"
+                );
+            }
+        }
+        let n = schedule.len();
+        MigratingShardDriver {
+            inner,
+            schedule,
+            deadlines: vec![None; n],
+            applied: vec![false; n],
+            applied_at: vec![None; n],
+            blackouts: BTreeMap::new(),
+            stats: MigrationStats::default(),
+        }
+    }
+
+    /// Installs partition blackout windows toward `dest` on both layers:
+    /// migration applies *and* settlement flushes for the pair defer to
+    /// the heal.
+    pub fn set_blackouts(&mut self, dest: ShardId, windows: Vec<(SimTime, SimTime)>) {
+        self.inner.set_blackouts(dest, windows.clone());
+        if windows.is_empty() {
+            self.blackouts.remove(&dest);
+        } else {
+            self.blackouts.insert(dest, windows);
+        }
+    }
+
+    /// The migration accounting so far.
+    pub fn stats(&self) -> MigrationStats {
+        self.stats
+    }
+
+    /// The migration schedule, slot-indexed as the events are.
+    pub fn schedule(&self) -> &[MigrationTicket] {
+        &self.schedule
+    }
+
+    /// When ticket `slot` applied, if it has.
+    pub fn applied_at(&self, slot: usize) -> Option<SimTime> {
+        self.applied_at.get(slot).copied().flatten()
+    }
+
+    /// The wrapped settling driver.
+    pub fn inner(&self) -> &SettlingShardDriver {
+        &self.inner
+    }
+
+    /// If the pair toward `dest` is blacked out at `t`, the instant it
+    /// heals — chaining through overlapping windows (the heal of one may
+    /// land inside another), mirroring the batcher's rule.
+    fn heal_time(&self, dest: ShardId, t: SimTime) -> Option<SimTime> {
+        let windows = self.blackouts.get(&dest)?;
+        let mut at = t;
+        let mut blacked = false;
+        loop {
+            let next = windows
+                .iter()
+                .filter(|&&(from, until)| from <= at && at < until)
+                .map(|&(_, until)| until)
+                .max();
+            match next {
+                Some(until) => {
+                    blacked = true;
+                    at = until;
+                }
+                None => break,
+            }
+        }
+        blacked.then_some(at)
+    }
+
+    /// Executes ticket `slot` at `t`: drain, re-key, book, mark applied.
+    fn apply(&mut self, slot: usize, t: SimTime, ctx: &mut Ctx) {
+        let ticket = self.schedule[slot].clone();
+        // Drain every open pair the account's transfers currently key to
+        // (deterministic order; a pair may also carry other accounts'
+        // transfers — an early flush, never a wrong one).
+        let dests: BTreeSet<ShardId> = ticket
+            .transfers
+            .iter()
+            .filter_map(|&s| self.inner.transfers().get(s).map(|&(_, d)| d))
+            .collect();
+        for dest in dests {
+            self.stats.drained_transfers += self.inner.drain_pair(t, dest, ctx) as u64;
+        }
+        self.stats.rekeyed_transfers +=
+            self.inner.rekey_transfers(&ticket.transfers, ticket.to) as u64;
+        // The move itself: one cross-shard state handoff.
+        ctx.comm().record(ticket.from, CommKind::Crosslink);
+        self.applied[slot] = true;
+        self.applied_at[slot] = Some(t);
+        self.deadlines[slot] = None;
+        self.stats.applied += 1;
+    }
+}
+
+impl ProtocolDriver for MigratingShardDriver {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.inner.on_start(ctx);
+        for (slot, ticket) in self.schedule.iter().enumerate() {
+            self.deadlines[slot] = Some(ticket.at);
+            ctx.schedule(ticket.at, Event::Migration { slot });
+            self.stats.scheduled += 1;
+        }
+    }
+
+    fn on_event(&mut self, t: SimTime, ev: Event, ctx: &mut Ctx) -> Result<(), Error> {
+        if let Event::Migration { slot } = ev {
+            if slot >= self.schedule.len() {
+                return Err(Error::UnexpectedEvent {
+                    driver: "MigratingShardDriver",
+                    event: format!("Migration {{ slot: {slot} }} outside the schedule"),
+                });
+            }
+            // Stale: already applied, or the deadline moved (a deferral
+            // superseded this event).
+            if self.applied[slot] || self.deadlines[slot] != Some(t) {
+                return Ok(());
+            }
+            // Mid-partition: defer the whole apply to the heal, exactly
+            // like a settlement flush.
+            if let Some(heal) = self.heal_time(self.schedule[slot].to, t) {
+                self.deadlines[slot] = Some(heal);
+                ctx.schedule(heal, Event::Migration { slot });
+                self.stats.deferred += 1;
+                return Ok(());
+            }
+            self.apply(slot, t, ctx);
+            return Ok(());
+        }
+        self.inner.on_event(t, ev, ctx)
+    }
+
+    fn done(&self) -> bool {
+        // A pending ticket always holds an armed migration event (the
+        // deadline invariant), so waiting on it never stalls the harness.
+        self.inner.done() && self.applied.iter().all(|&a| a)
+    }
+
+    fn completion(&self) -> Option<SimTime> {
+        self.inner.completion()
+    }
+
+    fn report(&self, events: usize, wall: Duration) -> ShardReport {
+        self.inner.report(events, wall)
+    }
+
+    fn settle_stats(&self) -> Option<SettleStats> {
+        self.inner.settle_stats()
+    }
+}
+
+impl MigrationStats {
+    /// Field-wise sum, for aggregating per-shard stats into a run total.
+    pub fn merge(&self, other: &MigrationStats) -> MigrationStats {
+        MigrationStats {
+            scheduled: self.scheduled + other.scheduled,
+            applied: self.applied + other.applied,
+            deferred: self.deferred + other.deferred,
+            drained_transfers: self.drained_transfers + other.drained_transfers,
+            rekeyed_transfers: self.rekeyed_transfers + other.rekeyed_transfers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::{RuntimeConfig, ShardSpec};
+    use crate::harness::Runtime;
+    use cshard_settle::SettleConfig;
+
+    fn spec(shard: u32, txs: usize) -> ShardSpec {
+        ShardSpec::solo_greedy(ShardId::new(shard), (1..=txs as u64).collect())
+    }
+
+    fn config(settle: SettleConfig) -> RuntimeConfig {
+        RuntimeConfig {
+            seed: 23,
+            settle,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    /// Transfers of shard 0 toward `dest`, one per tx.
+    fn fan(txs: usize, dest: u32) -> Vec<(usize, ShardId)> {
+        (0..txs).map(|tx| (tx, ShardId::new(dest))).collect()
+    }
+
+    fn ticket(at: SimTime, transfers: Vec<usize>) -> MigrationTicket {
+        MigrationTicket {
+            account: 7,
+            from: ShardId::new(0),
+            to: ShardId::new(9),
+            at,
+            transfers,
+        }
+    }
+
+    fn run(
+        schedule: Vec<MigrationTicket>,
+        threads: usize,
+    ) -> crate::harness::RunOutcome<MigratingShardDriver> {
+        let cfg = config(SettleConfig::batched(100));
+        let inner = SettlingShardDriver::new(&spec(0, 30), &cfg, fan(30, 1));
+        let driver = MigratingShardDriver::new(inner, schedule);
+        Runtime::builder()
+            .threads(threads)
+            .run(vec![driver])
+            .expect("well-formed")
+    }
+
+    #[test]
+    fn empty_schedule_is_bit_invisible() {
+        let cfg = config(SettleConfig::batched(100));
+        let plain = Runtime::builder()
+            .run(vec![SettlingShardDriver::new(
+                &spec(0, 30),
+                &cfg,
+                fan(30, 1),
+            )])
+            .expect("well-formed");
+        let wrapped = run(Vec::new(), 1);
+        assert_eq!(plain.report.fingerprint(), wrapped.report.fingerprint());
+        assert_eq!(plain.settle, wrapped.settle);
+        assert_eq!(
+            plain.drivers[0].settled_batches(),
+            wrapped.drivers[0].inner().settled_batches()
+        );
+        assert_eq!(wrapped.drivers[0].stats(), MigrationStats::default());
+    }
+
+    #[test]
+    fn apply_drains_rekeys_and_books_the_move_exactly_once() {
+        // Move the account owning slots 0..10 at t=1s; cap 100 with a
+        // long-lived run means its pair is still open when the move hits.
+        let schedule = vec![ticket(SimTime::from_secs(1), (0..10).collect())];
+        let outcome = run(schedule, 1);
+        let driver = &outcome.drivers[0];
+        let s = driver.stats();
+        assert_eq!((s.scheduled, s.applied, s.deferred), (1, 1, 0));
+        assert_eq!(driver.applied_at(0), Some(SimTime::from_secs(1)));
+        // Unsubmitted owned slots were re-keyed to the new home.
+        let rekeyed = driver
+            .inner()
+            .transfers()
+            .iter()
+            .take(10)
+            .filter(|&&(_, d)| d == ShardId::new(9))
+            .count();
+        assert_eq!(rekeyed, s.rekeyed_transfers as usize);
+        assert!(s.drained_transfers as usize + rekeyed == 10);
+        // Every transfer still settles exactly once, across both keys.
+        let mut seen: Vec<u64> = driver
+            .inner()
+            .settled_batches()
+            .iter()
+            .flat_map(|b| b.transfers.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..30).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_migrating_runs() {
+        let schedule = vec![
+            ticket(SimTime::from_secs(1), (0..8).collect()),
+            MigrationTicket {
+                account: 11,
+                from: ShardId::new(0),
+                to: ShardId::new(4),
+                at: SimTime::from_secs(2),
+                transfers: (8..16).collect(),
+            },
+        ];
+        let base = run(schedule.clone(), 1);
+        for threads in [4, 0] {
+            let other = run(schedule.clone(), threads);
+            assert_eq!(base.report.fingerprint(), other.report.fingerprint());
+            assert_eq!(base.settle, other.settle);
+            assert_eq!(base.drivers[0].stats(), other.drivers[0].stats());
+            assert_eq!(
+                base.drivers[0].inner().settled_batches(),
+                other.drivers[0].inner().settled_batches()
+            );
+        }
+    }
+
+    #[test]
+    fn mid_blackout_apply_defers_to_the_heal_and_applies_once() {
+        let cfg = config(SettleConfig::batched(100));
+        let inner = SettlingShardDriver::new(&spec(0, 30), &cfg, fan(30, 1));
+        let mut driver =
+            MigratingShardDriver::new(inner, vec![ticket(SimTime::from_secs(1), vec![0, 1, 2])]);
+        // Black out the pair toward the *new* home across the apply time.
+        driver.set_blackouts(
+            ShardId::new(9),
+            vec![(SimTime::ZERO, SimTime::from_secs(300))],
+        );
+        let outcome = Runtime::builder().run(vec![driver]).expect("well-formed");
+        let d = &outcome.drivers[0];
+        let s = d.stats();
+        assert_eq!((s.applied, s.deferred), (1, 1));
+        assert_eq!(d.applied_at(0), Some(SimTime::from_secs(300)));
+    }
+
+    #[test]
+    fn out_of_schedule_event_is_rejected_not_panicked() {
+        let cfg = config(SettleConfig::batched(4));
+        let inner = SettlingShardDriver::new(&spec(0, 4), &cfg, Vec::new());
+        let mut driver = MigratingShardDriver::new(inner, Vec::new());
+        let comm = cshard_network::CommStats::new();
+        let mut queue = cshard_sim::EventQueue::new();
+        let mut ctx = Ctx::new(&mut queue, &comm);
+        let err = driver
+            .on_event(SimTime::ZERO, Event::Migration { slot: 3 }, &mut ctx)
+            .expect_err("foreign slot must be rejected");
+        assert!(matches!(
+            err,
+            Error::UnexpectedEvent {
+                driver: "MigratingShardDriver",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stats_merge_is_fieldwise() {
+        let a = MigrationStats {
+            scheduled: 1,
+            applied: 1,
+            deferred: 0,
+            drained_transfers: 3,
+            rekeyed_transfers: 2,
+        };
+        let b = MigrationStats {
+            scheduled: 2,
+            applied: 1,
+            deferred: 1,
+            drained_transfers: 0,
+            rekeyed_transfers: 5,
+        };
+        let m = a.merge(&b);
+        assert_eq!(
+            (
+                m.scheduled,
+                m.applied,
+                m.deferred,
+                m.drained_transfers,
+                m.rekeyed_transfers
+            ),
+            (3, 2, 1, 3, 7)
+        );
+    }
+}

@@ -98,6 +98,43 @@ impl SettlingShardDriver {
         &self.inner
     }
 
+    /// Force-flushes the open batch toward `dest` right now and ships it
+    /// (one crosslink), returning how many transfers it carried — the
+    /// migration drain path: before an account's routing moves, the pairs
+    /// its transfers occupy are emptied so nothing settles under a stale
+    /// key. The batcher clears the pair's deadline, so any armed flush
+    /// event goes stale rather than double-settling.
+    pub fn drain_pair(&mut self, now: SimTime, dest: ShardId, ctx: &mut Ctx) -> usize {
+        match self.batcher.drain(now, dest) {
+            Some(batch) => {
+                let n = batch.transfers.len();
+                self.ship(batch, ctx);
+                n
+            }
+            None => 0,
+        }
+    }
+
+    /// Re-keys every not-yet-submitted transfer in `slots` to destination
+    /// `to`, returning how many actually changed. Submitted transfers are
+    /// already in (or past) a batch and are left alone — draining the
+    /// open pairs first is the caller's job.
+    pub fn rekey_transfers(&mut self, slots: &[usize], to: ShardId) -> usize {
+        let mut changed = 0;
+        for &slot in slots {
+            if self.submitted.get(slot).copied().unwrap_or(true) {
+                continue;
+            }
+            if let Some(entry) = self.transfers.get_mut(slot) {
+                if entry.1 != to {
+                    entry.1 = to;
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+
     /// Books one crosslink for a flushed batch and logs it.
     fn ship(&mut self, batch: Batch, ctx: &mut Ctx) {
         ctx.comm()

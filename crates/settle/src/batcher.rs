@@ -221,6 +221,21 @@ impl SettlementBatcher {
         }
     }
 
+    /// Force-flushes the pair toward `dest` right now, bypassing both the
+    /// cap and the armed deadline — the migration drain path: an account
+    /// moving off this shard must not leave transfers parked in an open
+    /// batch keyed to its old routing. Returns `None` when nothing pends.
+    /// Clearing the deadline makes any armed flush event for the pair
+    /// stale, so a drain never double-settles; the flush is booked through
+    /// the ordinary [`SettleStats`] counters (as a timeout-class flush
+    /// when under cap).
+    pub fn drain(&mut self, now: SimTime, dest: ShardId) -> Option<Batch> {
+        if self.pending(dest) == 0 {
+            return None;
+        }
+        Some(self.take_batch(dest, now))
+    }
+
     /// Adjudicates a flush event for `dest` firing at `now`.
     ///
     /// Only the event matching the pair's recorded deadline flushes; a
@@ -410,6 +425,22 @@ mod tests {
             panic!("cleared blackout must flush");
         };
         assert!(matches!(b.submit(ms(200), dst(1), 2), Submit::Flushed(_)));
+    }
+
+    #[test]
+    fn drain_flushes_the_open_pair_and_stales_its_deadline() {
+        let mut b = batched(100);
+        assert_eq!(b.drain(ms(5), dst(1)), None, "nothing pending: no batch");
+        b.submit(ms(0), dst(1), 1); // arms ms(500)
+        b.submit(ms(10), dst(1), 2);
+        let batch = b.drain(ms(50), dst(1)).expect("open pair must drain");
+        assert_eq!(batch.transfers, vec![1, 2]);
+        assert_eq!(batch.at, ms(50));
+        assert!(b.is_empty());
+        // The armed timeout event now finds a cleared deadline: stale.
+        assert_eq!(b.on_flush(ms(500), dst(1)), FlushOutcome::Stale);
+        let s = b.stats();
+        assert_eq!((s.batches, s.timeout_flushes, s.txs_settled), (1, 1, 2));
     }
 
     #[test]

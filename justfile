@@ -73,6 +73,14 @@ bench-settle:
         settle --quick --json /tmp/bench-settle
     @echo "wrote /tmp/bench-settle/BENCH_settle.json"
 
+# Migration grid: cross-shard messages per tx, static placement vs the
+# cross-epoch placement engine (>= 2x reduction asserted in the grid), as
+# BENCH_migrate.json.
+bench-migrate:
+    cargo run --release -p cshard-bench --bin experiments -- \
+        migrate --quick --json /tmp/bench-migrate
+    @echo "wrote /tmp/bench-migrate/BENCH_migrate.json"
+
 # Fast feedback loop: tests only.
 test:
     cargo test -q --workspace

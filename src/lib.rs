@@ -56,6 +56,7 @@
 //! | [`security`] | Fig. 1(d) shard safety and the Eq. (3)–(6) corruption bounds |
 //! | [`workload`] | the Sec. VI injection generators |
 //! | [`baselines`] | randomized merging, ChainSpace model, optimal oracles |
+//! | [`place`] | cross-epoch placement engine: hot-account traffic tracking, imbalance metric, migration proposals |
 //! | [`core`] | shard formation, miner assignment, the staged `EpochPipeline`, the end-to-end system |
 //! | [`faults`] | deterministic fault injection, VRF leader failover, empirical corruption checks |
 
@@ -69,6 +70,7 @@ pub use cshard_faults as faults;
 pub use cshard_games as games;
 pub use cshard_ledger as ledger;
 pub use cshard_network as network;
+pub use cshard_place as place;
 pub use cshard_primitives as primitives;
 pub use cshard_runtime as runtime;
 pub use cshard_security as security;
@@ -97,11 +99,13 @@ pub mod prelude {
     pub use cshard_ledger::{
         Block, CallGraph, Chain, Condition, Mempool, SmartContract, State, Transaction,
     };
+    pub use cshard_place::{Migration, PlacementConfig, PlacementEngine};
     pub use cshard_primitives::Error;
     pub use cshard_primitives::{Address, Amount, ContractId, Hash32, MinerId, ShardId, SimTime};
     pub use cshard_runtime::{
-        ContractShardDriver, Ctx, EthereumDriver, Event, PropagationModel, ProtocolDriver,
-        RunBuilder, RunObserver, RunOutcome, RunPhase, RunSchedStats, Runtime,
+        ContractShardDriver, Ctx, EthereumDriver, Event, MigratingShardDriver, MigrationStats,
+        MigrationTicket, PropagationModel, ProtocolDriver, RunBuilder, RunObserver, RunOutcome,
+        RunPhase, RunSchedStats, Runtime,
     };
     pub use cshard_security::{shard_safety, CorruptionThreshold};
     pub use cshard_sim::{DrainStats, SchedulerConfig, WorkScheduler};

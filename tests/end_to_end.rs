@@ -21,6 +21,7 @@ fn full_pipeline_is_deterministic_end_to_end() {
             }),
             selection: Some(500),
             allocation: MinerAllocation::PerShard(3),
+            placement: PlacementConfig::disabled(),
             epoch: 11,
         };
         let report = ShardingSystem::new(cfg).run(&w).expect("valid config");
@@ -69,6 +70,7 @@ fn merging_and_selection_compose() {
         }),
         selection: Some(500),
         allocation: MinerAllocation::PerShard(4),
+        placement: PlacementConfig::disabled(),
         epoch: 5,
     })
     .run(&w)
@@ -154,6 +156,7 @@ fn unified_parameters_run_the_system_games_identically_across_replicas() {
             }),
             selection: None,
             allocation: MinerAllocation::OnePerShard,
+            placement: PlacementConfig::disabled(),
             epoch: 99,
         })
         .run(&w)

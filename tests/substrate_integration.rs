@@ -92,6 +92,7 @@ fn mainnet_shaped_workload_through_the_full_system() {
         }),
         selection: Some(500),
         allocation: MinerAllocation::Proportional { total: 40 },
+        placement: PlacementConfig::disabled(),
         epoch: 4,
     })
     .run(&w)
